@@ -1,0 +1,64 @@
+// §3.3 analysis: the maximum-sustained-rps bound vs. the simulator.
+//
+// Paper: "if b1 = 5MB/s and b2 = 4.5MB/s, O ~ 0, p = 6, r = 2.88, then the
+// maximum sustained rps is 17.3 for 6 nodes", and "the analysis in Section
+// 3.3 ... gave an analytical maximum sustained 17.8 rps for 1.5M files on
+// the Meiko, consistent with the 16 rps achieved in practice."
+#include "bench_common.h"
+#include "core/analytic.h"
+
+int main() {
+  using namespace sweb;
+  bench::print_header(
+      "§3.3 analytic bound", "Analytic max sustained rps vs. measured",
+      "r <= 1/[(1/p+d)F/b1 + (1-1/p-d)F/min(b1,b2) + A + d(A+O)], cluster "
+      "max = p*r. Swept over node count for 1.5 MB files, then checked "
+      "against the simulator's sustained search.");
+
+  // The paper's worked example.
+  core::AnalyticParams q;
+  q.p = 6;
+  q.F = 1.5e6;
+  q.b1 = 5.0e6;
+  q.b2 = 4.5e6;
+  q.A = 0.02;
+  q.O = 0.004;
+  q.d = 0.0;
+  std::printf("paper example (p=6, b1=5MB/s, b2=4.5MB/s): per-node r = %s, "
+              "cluster = %s rps (paper: r = 2.88 -> 17.3 rps)\n\n",
+              metrics::fmt(core::analytic_per_node_rps(q), 2).c_str(),
+              metrics::fmt(core::analytic_max_rps(q), 1).c_str());
+
+  metrics::Table table({"p", "analytic rps (d=0)", "analytic rps (d=0.3)",
+                        "simulated sustained rps"});
+  for (int p : {1, 2, 4, 6, 8}) {
+    core::AnalyticParams qq = q;
+    qq.p = p;
+    core::AnalyticParams qd = qq;
+    qd.d = 0.3;
+
+    workload::ExperimentSpec spec =
+        bench::meiko_spec(p, 1536 * 1024, 40 * static_cast<std::size_t>(p));
+    // The §3.3 model assumes every fetch streams from a disk; turn the page
+    // cache off so the simulator honors the same assumption.
+    for (auto& node : spec.cluster.nodes) node.cache_fraction = 0.0;
+    spec.policy = "sweb";
+    spec.burst.duration_s = 120.0;
+    workload::MaxRpsCriteria criteria;
+    criteria.rps_ceiling = 64;
+    const auto measured = workload::find_max_rps(spec, criteria);
+
+    table.add_row({std::to_string(p),
+                   metrics::fmt(core::analytic_max_rps(qq), 1),
+                   metrics::fmt(core::analytic_max_rps(qd), 1),
+                   std::to_string(measured.max_rps)});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_note(
+      "expected shape: simulated sustained rps tracks the analytic bound "
+      "from below (the paper: 16 measured vs 17.8 analytic at p=6), and "
+      "both scale ~linearly with p. (Page caching is disabled here to "
+      "honor the model's every-request-hits-disk assumption; with caching "
+      "on, SWEB exceeds the disk-only bound.)");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment benches. Each bench binary regenerates
+// one of the paper's tables (or a text-reported experiment) and prints a
+// side-by-side of measured values and the paper's reference where known.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/config.h"
+#include "fs/docbase.h"
+#include "metrics/table.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace sweb::bench {
+
+inline void print_header(const char* id, const char* title,
+                         const char* method) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("------------------------------------------------------------------\n");
+  std::printf("%s\n\n", method);
+}
+
+inline void print_note(const char* note) { std::printf("note: %s\n", note); }
+
+/// Baseline experiment spec for the Meiko CS-2 testbed.
+inline workload::ExperimentSpec meiko_spec(int nodes, std::uint64_t file_size,
+                                           std::size_t num_docs) {
+  workload::ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(nodes);
+  spec.docbase = fs::make_uniform(num_docs, file_size, nodes,
+                                  fs::Placement::kRoundRobin);
+  spec.clients = workload::ucsb_clients();
+  return spec;
+}
+
+/// Baseline experiment spec for the NOW testbed.
+inline workload::ExperimentSpec now_spec(int nodes, std::uint64_t file_size,
+                                         std::size_t num_docs) {
+  workload::ExperimentSpec spec;
+  spec.cluster = cluster::now_config(nodes);
+  spec.docbase = fs::make_uniform(num_docs, file_size, nodes,
+                                  fs::Placement::kRoundRobin);
+  spec.clients = workload::ucsb_clients();
+  return spec;
+}
+
+/// "<1" for a zero result, the number otherwise (Table 1's NOW cells).
+inline std::string rps_cell(int rps) {
+  return rps == 0 ? std::string("<1") : std::to_string(rps);
+}
+
+inline std::string seconds_cell(double s) { return metrics::fmt(s, 2); }
+
+}  // namespace sweb::bench

@@ -1,0 +1,83 @@
+// The DNS-caching skew study (§1 and §3.1 prose).
+//
+// "DNS caching enables a local DNS system to cache the name-to-IP address
+// mapping ... The downside is that all requests for a period of time from
+// a DNS server's domain will go to a particular IP address." This bench
+// quantifies that: arrival imbalance and response time vs the number of
+// client domains and the record TTL, with and without SWEB's re-scheduling
+// to clean up after the skew.
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace sweb;
+
+struct Cell {
+  double imbalance = 0.0;  // max/mean of per-node arrivals
+  double mean_response = 0.0;
+};
+
+Cell run_cell(int domains, double ttl_s, const char* policy) {
+  workload::ExperimentSpec spec = bench::meiko_spec(6, 256 * 1024, 240);
+  spec.policy = policy;
+  spec.burst.rps = 24.0;
+  spec.burst.duration_s = 30.0;
+  spec.clients.domains = domains;
+  // Hold the aggregate client-side capacity constant (48 MB/s) across
+  // domain counts, so the last mile never masks the server-side skew.
+  spec.clients.bandwidth_bytes_per_sec = 48e6 / domains;
+  spec.server.dns_ttl_s = ttl_s;
+  spec.keep_records = true;
+  const auto r = workload::run_experiment(spec);
+
+  std::vector<int> arrivals(6, 0);
+  for (const metrics::RequestRecord& rec : r.records) {
+    if (rec.first_node >= 0 && rec.first_node < 6) {
+      ++arrivals[static_cast<std::size_t>(rec.first_node)];
+    }
+  }
+  const int total = static_cast<int>(r.records.size());
+  Cell cell;
+  cell.imbalance = total > 0
+                       ? *std::max_element(arrivals.begin(), arrivals.end()) /
+                             (static_cast<double>(total) / 6.0)
+                       : 0.0;
+  cell.mean_response = r.summary.mean_response;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sweb;
+  bench::print_header(
+      "DNS caching skew (§1/§3.1 prose)",
+      "Client-side DNS caching defeats the round-robin spread",
+      "6-node Meiko, 256 KB files at 24 rps for 30 s. Imbalance = hottest "
+      "node's arrival share relative to a perfect 1/6 split (1.0 = even; "
+      "6.0 = everything on one node).");
+
+  metrics::Table table({"domains", "TTL", "arrival imbalance",
+                        "RR mean resp", "SWEB mean resp"});
+  for (const int domains : {1, 3, 12, 48}) {
+    for (const double ttl : {0.0, 1800.0}) {
+      const Cell rr = run_cell(domains, ttl, "round-robin");
+      const Cell sweb = run_cell(domains, ttl, "sweb");
+      table.add_row({std::to_string(domains),
+                     ttl == 0.0 ? "none" : "30 min",
+                     metrics::fmt(rr.imbalance, 2) + "x",
+                     bench::seconds_cell(rr.mean_response) + " s",
+                     bench::seconds_cell(sweb.mean_response) + " s"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_note(
+      "expected shape: with caching (30 min TTL) and few domains, arrivals "
+      "pile onto one or two nodes (imbalance -> 6x at 1 domain) and round "
+      "robin's response time suffers; TTL 0 restores the even rotation; "
+      "SWEB's second-level re-scheduling largely repairs the skew either "
+      "way — the paper's answer to the DNS-caching weakness.");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark): the engine costs behind the
+// experiments, and the Figure-1 transaction stages.
+//
+// These measure *our* implementation on the host machine (not the 1996
+// hardware): event-queue throughput, max-min reallocation, HTTP parsing,
+// broker decisions, DNS rotation, page-cache operations.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "core/broker.h"
+#include "core/load.h"
+#include "core/oracle.h"
+#include "core/server.h"
+#include "dns/dns.h"
+#include "fs/page_cache.h"
+#include "http/parser.h"
+#include "http/url.h"
+#include "sim/flow_network.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace sweb;
+
+void BM_EventScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>(i % 100), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleRun);
+
+void BM_FlowReallocation(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::FlowNetwork net(sim);
+    const auto r = net.add_resource("r", 1e6);
+    for (int i = 0; i < flows; ++i) {
+      net.start_flow({r}, 1e9, [] {});  // every start reallocates all flows
+    }
+    benchmark::DoNotOptimize(net.allocated_rate(r));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowReallocation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string wire =
+      "GET /adl/scene42.tiff?zoom=2 HTTP/1.0\r\n"
+      "Host: www.alexandria.ucsb.edu\r\n"
+      "User-Agent: Mosaic/2.7\r\n"
+      "Accept: */*\r\n\r\n";
+  for (auto _ : state) {
+    http::RequestParser parser;
+    std::size_t consumed = 0;
+    const auto result = parser.feed(wire, consumed);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_CanonicalizeTarget(benchmark::State& state) {
+  for (auto _ : state) {
+    auto url = http::canonicalize_target(
+        "/adl/maps/../scenes/./goleta%20east.tiff?layer=3");
+    benchmark::DoNotOptimize(url);
+  }
+}
+BENCHMARK(BM_CanonicalizeTarget);
+
+void BM_BrokerChoose(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  cluster::Cluster clu(sim, cluster::meiko_config(p));
+  core::Broker broker(clu, core::BrokerParams{});
+  core::LoadBoard board(p, 6.0);
+  for (int n = 0; n < p; ++n) {
+    core::LoadVector v;
+    v.cpu_run_queue = n % 3;
+    v.disk_queue = n % 2;
+    v.timestamp = 0.0;
+    board.update(n, v);
+  }
+  core::RequestFacts facts;
+  facts.size_bytes = 1.5e6;
+  facts.owner = p - 1;
+  facts.cpu_ops = 1.2e6;
+  facts.client_latency_s = 1.5e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.choose(facts, 0, board));
+  }
+}
+BENCHMARK(BM_BrokerChoose)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_DnsRotation(benchmark::State& state) {
+  dns::AuthoritativeServer dns;
+  dns.set_records("www", {0, 1, 2, 3, 4, 5}, 1800.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns.query("www"));
+  }
+}
+BENCHMARK(BM_DnsRotation);
+
+void BM_PageCacheLookupInsert(benchmark::State& state) {
+  fs::PageCache cache(64 * 1024 * 1024);
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/doc" + std::to_string(i % 512);
+    if (!cache.lookup(path)) cache.insert(path, 256 * 1024);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageCacheLookupInsert);
+
+// Figure 1's transaction stages, timed end-to-end in the simulator: one
+// client, one request, from DNS to last byte.
+void BM_Figure1Transaction(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    util::Rng rng(1);
+    cluster::Cluster clu(sim, cluster::meiko_config(2));
+    fs::Docbase docs =
+        fs::make_uniform(4, 64 * 1024, 2, fs::Placement::kRoundRobin);
+    const auto link = clu.add_client_link("lan", 3e6, 1.5e-3);
+    core::SwebServer server(clu, docs, core::Oracle::builtin(),
+                            core::make_policy("sweb"), core::ServerParams{},
+                            rng);
+    server.start();
+    server.client_request(link, docs.documents()[0].path);
+    sim.run_until(10.0);
+    benchmark::DoNotOptimize(server.collector().summarize().completed);
+  }
+}
+BENCHMARK(BM_Figure1Transaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table 1: Maximum rps for a test duration of 30 s and 120 s on Meiko CS-2
+// and NOW.
+//
+// Method (paper §4.1): "The maximum rps is determined by fixing the average
+// file size and increasing the rps until requests start to fail." The short
+// 30 s burst lets requests queue (only refused connections count as
+// failures); the 120 s sustained test requires the system to keep up
+// (timeouts count too).
+//
+// Paper reference values (where the text states them):
+//   * single NCSA-class workstation: ~5 rps for typical pages
+//   * Meiko 6-node, 1.5 MB sustained: 16 rps measured (17.8 analytic)
+//   * NOW 4-node, 1.5 MB: 11 rps short, 1 rps sustained
+//   * NOW single server, 1.5 MB sustained: < 1 rps
+#include "bench_common.h"
+
+namespace {
+
+using namespace sweb;
+
+struct Cell {
+  int single = 0;
+  int swebv = 0;
+};
+
+Cell measure(bool meiko, std::uint64_t file_size, bool sustained) {
+  const int p = meiko ? 6 : 4;
+  // Corpora several times the aggregate page cache, so max-rps reflects
+  // disk/network capacity rather than cache residency.
+  const std::size_t docs = file_size >= 1024 * 1024
+                               ? (meiko ? 600 : 160)
+                               : 600;
+  workload::MaxRpsCriteria criteria;
+  criteria.count_timeouts = sustained;
+  criteria.max_drop_rate = 0.02;
+  criteria.max_mean_response_s = 30.0;
+  criteria.rps_ceiling = 384;
+
+  const auto run = [&](int nodes) {
+    workload::ExperimentSpec spec =
+        meiko ? bench::meiko_spec(nodes, file_size, docs)
+              : bench::now_spec(nodes, file_size, docs);
+    spec.burst.duration_s = sustained ? 120.0 : 30.0;
+    spec.policy = "sweb";
+    return workload::find_max_rps(spec, criteria).max_rps;
+  };
+  Cell cell;
+  cell.single = run(1);
+  cell.swebv = run(p);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1", "Maximum rps, 30 s (short) vs 120 s (sustained)",
+      "Fix the file size, raise rps until requests start to fail. Short "
+      "tests count refused connections; sustained tests also count client "
+      "timeouts. Meiko CS-2: 6 nodes; NOW: 4 nodes; SWEB scheduling.");
+
+  struct Row {
+    const char* label;
+    bool meiko;
+    std::uint64_t size;
+  };
+  const Row rows[] = {
+      {"Meiko 1K", true, 1024},
+      {"Meiko 1.5M", true, 1536 * 1024},
+      {"NOW 1K", false, 1024},
+      {"NOW 1.5M", false, 1536 * 1024},
+  };
+
+  metrics::Table table({"configuration", "single (30s)", "SWEB (30s)",
+                        "single (120s)", "SWEB (120s)", "paper SWEB"});
+  for (const Row& row : rows) {
+    const Cell fast = measure(row.meiko, row.size, /*sustained=*/false);
+    const Cell slow = measure(row.meiko, row.size, /*sustained=*/true);
+    const char* paper = "-";
+    if (row.meiko && row.size > 1024) paper = "16 sustained";
+    if (!row.meiko && row.size > 1024) paper = "11 short / 1 sustained";
+    table.add_row({row.label, bench::rps_cell(fast.single),
+                   bench::rps_cell(fast.swebv), bench::rps_cell(slow.single),
+                   bench::rps_cell(slow.swebv), paper});
+  }
+  std::printf("%s", table.render().c_str());
+  bench::print_note(
+      "expected shape: SWEB multiplies the single-server ceiling by ~p; "
+      "short-period rps exceeds sustained rps (bursts queue in the listen "
+      "backlog); NOW 1.5MB sustained collapses to ~1 rps at the shared "
+      "Ethernet's bandwidth.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 5: Cost distribution in the average response time — where a
+// request's 5.4 seconds go on a loaded Meiko.
+//
+// Paper reference (1.5 MB file, Meiko CS-2, heavily loaded):
+//   Preprocessing        70 ms
+//   Req. Analysis (SWEB) 1 or 4 ms
+//   Redirection (SWEB)   4 ms
+//   Data Transfer        4.9 s
+//   Network Costs        0.5 s
+//   Total Client Time    5.4 s
+// "Items marked SWEB are introduced by the SWEB system. ... well over 90%
+// is spent doing data transfer."
+#include "bench_common.h"
+
+int main() {
+  using namespace sweb;
+  bench::print_header(
+      "Table 5", "Cost distribution in average response time (1.5 MB, Meiko)",
+      "16 rps for 30 s on 6 nodes with SWEB scheduling; per-phase means "
+      "over completed requests, as instrumented inside the server.");
+
+  workload::ExperimentSpec spec = bench::meiko_spec(6, 1536 * 1024, 240);
+  spec.policy = "sweb";
+  spec.burst.rps = 16.0;
+  spec.burst.duration_s = 30.0;
+  const auto result = workload::run_experiment(spec);
+  const metrics::PhaseBreakdown& b = result.phases;
+
+  metrics::Table table({"activity", "measured", "paper", "SWEB-introduced"});
+  table.add_row({"DNS + connect",
+                 metrics::fmt((b.dns + b.connect) * 1e3, 1) + " ms", "-",
+                 "no"});
+  table.add_row({"Listen-queue wait", metrics::fmt(b.queue * 1e3, 1) + " ms",
+                 "-", "no"});
+  table.add_row({"Preprocessing", metrics::fmt(b.preprocess * 1e3, 1) + " ms",
+                 "70 ms", "no"});
+  table.add_row({"Req. analysis", metrics::fmt(b.analysis * 1e3, 1) + " ms",
+                 "1-4 ms", "yes"});
+  table.add_row({"Redirection", metrics::fmt(b.redirect * 1e3, 1) + " ms",
+                 "4 ms", "yes"});
+  table.add_row({"Data transfer", metrics::fmt(b.data, 2) + " s", "4.9 s",
+                 "no"});
+  table.add_row({"Network send", metrics::fmt(b.send, 2) + " s", "0.5 s",
+                 "no"});
+  table.add_separator();
+  table.add_row({"Total client time", metrics::fmt(b.total, 2) + " s",
+                 "5.4 s", ""});
+  std::printf("%s", table.render().c_str());
+
+  const double sweb_share =
+      b.total > 0.0 ? (b.analysis + b.redirect) / b.total : 0.0;
+  std::printf("\nSWEB-introduced share of the response time: %s "
+              "(paper: insignificant, ~0.1%%)\n",
+              metrics::fmt_pct(sweb_share, 2).c_str());
+  std::printf("Data-path share (data+send): %s (paper: well over 90%%)\n",
+              metrics::fmt_pct((b.data + b.send) / b.total, 1).c_str());
+  return 0;
+}

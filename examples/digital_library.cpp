@@ -1,0 +1,109 @@
+// The motivating workload: the Alexandria Digital Library front end.
+//
+// "The collections of the library currently involve geographically-
+// referenced materials, such as maps, satellite images, digitized aerial
+// photographs, and associated metadata." A browse session mixes tiny
+// metadata pages, thumbnails, medium browse images, full 1.5 MB scenes and
+// CGI spatial queries — exactly the heterogeneous CPU/I-O mix the
+// multi-faceted scheduler was designed for.
+//
+// This example replays browse sessions against all four policies and
+// prints the comparison.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/table.h"
+#include "workload/scenario.h"
+
+using namespace sweb;
+
+namespace {
+
+// A collection several times larger than the cluster's aggregate page
+// cache, so placement and load-awareness matter, not just residency.
+constexpr std::size_t kScenes = 192;
+
+/// A browsing user: metadata -> thumbnail -> browse image -> (sometimes)
+/// the full scene, plus an occasional spatial CGI query.
+std::vector<std::string> browse_session(util::Rng& rng, std::size_t scene) {
+  std::vector<std::string> gets;
+  gets.push_back("/adl/meta" + std::to_string(scene * 4) + ".html");
+  gets.push_back("/adl/thumb" + std::to_string(scene * 4 + 1) + ".gif");
+  gets.push_back("/adl/browse" + std::to_string(scene * 4 + 2) + ".jpg");
+  if (rng.bernoulli(0.4)) {
+    gets.push_back("/adl/scene" + std::to_string(scene * 4 + 3) + ".tiff");
+  }
+  if (rng.bernoulli(0.15)) {
+    // A spatial query endpoint (the CGI class: real CPU before any bytes).
+    const std::size_t q = rng.index(std::max<std::size_t>(1, kScenes / 8));
+    gets.push_back("/adl/query" + std::to_string(kScenes * 4 + q) + ".cgi");
+  }
+  return gets;
+}
+
+workload::ExperimentResult run_policy(const std::string& policy,
+                                      double sessions_per_second) {
+  util::Rng rng(7);
+  workload::ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(6);
+  spec.docbase = fs::make_adl(kScenes, 6, rng);
+  spec.clients = workload::ucsb_clients();
+  spec.policy = policy;
+  // We schedule the requests ourselves (sessions, not independent GETs),
+  // so the generic burst launches nothing.
+  spec.burst.rps = 0.0;
+  spec.burst.duration_s = 30.0;
+  spec.seed = 99;
+  spec.on_start = [&, sessions_per_second](core::SwebServer& server,
+                                           sim::Simulation& sim) {
+    util::Rng session_rng(41);
+    const auto& docbase = server.collector();  // unused; docs captured below
+    (void)docbase;
+    for (int second = 0; second < 30; ++second) {
+      const int n = static_cast<int>(sessions_per_second);
+      for (int i = 0; i < n; ++i) {
+        const std::size_t scene = session_rng.zipf(kScenes, 1.1);
+        const auto gets = browse_session(session_rng, scene);
+        double at = second + session_rng.uniform(0.0, 1.0);
+        for (const std::string& path : gets) {
+          sim.schedule_at(at, [&server, path, i] {
+            server.client_request(
+                static_cast<cluster::ClientLinkId>(i % 12), path);
+          });
+          at += session_rng.uniform(0.3, 1.2);  // think time between clicks
+        }
+      }
+    }
+  };
+  return workload::run_experiment(spec);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Alexandria Digital Library browse workload on 6-node SWEB\n");
+  std::printf("(metadata + thumbnails + browse images + 1.5MB scenes + "
+              "CGI spatial queries; Zipf scene popularity)\n\n");
+
+  metrics::Table table({"policy", "completed", "mean resp", "p95 resp",
+                        "drop", "redirects", "cache hits"});
+  for (const char* policy :
+       {"round-robin", "file-locality", "cpu-only", "sweb"}) {
+    const auto r = run_policy(policy, 30.0);
+    table.add_row({policy, std::to_string(r.summary.completed),
+                   metrics::fmt(r.summary.mean_response, 3) + " s",
+                   metrics::fmt(r.summary.p95_response, 3) + " s",
+                   metrics::fmt_pct(r.summary.drop_rate()),
+                   metrics::fmt_pct(r.summary.redirect_rate()),
+                   metrics::fmt_pct(r.cache_hit_rate)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nWhat to look for: pure file locality funnels the hot scenes to "
+      "their owner\nnodes and collapses; pure round robin gets a free ride "
+      "from every node's page\ncache on this highly-repetitive mix but has "
+      "the CGI queries landing blind;\nSWEB keeps the tail (p95) smallest "
+      "by weighing CPU, disk and redirect costs\ntogether.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Quickstart: bring up a simulated 6-node SWEB server, trace one HTTP
+// transaction end-to-end (the paper's Figure 1 + §3.2 lifecycle), then run
+// a small burst and print the summary.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the public API: build a Cluster from a
+// preset, attach a Docbase and a SwebServer with the scheduling policy of
+// your choice, issue client requests, read the metrics.
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "core/server.h"
+#include "fs/docbase.h"
+#include "metrics/table.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+using namespace sweb;
+
+int main() {
+  std::printf("SWEB quickstart: a scalable WWW server on a simulated "
+              "Meiko CS-2\n\n");
+
+  // --- 1. Build the multicomputer ---------------------------------------
+  sim::Simulation sim;
+  util::Rng rng(2026);
+  cluster::Cluster meiko(sim, cluster::meiko_config(6));
+
+  // Campus client populations: 3 MB/s per subnet, 1.5 ms one-way latency.
+  // Several subnets so the burst isn't bottlenecked on a single last-mile
+  // pipe (each link also has its own DNS resolver cache).
+  std::vector<cluster::ClientLinkId> subnets;
+  for (int i = 0; i < 8; ++i) {
+    subnets.push_back(meiko.add_client_link("campus" + std::to_string(i),
+                                            3e6, 1.5e-3));
+  }
+  const cluster::ClientLinkId lan = subnets[0];
+
+  // --- 2. Publish a document base ----------------------------------------
+  // 120 digital-library scenes striped across the six node disks.
+  fs::Docbase docs =
+      fs::make_uniform(120, 1536 * 1024, 6, fs::Placement::kRoundRobin,
+                       nullptr, "/adl");
+
+  // --- 3. Start the server with the multi-faceted scheduler --------------
+  core::SwebServer server(meiko, docs, core::Oracle::builtin(),
+                          core::make_policy("sweb"), core::ServerParams{},
+                          rng);
+  server.start();
+
+  // --- 4. One request, traced (Figure 1) ---------------------------------
+  const std::string path = docs.documents()[7].path;  // owned by node 1
+  const auto id = server.client_request(lan, path);
+  sim.run_until(30.0);
+
+  const metrics::RequestRecord& rec = server.collector().record(id);
+  std::printf("One transaction for %s (%.0f KB, owner node %d):\n",
+              rec.path.c_str(), rec.size_bytes / 1024.0,
+              docs.find(path)->owner);
+  std::printf("  DNS resolution        %8.2f ms  (round-robin rotation)\n",
+              rec.t_dns * 1e3);
+  std::printf("  TCP connect           %8.2f ms\n", rec.t_connect * 1e3);
+  std::printf("  preprocess (parse)    %8.2f ms  on node %d\n",
+              rec.t_preprocess * 1e3, rec.first_node);
+  std::printf("  broker analysis       %8.2f ms  (multi-faceted estimate)\n",
+              rec.t_analysis * 1e3);
+  if (rec.redirected) {
+    std::printf("  302 redirection       %8.2f ms  -> node %d\n",
+                rec.t_redirect * 1e3, rec.final_node);
+  } else {
+    std::printf("  (no redirection: node %d was the best choice)\n",
+                rec.final_node);
+  }
+  std::printf("  disk/NFS fetch        %8.2f ms%s\n", rec.t_data * 1e3,
+              rec.cache_hit      ? "  (page-cache hit)"
+              : rec.remote_read  ? "  (NFS remote read)"
+                                 : "  (local disk)");
+  std::printf("  marshal + transmit    %8.2f ms\n", rec.t_send * 1e3);
+  std::printf("  total response        %8.2f ms, HTTP %d\n\n",
+              rec.response_time() * 1e3, rec.status_code);
+
+  // --- 5. A burst: 16 requests/second for 10 seconds ---------------------
+  for (int second = 0; second < 10; ++second) {
+    for (int i = 0; i < 16; ++i) {
+      const double at = sim.now() + second + i / 16.0;
+      const std::string& target =
+          docs.documents()[rng.index(docs.size())].path;
+      const cluster::ClientLinkId subnet =
+          subnets[rng.index(subnets.size())];
+      sim.schedule_at(at, [&server, subnet, target] {
+        server.client_request(subnet, target);
+      });
+    }
+  }
+  sim.run_until(sim.now() + 120.0);
+
+  const metrics::Summary s = server.collector().summarize();
+  metrics::Table table({"metric", "value"});
+  table.add_row({"requests", std::to_string(s.total)});
+  table.add_row({"completed", std::to_string(s.completed)});
+  table.add_row({"mean response", metrics::fmt(s.mean_response, 3) + " s"});
+  table.add_row({"p95 response", metrics::fmt(s.p95_response, 3) + " s"});
+  table.add_row({"drop rate", metrics::fmt_pct(s.drop_rate())});
+  table.add_row({"redirected", metrics::fmt_pct(s.redirect_rate())});
+  table.add_row({"page-cache hits", std::to_string(s.cache_hits)});
+  std::printf("Burst of 16 rps for 10 s on 6 nodes:\n%s",
+              table.render().c_str());
+  return 0;
+}

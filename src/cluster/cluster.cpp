@@ -1,0 +1,234 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace sweb::cluster {
+
+Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
+    : sim_(sim), config_(std::move(config)), net_(sim) {
+  assert(!config_.nodes.empty());
+  nodes_.reserve(config_.nodes.size());
+  if (config_.network == NetworkKind::kSharedBus) {
+    bus_ = net_.add_resource("ethernet-bus", config_.bus_bytes_per_sec);
+  }
+  for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+    const NodeConfig& nc = config_.nodes[i];
+    NodeState state(nc);
+    const std::string tag = "node" + std::to_string(i);
+    state.cpu = net_.add_resource(tag + ".cpu", nc.cpu_ops_per_sec);
+    state.disk = net_.add_resource(tag + ".disk", nc.disk_bytes_per_sec);
+    if (config_.network == NetworkKind::kPointToPoint) {
+      state.nic = net_.add_resource(tag + ".nic", nc.nic_bytes_per_sec);
+      state.external =
+          net_.add_resource(tag + ".ext", nc.external_bytes_per_sec);
+    }
+    nodes_.push_back(std::move(state));
+  }
+}
+
+const Cluster::NodeState& Cluster::at(int node) const {
+  assert(node >= 0 && node < num_nodes());
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+Cluster::NodeState& Cluster::at(int node) {
+  assert(node >= 0 && node < num_nodes());
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+sim::FlowId Cluster::cpu_burst(int node, CpuUse use, double ops,
+                               std::function<void()> done) {
+  NodeState& n = at(node);
+  n.accounting.ops[static_cast<std::size_t>(use)] += ops;
+  return net_.start_flow({n.cpu}, ops, std::move(done));
+}
+
+sim::FlowId Cluster::read_local(int node, double bytes,
+                                std::function<void()> done) {
+  return net_.start_flow({at(node).disk}, bytes, std::move(done));
+}
+
+sim::FlowId Cluster::read_remote(int owner, int reader, double bytes,
+                                 std::function<void()> done) {
+  const NodeState& o = at(owner);
+  const double cap = o.cfg.disk_bytes_per_sec * (1.0 - config_.nfs_penalty);
+  std::vector<sim::ResourceId> path;
+  if (config_.network == NetworkKind::kSharedBus) {
+    path = {o.disk, bus_};
+  } else {
+    path = {o.disk, o.nic, at(reader).nic};
+  }
+  return net_.start_flow(std::move(path), bytes, std::move(done), cap);
+}
+
+sim::FlowId Cluster::send_external(int node, ClientLinkId link, double bytes,
+                                   std::function<void()> done) {
+  assert(link >= 0 && link < static_cast<int>(links_.size()));
+  const ClientLink& cl = links_[static_cast<std::size_t>(link)];
+  std::vector<sim::ResourceId> path;
+  if (config_.network == NetworkKind::kSharedBus) {
+    path = {bus_, cl.resource};
+  } else {
+    path = {at(node).external, cl.resource};
+  }
+  return net_.start_flow(std::move(path), bytes, std::move(done));
+}
+
+void Cluster::send_internal(int src, int dst, double bytes,
+                            std::function<void()> done) {
+  // One-way propagation latency, then the payload contends like any flow.
+  sim_.schedule_in(config_.internal_latency_s,
+                   [this, src, dst, bytes, done = std::move(done)]() mutable {
+                     std::vector<sim::ResourceId> path;
+                     if (config_.network == NetworkKind::kSharedBus) {
+                       path = {bus_};
+                     } else {
+                       path = {at(src).nic, at(dst).nic};
+                     }
+                     net_.start_flow(std::move(path), bytes, std::move(done));
+                   });
+}
+
+ClientLinkId Cluster::add_client_link(std::string name, double bytes_per_sec,
+                                      double latency_s) {
+  ClientLink link;
+  link.name = std::move(name);
+  link.bandwidth = bytes_per_sec;
+  link.latency = latency_s;
+  link.resource = net_.add_resource("client." + link.name, bytes_per_sec);
+  links_.push_back(std::move(link));
+  return static_cast<ClientLinkId>(links_.size() - 1);
+}
+
+double Cluster::client_latency(ClientLinkId link) const {
+  assert(link >= 0 && link < static_cast<int>(links_.size()));
+  return links_[static_cast<std::size_t>(link)].latency;
+}
+
+double Cluster::client_bandwidth(ClientLinkId link) const {
+  assert(link >= 0 && link < static_cast<int>(links_.size()));
+  return links_[static_cast<std::size_t>(link)].bandwidth;
+}
+
+double Cluster::cpu_run_queue(int node) const {
+  return net_.active_flows(at(node).cpu);
+}
+
+double Cluster::cpu_load_average(int node) const {
+  // One-pole smoothing toward the instantaneous queue, evaluated lazily at
+  // query time (queries are frequent under load: loadd ticks plus every
+  // broker decision). Time constant ~= the loadd period.
+  constexpr double kTau = 3.0;
+  const NodeState& n = at(node);
+  const double now = sim_.now();
+  const double inst = net_.active_flows(n.cpu);
+  const double dt = now - n.load_avg_time;
+  if (dt > 0.0) {
+    const double alpha = std::exp(-dt / kTau);
+    n.load_avg = inst + (n.load_avg - inst) * alpha;
+    n.load_avg_time = now;
+  }
+  return n.load_avg;
+}
+
+double Cluster::cpu_utilization(int node) const {
+  return net_.utilization(at(node).cpu);
+}
+
+int Cluster::disk_queue(int node) const {
+  return net_.active_flows(at(node).disk);
+}
+
+double Cluster::disk_utilization(int node) const {
+  return net_.utilization(at(node).disk);
+}
+
+double Cluster::net_utilization(int node) const {
+  if (config_.network == NetworkKind::kSharedBus) {
+    return net_.utilization(bus_);
+  }
+  return net_.utilization(at(node).nic);
+}
+
+double Cluster::external_utilization(int node) const {
+  if (config_.network == NetworkKind::kSharedBus) {
+    return net_.utilization(bus_);
+  }
+  return net_.utilization(at(node).external);
+}
+
+double Cluster::external_bandwidth(int node) const {
+  if (config_.network == NetworkKind::kSharedBus) {
+    return config_.bus_bytes_per_sec;
+  }
+  return at(node).cfg.external_bytes_per_sec;
+}
+
+void Cluster::reserve_memory(int node, double bytes) {
+  at(node).committed += bytes;
+  update_capacities(node);
+}
+
+void Cluster::release_memory(int node, double bytes) {
+  NodeState& n = at(node);
+  n.committed = std::max(0.0, n.committed - bytes);
+  update_capacities(node);
+}
+
+double Cluster::committed_bytes(int node) const { return at(node).committed; }
+
+double Cluster::memory_pressure(int node) const {
+  const NodeState& n = at(node);
+  return n.committed / static_cast<double>(n.cfg.ram_bytes);
+}
+
+void Cluster::update_capacities(int node) {
+  NodeState& n = at(node);
+  double thrash = 1.0;
+  const double pressure = memory_pressure(node);
+  if (pressure > 1.0) {
+    // Swapping: effective capacity falls as (RAM / committed)^k. Floor at
+    // 5% so a hopelessly overcommitted node still crawls forward.
+    thrash = std::max(0.05, std::pow(1.0 / pressure, config_.thrash_exponent));
+  }
+  if (!n.available) thrash = 0.0;
+  if (thrash == n.thrash) return;
+  n.thrash = thrash;
+  net_.set_capacity(n.cpu, n.cfg.cpu_ops_per_sec * thrash);
+  net_.set_capacity(n.disk, n.cfg.disk_bytes_per_sec * thrash);
+  if (config_.network == NetworkKind::kPointToPoint) {
+    net_.set_capacity(n.nic, n.cfg.nic_bytes_per_sec * (n.available ? 1.0 : 0.0));
+    net_.set_capacity(n.external,
+                      n.cfg.external_bytes_per_sec * (n.available ? 1.0 : 0.0));
+  }
+}
+
+void Cluster::set_available(int node, bool available) {
+  NodeState& n = at(node);
+  if (n.available == available) return;
+  n.available = available;
+  // Force a capacity push even if the thrash factor would compare equal.
+  n.thrash = -1.0;
+  update_capacities(node);
+}
+
+bool Cluster::available(int node) const { return at(node).available; }
+
+fs::PageCache& Cluster::page_cache(int node) { return at(node).cache; }
+
+const fs::PageCache& Cluster::page_cache(int node) const {
+  return at(node).cache;
+}
+
+const CpuAccounting& Cluster::cpu_accounting(int node) const {
+  return at(node).accounting;
+}
+
+double Cluster::cpu_capacity_ops_elapsed(int node) const {
+  return at(node).cfg.cpu_ops_per_sec * sim_.now();
+}
+
+}  // namespace sweb::cluster

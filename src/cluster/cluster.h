@@ -1,0 +1,180 @@
+// The simulated multicomputer: nodes (CPU, disk, RAM, page cache), the
+// internal interconnect (fat-tree or shared Ethernet), external links to
+// client populations, memory-pressure thrashing, and node availability.
+//
+// Everything contended is a FlowNetwork resource, so "the disk transmission
+// performance degrades accordingly" when many requests hit one channel, the
+// NOW's Ethernet saturates as NFS and client traffic pile onto one bus, and
+// CPU time is processor-shared among active bursts — exactly the load
+// phenomena the paper's scheduler observes and exploits.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "fs/page_cache.h"
+#include "sim/flow_network.h"
+#include "sim/simulation.h"
+
+namespace sweb::cluster {
+
+/// CPU accounting categories for the §4.3 overhead study.
+enum class CpuUse {
+  kParse = 0,   // HTTP command parsing / preprocessing
+  kSchedule,    // broker cost estimation (SWEB-introduced)
+  kRedirect,    // generating a 302 (SWEB-introduced)
+  kFulfill,     // fork + read + marshal: normal httpd work
+  kLoadd,       // load monitoring & broadcast (SWEB-introduced)
+  kOther,
+};
+inline constexpr std::size_t kCpuUseCount = 6;
+
+struct CpuAccounting {
+  std::array<double, kCpuUseCount> ops{};
+
+  [[nodiscard]] double total() const noexcept {
+    double t = 0.0;
+    for (double v : ops) t += v;
+    return t;
+  }
+  [[nodiscard]] double of(CpuUse use) const noexcept {
+    return ops[static_cast<std::size_t>(use)];
+  }
+};
+
+/// Handle for a client population's Internet link.
+using ClientLinkId = int;
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation& sim, ClusterConfig config);
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] const sim::Simulation& sim() const noexcept { return sim_; }
+  [[nodiscard]] sim::FlowNetwork& network() noexcept { return net_; }
+
+  // ------------------------------------------------------------- flows ----
+  /// Runs `ops` CPU operations on `node` (processor-shared), accounted to
+  /// `use`; `done` fires at completion.
+  sim::FlowId cpu_burst(int node, CpuUse use, double ops,
+                        std::function<void()> done);
+
+  /// Streams `bytes` off `node`'s local disk.
+  sim::FlowId read_local(int node, double bytes, std::function<void()> done);
+
+  /// NFS read: `reader` pulls `bytes` from `owner`'s disk across the
+  /// interconnect, rate-capped by the NFS penalty (b2 < b1).
+  sim::FlowId read_remote(int owner, int reader, double bytes,
+                          std::function<void()> done);
+
+  /// Sends `bytes` from `node` to a client over `link` (external NIC or the
+  /// shared bus, plus the client's own Internet link).
+  sim::FlowId send_external(int node, ClientLinkId link, double bytes,
+                            std::function<void()> done);
+
+  /// Internal node-to-node message (loadd broadcasts): one-way latency plus
+  /// a real flow so broadcast bytes contend on the bus/NICs.
+  void send_internal(int src, int dst, double bytes,
+                     std::function<void()> done);
+
+  // ------------------------------------------------------ client links ----
+  /// Registers a client population: `bytes_per_sec` line rate, one-way
+  /// `latency_s` to the server site.
+  ClientLinkId add_client_link(std::string name, double bytes_per_sec,
+                               double latency_s);
+  [[nodiscard]] double client_latency(ClientLinkId link) const;
+  [[nodiscard]] double client_bandwidth(ClientLinkId link) const;
+
+  // -------------------------------------------- live load observation ----
+  /// Run-queue length: CPU bursts in progress right now.
+  [[nodiscard]] double cpu_run_queue(int node) const;
+  /// Exponentially damped run queue (the UNIX load-average figure loadd
+  /// reports and the broker compares — instantaneous queues are too spiky:
+  /// a node always looks busiest at the instant it inspects itself).
+  [[nodiscard]] double cpu_load_average(int node) const;
+  [[nodiscard]] double cpu_utilization(int node) const;
+  /// Disk channel queue: concurrent transfers touching the node's disk.
+  [[nodiscard]] int disk_queue(int node) const;
+  [[nodiscard]] double disk_utilization(int node) const;
+  /// Internal-network utilization at the node (its NIC, or the shared bus).
+  [[nodiscard]] double net_utilization(int node) const;
+  /// Utilization of the node's path to clients (external NIC; on a shared
+  /// bus the bus itself) and its raw capacity.
+  [[nodiscard]] double external_utilization(int node) const;
+  [[nodiscard]] double external_bandwidth(int node) const;
+
+  // ------------------------------------------------------ memory model ----
+  void reserve_memory(int node, double bytes);
+  void release_memory(int node, double bytes);
+  [[nodiscard]] double committed_bytes(int node) const;
+  /// committed / RAM; > 1 means the node is swapping.
+  [[nodiscard]] double memory_pressure(int node) const;
+
+  // ------------------------------------------------------- availability ----
+  /// Nodes "can leave and join the system resource pool at any time". An
+  /// unavailable node's resources drop to zero capacity: in-flight work
+  /// stalls, which is what a crashed/claimed workstation does to clients.
+  void set_available(int node, bool available);
+  [[nodiscard]] bool available(int node) const;
+
+  // --------------------------------------------------------- page cache ----
+  [[nodiscard]] fs::PageCache& page_cache(int node);
+  [[nodiscard]] const fs::PageCache& page_cache(int node) const;
+
+  // ---------------------------------------------------------- accounting ----
+  [[nodiscard]] const CpuAccounting& cpu_accounting(int node) const;
+  /// ops the node could have executed since t=0 — denominator for §4.3.
+  [[nodiscard]] double cpu_capacity_ops_elapsed(int node) const;
+
+ private:
+  struct NodeState {
+    NodeConfig cfg;
+    sim::ResourceId cpu = 0;
+    sim::ResourceId disk = 0;
+    sim::ResourceId nic = 0;       // internal link (point-to-point only)
+    sim::ResourceId external = 0;  // Internet-facing NIC (point-to-point only)
+    fs::PageCache cache;
+    double committed = 0.0;
+    double thrash = 1.0;  // current capacity multiplier (<= 1)
+    bool available = true;
+    CpuAccounting accounting;
+    // Lazily-updated load average (decays toward the instantaneous queue).
+    mutable double load_avg = 0.0;
+    mutable double load_avg_time = 0.0;
+
+    explicit NodeState(const NodeConfig& c)
+        : cfg(c),
+          cache(static_cast<std::uint64_t>(
+              static_cast<double>(c.ram_bytes) * c.cache_fraction)) {}
+  };
+  struct ClientLink {
+    std::string name;
+    sim::ResourceId resource = 0;
+    double bandwidth = 0.0;
+    double latency = 0.0;
+  };
+
+  /// Recomputes the node's thrash factor from memory pressure and pushes
+  /// the scaled capacities into the flow network.
+  void update_capacities(int node);
+  [[nodiscard]] const NodeState& at(int node) const;
+  [[nodiscard]] NodeState& at(int node);
+
+  sim::Simulation& sim_;
+  ClusterConfig config_;
+  sim::FlowNetwork net_;
+  std::vector<NodeState> nodes_;
+  sim::ResourceId bus_ = 0;  // kSharedBus only
+  std::vector<ClientLink> links_;
+};
+
+}  // namespace sweb::cluster

@@ -1,0 +1,97 @@
+#include "cluster/config.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sweb::cluster {
+
+ClusterConfig meiko_config(int p) {
+  ClusterConfig cfg;
+  cfg.name = "Meiko CS-2";
+  cfg.network = NetworkKind::kPointToPoint;
+  cfg.nfs_penalty = 0.10;          // b2 = 4.5 MB/s vs b1 = 5 MB/s
+  cfg.internal_latency_s = 0.3e-3; // Elan fat-tree, sockets stack on top
+  NodeConfig node;
+  node.cpu_ops_per_sec = 40e6;     // 40 MHz SuperSparc
+  node.ram_bytes = 32ull * 1024 * 1024;
+  node.disk_bytes_per_sec = 5.0e6;
+  node.nic_bytes_per_sec = 6.0e6;  // ~15% of the 40 MB/s peak via TCP/IP
+  node.external_bytes_per_sec = 10.0e6;
+  node.max_connections = 64;
+  node.listen_backlog = 128;
+  cfg.nodes.assign(static_cast<std::size_t>(p), node);
+  return cfg;
+}
+
+ClusterConfig now_config(int p) {
+  ClusterConfig cfg;
+  cfg.name = "NOW (SparcStation LX / Ethernet)";
+  cfg.network = NetworkKind::kSharedBus;
+  cfg.bus_bytes_per_sec = 1.0e6;   // shared 10 Mb/s Ethernet, foreign load
+  cfg.nfs_penalty = 0.375;         // 50-70% extra remote cost => ~1/1.6 rate
+  cfg.internal_latency_s = 1.0e-3;
+  // The NOW's Ethernet is saturated by design in the paper's 1.5 MB tests;
+  // clients there waited out long drains, so give them a patient timeout.
+  cfg.request_timeout_s = 120.0;
+  NodeConfig node;
+  node.cpu_ops_per_sec = 30e6;     // LX microSPARC is slower than the CS-2 node
+  node.ram_bytes = 16ull * 1024 * 1024;
+  node.disk_bytes_per_sec = 2.5e6; // small 525 MB drive
+  node.nic_bytes_per_sec = 0.8e6;  // irrelevant: bus dominates
+  node.external_bytes_per_sec = 1.0e6;
+  node.max_connections = 24;
+  node.listen_backlog = 64;
+  cfg.nodes.assign(static_cast<std::size_t>(p), node);
+  return cfg;
+}
+
+ClusterConfig cluster_from_config(const util::Config& cfg) {
+  ClusterConfig out;
+  const util::ConfigSection& c = cfg.section("cluster");
+  out.name = c.get_string_or("name", "cluster");
+  const std::string network = c.get_string_or("network", "fat-tree");
+  if (network == "fat-tree" || network == "point-to-point") {
+    out.network = NetworkKind::kPointToPoint;
+  } else if (network == "ethernet" || network == "shared-bus") {
+    out.network = NetworkKind::kSharedBus;
+  } else {
+    throw util::ConfigError("unknown network kind: " + network);
+  }
+  out.bus_bytes_per_sec =
+      c.get_double_or("bus_mbps", out.bus_bytes_per_sec / 1e6) * 1e6;
+  out.nfs_penalty = c.get_double_or("nfs_penalty", out.nfs_penalty);
+  out.internal_latency_s =
+      c.get_double_or("internal_latency_ms", out.internal_latency_s * 1e3) / 1e3;
+  out.request_timeout_s =
+      c.get_double_or("request_timeout_s", out.request_timeout_s);
+  out.request_rss_bytes =
+      c.get_double_or("request_rss_kb", out.request_rss_bytes / 1024) * 1024;
+  out.io_buffer_bytes =
+      c.get_double_or("io_buffer_kb", out.io_buffer_bytes / 1024) * 1024;
+  out.thrash_exponent = c.get_double_or("thrash_exponent", out.thrash_exponent);
+
+  for (const util::ConfigSection* n : cfg.sections("node")) {
+    NodeConfig node;
+    node.cpu_ops_per_sec = n->get_double_or("cpu_mops", 40.0) * 1e6;
+    node.ram_bytes = static_cast<std::uint64_t>(
+        n->get_double_or("ram_mb", 32.0) * 1024 * 1024);
+    node.cache_fraction = n->get_double_or("cache_fraction", 0.70);
+    node.disk_bytes_per_sec = n->get_double_or("disk_mbps", 5.0) * 1e6;
+    node.nic_bytes_per_sec = n->get_double_or("nic_mbps", 6.0) * 1e6;
+    node.external_bytes_per_sec = n->get_double_or("external_mbps", 10.0) * 1e6;
+    node.max_connections =
+        static_cast<int>(n->get_int_or("max_connections", 32));
+    node.listen_backlog =
+        static_cast<int>(n->get_int_or("listen_backlog", 128));
+    const auto count = n->get_int_or("count", 1);
+    if (count < 1) throw util::ConfigError("node count must be >= 1");
+    for (std::int64_t i = 0; i < count; ++i) out.nodes.push_back(node);
+  }
+  if (out.nodes.empty()) {
+    throw util::ConfigError("cluster config declares no [node] sections");
+  }
+  return out;
+}
+
+}  // namespace sweb::cluster

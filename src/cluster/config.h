@@ -1,0 +1,99 @@
+// Cluster hardware description and the paper's two testbed presets.
+//
+// Calibration anchors from the paper:
+//  * Meiko CS-2: 40 MHz SuperSparc (≈40 MIPS scalar), 32 MB RAM, dedicated
+//    1 GB local disks, fat-tree peak 40 MB/s — but "we were only able to
+//    achieve approximately 5-15% of the peak communication performance"
+//    through the sockets stack, and NFS remote access pays "approximately a
+//    10% penalty": b1 = 5 MB/s local disk, b2 = 4.5 MB/s remote (§3.3).
+//  * NOW: 4 SparcStation LX, 16 MB RAM, 525 MB local disks, shared 10 Mb/s
+//    Ethernet whose effective bandwidth "is low since it is shared by other
+//    UCSB machines"; remote NFS costs 50-70% extra.
+//  * Table 5: preprocessing ≈70 ms (loaded), request analysis 1-4 ms,
+//    redirection generation ≈4 ms on the 40 MHz node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/config.h"
+
+namespace sweb::cluster {
+
+/// How the nodes talk to each other (and, on the NOW, to clients).
+enum class NetworkKind {
+  kPointToPoint,  // Meiko fat-tree: contention only at the endpoints
+  kSharedBus,     // Ethernet: every internal/external byte crosses one bus
+};
+
+struct NodeConfig {
+  /// CPU speed in abstract operations per second (≈ instructions/s).
+  double cpu_ops_per_sec = 40e6;
+  /// Physical memory; bounds the page cache and drives thrashing.
+  std::uint64_t ram_bytes = 32ull * 1024 * 1024;
+  /// Fraction of RAM the OS buffer cache can use for file pages.
+  double cache_fraction = 0.70;
+  /// Local disk streaming bandwidth (paper: b1 = 5 MB/s on the Meiko).
+  double disk_bytes_per_sec = 5.0e6;
+  /// Effective internal-network bandwidth through the sockets stack
+  /// (point-to-point networks only; ignored for kSharedBus).
+  double nic_bytes_per_sec = 6.0e6;
+  /// External (Internet-facing) bandwidth of this node.
+  double external_bytes_per_sec = 4.0e6;
+  /// Simultaneous in-service connections (forked handlers).
+  int max_connections = 32;
+  /// Accepted-but-waiting connections (the kernel listen queue); arrivals
+  /// beyond max_connections wait here, and only a full backlog refuses.
+  int listen_backlog = 128;
+};
+
+struct ClusterConfig {
+  std::string name = "cluster";
+  std::vector<NodeConfig> nodes;
+  NetworkKind network = NetworkKind::kPointToPoint;
+
+  /// Shared-bus capacity after subtracting foreign campus traffic
+  /// (kSharedBus only). 10 Mb/s Ethernet at ~65% goodput shared with other
+  /// machines leaves roughly 0.8 MB/s for the NOW.
+  double bus_bytes_per_sec = 0.8e6;
+
+  /// Remote (NFS) read penalty: a remote read's rate is capped at
+  /// disk_bw * (1 - nfs_penalty) before network contention applies.
+  /// Meiko: 0.10; NOW: ~0.375 (the 50-70% extra cost ≈ 1/1.6 rate).
+  double nfs_penalty = 0.10;
+
+  /// One-way internal message latency (loadd broadcasts, NFS RPC setup).
+  double internal_latency_s = 0.5e-3;
+
+  /// A client abandons a request after this long (the paper's single-server
+  /// NOW test "timed out after no responses were received").
+  double request_timeout_s = 60.0;
+
+  // ---- memory model (drives the superlinear-speedup effect) ----
+  /// Resident footprint of one in-flight request (forked httpd child).
+  double request_rss_bytes = 384.0 * 1024;
+  /// Extra I/O buffering per request, capped at the file size.
+  double io_buffer_bytes = 128.0 * 1024;
+  /// When committed memory exceeds RAM, CPU and disk capacity scale by
+  /// (ram / committed)^thrash_exponent — the swapping collapse.
+  double thrash_exponent = 1.0;
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(nodes.size());
+  }
+};
+
+/// The Meiko CS-2 testbed with `p` nodes (the paper mainly uses 6).
+[[nodiscard]] ClusterConfig meiko_config(int p = 6);
+
+/// The NOW testbed with `p` SparcStation LXs (the paper uses 4).
+[[nodiscard]] ClusterConfig now_config(int p = 4);
+
+/// Loads a cluster description from an INI config:
+///   [cluster] name=..., network=fat-tree|ethernet, ...
+///   [node] cpu_mops=40 ram_mb=32 disk_mbps=5 ...   (one block per node,
+///   or a single block with count=N for homogeneous clusters)
+[[nodiscard]] ClusterConfig cluster_from_config(const util::Config& cfg);
+
+}  // namespace sweb::cluster

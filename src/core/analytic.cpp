@@ -1,0 +1,27 @@
+#include "core/analytic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sweb::core {
+
+double analytic_per_node_rps(const AnalyticParams& q) {
+  assert(q.p >= 1 && q.F > 0.0 && q.b1 > 0.0 && q.b2 > 0.0);
+  assert(q.d >= 0.0 && q.d <= 1.0);
+  const double inv_p = 1.0 / static_cast<double>(q.p);
+  // Fraction served from the local disk: the 1/p of requests that land on
+  // the owner by chance, plus the fraction d that scheduling moves there.
+  const double local_frac = std::min(1.0, inv_p + q.d);
+  const double remote_frac = std::max(0.0, 1.0 - inv_p - q.d);
+  const double per_request =
+      local_frac * q.F / q.b1 +
+      remote_frac * q.F / std::min(q.b1, q.b2) +
+      q.A + q.d * (q.A + q.O);
+  return per_request > 0.0 ? 1.0 / per_request : 0.0;
+}
+
+double analytic_max_rps(const AnalyticParams& q) {
+  return static_cast<double>(q.p) * analytic_per_node_rps(q);
+}
+
+}  // namespace sweb::core

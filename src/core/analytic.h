@@ -1,0 +1,34 @@
+// The §3.3 performance analysis: the maximum sustained requests/second
+// achievable by the SWEB schema.
+//
+// With p nodes, average file size F, local disk bandwidth b1, remote (NFS)
+// bandwidth b2, redirection probability d, preprocessing overhead A,
+// redirection overhead O, the paper bounds the sustained per-node rate r by
+//
+//   r <= 1 / [ (1/p + d) F/b1  +  (1 - 1/p - d) F/min(b1,b2)
+//              + A + d(A + O) ]
+//
+// and the cluster sustains p*r requests per second. The paper's worked
+// example: b1 = 5 MB/s, b2 = 4.5 MB/s, O ~ 0, p = 6, r = 2.88 => 17.3 rps
+// for 6 nodes (17.8 with their full analysis), close to the measured 16.
+#pragma once
+
+namespace sweb::core {
+
+struct AnalyticParams {
+  int p = 6;             // number of nodes
+  double F = 1.5e6;      // average requested file size (bytes)
+  double b1 = 5.0e6;     // local disk bandwidth (bytes/s)
+  double b2 = 4.5e6;     // remote (NFS) bandwidth (bytes/s)
+  double d = 0.0;        // average redirection probability
+  double A = 0.02;       // per-request preprocessing overhead (s)
+  double O = 0.0;        // per-redirection overhead (s)
+};
+
+/// Sustained per-node requests/second bound (r in the formula).
+[[nodiscard]] double analytic_per_node_rps(const AnalyticParams& params);
+
+/// Cluster-wide sustained bound: p * r.
+[[nodiscard]] double analytic_max_rps(const AnalyticParams& params);
+
+}  // namespace sweb::core

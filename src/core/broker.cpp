@@ -1,0 +1,113 @@
+#include "core/broker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace sweb::core {
+
+LoadVector Broker::load_of(int node, int self, const LoadBoard& board) const {
+  if (node == self) {
+    // A node knows its own load directly — but compares load *averages*
+    // against its peers' broadcast averages, not the instantaneous queue
+    // (which is spiky and always sampled at a busy moment).
+    LoadVector v;
+    v.cpu_run_queue = cluster_.cpu_load_average(node);
+    v.cpu_utilization = cluster_.cpu_utilization(node);
+    v.disk_queue = cluster_.disk_queue(node);
+    v.disk_utilization = cluster_.disk_utilization(node);
+    v.net_utilization = cluster_.net_utilization(node);
+    v.ext_utilization = cluster_.external_utilization(node);
+    return v;
+  }
+  return board.view(node);
+}
+
+CostEstimate Broker::estimate(const RequestFacts& facts, int self,
+                              int candidate, const LoadBoard& board) const {
+  assert(candidate >= 0 && candidate < cluster_.num_nodes());
+  const cluster::ClusterConfig& cfg = cluster_.config();
+  const cluster::NodeConfig& cand_cfg =
+      cfg.nodes[static_cast<std::size_t>(candidate)];
+  CostEstimate est;
+  est.node = candidate;
+
+  // t_redirection: two client round-trip legs plus connection setup; zero
+  // "if the task is already local to the target server".
+  if (params_.use_redirection_term && candidate != self) {
+    est.t_redirection =
+        2.0 * facts.client_latency_s + params_.connect_time_s;
+  }
+
+  const bool cached_at_candidate =
+      params_.cache_aware && !facts.path.empty() &&
+      cluster_.page_cache(candidate).contains(facts.path);
+  if (params_.use_data_term && facts.size_bytes > 0.0 &&
+      !cached_at_candidate) {
+    const int owner = facts.owner;
+    const LoadVector owner_load = load_of(owner, self, board);
+    const cluster::NodeConfig& owner_cfg =
+        cfg.nodes[static_cast<std::size_t>(owner)];
+    // Disk bandwidth degrades with channel load: b / (1 + queue).
+    const double b_disk = owner_cfg.disk_bytes_per_sec /
+                          (1.0 + static_cast<double>(owner_load.disk_queue));
+    if (owner == candidate) {
+      est.t_data = facts.size_bytes / b_disk;
+    } else {
+      // Remote fetch: NFS-penalized disk vs the candidate's view of the
+      // internal network, whichever is tighter.
+      const LoadVector cand_load = load_of(candidate, self, board);
+      const double nfs_disk = b_disk * (1.0 - cfg.nfs_penalty);
+      const double raw_net =
+          cfg.network == cluster::NetworkKind::kSharedBus
+              ? cfg.bus_bytes_per_sec
+              : cand_cfg.nic_bytes_per_sec;
+      const double b_net =
+          raw_net * std::max(0.05, 1.0 - cand_load.net_utilization);
+      est.t_data = facts.size_bytes / std::min(nfs_disk, b_net);
+    }
+  }
+
+  if (params_.use_cpu_term) {
+    const LoadVector cand_load = load_of(candidate, self, board);
+    const double ops = facts.cpu_ops + params_.fork_ops;
+    est.t_cpu = ops * std::max(1.0, cand_load.cpu_run_queue) /
+                cand_cfg.cpu_ops_per_sec;
+  }
+
+  if (params_.use_net_term && facts.size_bytes > 0.0) {
+    // "#bytes required / net bandwidth" with the candidate's current
+    // external-link headroom — the term the paper defined but skipped.
+    const LoadVector cand_load = load_of(candidate, self, board);
+    const double headroom =
+        cluster_.external_bandwidth(candidate) *
+        std::max(0.05, 1.0 - cand_load.ext_utilization);
+    est.t_net = facts.size_bytes / headroom;
+  }
+  return est;
+}
+
+int Broker::choose(const RequestFacts& facts, int self, const LoadBoard& board,
+                   CostEstimate* chosen) const {
+  const double now = cluster_.sim().now();
+  int best = self;
+  double best_total = std::numeric_limits<double>::infinity();
+  CostEstimate best_est;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    if (n != self && !board.responsive(n, now)) continue;
+    const CostEstimate est = estimate(facts, self, n, board);
+    const double total = est.total();
+    // Strict improvement required to leave `self`: ties stay local.
+    const bool better =
+        total < best_total - 1e-12 || (n == self && total <= best_total);
+    if (better) {
+      best = n;
+      best_total = total;
+      best_est = est;
+    }
+  }
+  if (chosen != nullptr) *chosen = best_est;
+  return best;
+}
+
+}  // namespace sweb::core

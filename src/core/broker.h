@@ -1,0 +1,102 @@
+// The broker: SWEB's multi-faceted cost model.
+//
+// For a request r arriving at node x, the broker estimates the completion
+// time on every available server node using the paper's formula
+//
+//     t_s = t_redirection + t_data + t_CPU + t_net
+//
+//  * t_redirection = 2 * t_client_server_latency + t_connect for a remote
+//    choice, 0 for the local node;
+//  * t_data = size / b_disk(owner, load) if the file is local to the
+//    candidate, otherwise size / min(b_disk(owner, load), b_net(cand, load));
+//  * t_CPU = ops * CPU_load / CPU_speed (ops from the oracle + fork cost);
+//  * t_net is identical across candidates ("we assume all processors will
+//    have basically the same cost for this term, so it is not estimated").
+//
+// Load figures come from the caller's LoadBoard — stale broadcast data plus
+// Δ-inflation — except for the local node, whose live values are sampled.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "core/load.h"
+#include "core/oracle.h"
+#include "fs/docbase.h"
+
+namespace sweb::core {
+
+/// What the broker needs to know about one request.
+struct RequestFacts {
+  double size_bytes = 0.0;        // response payload
+  fs::NodeId owner = 0;           // node owning the file's disk
+  double cpu_ops = 0.0;           // oracle estimate (fulfillment)
+  double client_latency_s = 0.0;  // one-way latency to the client
+  std::string path;               // canonical document path (cache probes)
+};
+
+/// Per-candidate cost estimate, broken into the paper's terms.
+struct CostEstimate {
+  int node = -1;
+  double t_redirection = 0.0;
+  double t_data = 0.0;
+  double t_cpu = 0.0;
+  double t_net = 0.0;  // zero unless BrokerParams::use_net_term
+  [[nodiscard]] double total() const noexcept {
+    return t_redirection + t_data + t_cpu + t_net;
+  }
+};
+
+struct BrokerParams {
+  double connect_time_s = 2e-3;  // TCP setup on 1996 stacks
+  double fork_ops = 4e5;         // "the time to fork a process"
+  // Ablation switches: a term turned off contributes 0 to the estimate.
+  bool use_redirection_term = true;
+  bool use_data_term = true;
+  bool use_cpu_term = true;
+  /// Extension beyond the paper (the cooperative-caching follow-up work):
+  /// when a candidate's page cache already holds the document, its t_data
+  /// is zero. The 1996 SWEB broker was cache-blind.
+  bool cache_aware = false;
+  /// The t_net term the paper defines (#bytes / net bandwidth) but then
+  /// skips ("we assume all processors will have basically the same cost
+  /// for this term, so it is not estimated"). Estimating it per candidate
+  /// — from the external link's utilization — lets the broker see a
+  /// saturated sender, fixing the skewed-test blind spot.
+  bool use_net_term = false;
+};
+
+class Broker {
+ public:
+  Broker(const cluster::Cluster& cluster, BrokerParams params)
+      : cluster_(cluster), params_(params) {}
+
+  /// Cost of serving `facts` on `candidate`, judged from `self` with its
+  /// board. Live loads are used for self, board views for peers.
+  [[nodiscard]] CostEstimate estimate(const RequestFacts& facts, int self,
+                                      int candidate,
+                                      const LoadBoard& board) const;
+
+  /// Minimum-estimated-time candidate among responsive nodes; ties prefer
+  /// `self` (no pointless redirect). Always returns a valid node (falls
+  /// back to `self` when every peer looks unresponsive).
+  [[nodiscard]] int choose(const RequestFacts& facts, int self,
+                           const LoadBoard& board,
+                           CostEstimate* chosen = nullptr) const;
+
+  [[nodiscard]] const BrokerParams& params() const noexcept { return params_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+
+ private:
+  /// Board view for peers, live sample for self.
+  [[nodiscard]] LoadVector load_of(int node, int self,
+                                   const LoadBoard& board) const;
+
+  const cluster::Cluster& cluster_;
+  BrokerParams params_;
+};
+
+}  // namespace sweb::core

@@ -1,0 +1,74 @@
+#include "core/oracle.h"
+
+#include "http/url.h"
+#include "util/strings.h"
+
+namespace sweb::core {
+
+Oracle Oracle::builtin() {
+  Oracle o;
+  // Calibrated against a 40 MHz (~40 MIPS) SuperSparc node: 0.4e6 fixed ops
+  // ≈ 10 ms unloaded stat+headers; 0.5 ops/byte ≈ TCP marshalling cost.
+  o.classes_ = {
+      OracleClass{"html", {"html", "htm", "txt", "css"}, 4e5, 0.5, false},
+      OracleClass{"image", {"gif", "jpg", "jpeg", "png", "xbm"}, 4e5, 0.5,
+                  false},
+      OracleClass{"scene", {"tiff", "tif", "ps", "pdf", "mpg", "mpeg"}, 6e5,
+                  0.5, false},
+      // A spatial-index CGI query costs real computation before any bytes
+      // move: ~50 ms on the 40 MIPS node.
+      OracleClass{"cgi", {"cgi", "pl", "sh"}, 2e6, 1.0, true},
+  };
+  return o;
+}
+
+Oracle Oracle::from_config(const util::Config& cfg) {
+  Oracle o;
+  if (cfg.has_section("oracle")) {
+    const util::ConfigSection& d = cfg.section("oracle");
+    o.default_class_.fixed_ops =
+        d.get_double_or("default_fixed_ops", o.default_class_.fixed_ops);
+    o.default_class_.per_byte_ops =
+        d.get_double_or("default_per_byte_ops", o.default_class_.per_byte_ops);
+  }
+  for (const util::ConfigSection& s : cfg.all()) {
+    constexpr std::string_view kPrefix = "oracle.class.";
+    // Section names arrive as `oracle.class.<name>` (git-config style
+    // [oracle.class "<name>"] folds to that) or plain `oracle.class.<name>`.
+    if (!s.name().starts_with(kPrefix)) continue;
+    OracleClass cls;
+    cls.name = s.name().substr(kPrefix.size());
+    // Bind the value first: split_nonempty returns views into its input.
+    const std::string extensions = s.get_string_or("extensions", "");
+    for (std::string_view ext : util::split_nonempty(extensions, ',')) {
+      cls.extensions.push_back(util::to_lower(ext));
+    }
+    cls.fixed_ops = s.get_double_or("fixed_ops", 4e5);
+    cls.per_byte_ops = s.get_double_or("per_byte_ops", 0.5);
+    cls.is_cgi = s.get_bool_or("is_cgi", false);
+    o.classes_.push_back(std::move(cls));
+  }
+  return o;
+}
+
+const OracleClass& Oracle::classify(std::string_view path) const {
+  const std::string ext = http::path_extension(path);
+  for (const OracleClass& cls : classes_) {
+    for (const std::string& e : cls.extensions) {
+      if (e == ext) return cls;
+    }
+  }
+  return default_class_;
+}
+
+OracleEstimate Oracle::estimate(std::string_view path,
+                                double size_bytes) const {
+  const OracleClass& cls = classify(path);
+  OracleEstimate est;
+  est.cls = &cls;
+  est.is_cgi = cls.is_cgi;
+  est.cpu_ops = cls.fixed_ops + cls.per_byte_ops * size_bytes;
+  return est;
+}
+
+}  // namespace sweb::core

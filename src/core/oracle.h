@@ -1,0 +1,64 @@
+// The oracle: SWEB's request-characterization expert system.
+//
+// "The oracle is a miniature expert system, which uses a user-supplied table
+// to characterize the CPU and disk demands for a particular task." Requests
+// are classified by document type (file extension) into classes with fixed
+// and per-byte CPU operation counts; CGI classes add execution cost. The
+// table is user-supplied via the same INI format the paper's configuration
+// files use, with a built-in default calibrated to the Meiko measurements
+// (Table 5: preprocessing ≈70 ms loaded, analysis 1-4 ms, redirection 4 ms).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/config.h"
+
+namespace sweb::core {
+
+struct OracleClass {
+  std::string name;
+  std::vector<std::string> extensions;  // lower-case, no dot
+  double fixed_ops = 0.0;               // CPU ops independent of size
+  double per_byte_ops = 0.0;            // CPU ops per response byte
+  bool is_cgi = false;                  // executes a program
+};
+
+struct OracleEstimate {
+  double cpu_ops = 0.0;  // total estimated CPU demand for fulfillment
+  bool is_cgi = false;
+  const OracleClass* cls = nullptr;  // matched class (never null)
+};
+
+class Oracle {
+ public:
+  /// The built-in table: html/text, images, large scene images, and CGI.
+  [[nodiscard]] static Oracle builtin();
+
+  /// Parses `[oracle.class "<name>"]` sections:
+  ///   extensions = gif,jpg   fixed_ops = 8e5   per_byte_ops = 0.5
+  ///   is_cgi = false
+  /// plus an optional `[oracle]` section with default_fixed_ops /
+  /// default_per_byte_ops for unmatched extensions.
+  [[nodiscard]] static Oracle from_config(const util::Config& cfg);
+
+  /// Estimates the CPU demand of serving `path` with `size_bytes` of
+  /// response payload.
+  [[nodiscard]] OracleEstimate estimate(std::string_view path,
+                                        double size_bytes) const;
+
+  /// The class an extension maps to (the default class if unmatched).
+  [[nodiscard]] const OracleClass& classify(std::string_view path) const;
+
+  [[nodiscard]] const std::vector<OracleClass>& classes() const noexcept {
+    return classes_;
+  }
+
+ private:
+  std::vector<OracleClass> classes_;
+  OracleClass default_class_{"default", {}, 4e5, 0.5, false};
+};
+
+}  // namespace sweb::core

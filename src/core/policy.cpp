@@ -1,0 +1,42 @@
+#include "core/policy.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sweb::core {
+
+int CpuOnlyPolicy::choose(const RequestFacts& facts, int self,
+                          const LoadBoard& board,
+                          const Broker& broker) const {
+  (void)facts;
+  const double now = broker.cluster().sim().now();
+  int best = self;
+  double best_load = std::numeric_limits<double>::infinity();
+  for (int n = 0; n < board.num_nodes(); ++n) {
+    // Self is always a candidate (live knowledge); peers must be responsive.
+    if (n != self && !board.responsive(n, now)) continue;
+    const double load = n == self ? broker.cluster().cpu_load_average(n)
+                                  : board.view(n).cpu_run_queue;
+    if (load < best_load - 1e-12 || (n == self && load <= best_load)) {
+      best = n;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(std::string_view name) {
+  if (name == "sweb") return std::make_unique<SwebPolicy>();
+  if (name == "round-robin" || name == "rr") {
+    return std::make_unique<RoundRobinPolicy>();
+  }
+  if (name == "file-locality" || name == "locality") {
+    return std::make_unique<FileLocalityPolicy>();
+  }
+  if (name == "cpu-only") return std::make_unique<CpuOnlyPolicy>();
+  throw std::invalid_argument("unknown scheduling policy: " +
+                              std::string(name));
+}
+
+}  // namespace sweb::core

@@ -1,0 +1,102 @@
+// Scheduling policies: SWEB's multi-faceted strategy and the baselines the
+// paper compares against in §4.2.
+//
+//  * RoundRobin — "the NCSA approach that uniformly distributes requests to
+//    nodes": the DNS rotation already spread the requests; the node that
+//    received a request simply serves it.
+//  * FileLocality — "purely exploit the file locality by assigning requests
+//    to the nodes that own the requested files".
+//  * CpuOnly — a classic single-faceted load balancer (least CPU load),
+//    representing the prior work the paper contrasts with.
+//  * Sweb — the multi-faceted broker minimizing estimated completion time.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/broker.h"
+
+namespace sweb::core {
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// The node that should fulfill the request, decided on node `self`.
+  [[nodiscard]] virtual int choose(const RequestFacts& facts, int self,
+                                   const LoadBoard& board,
+                                   const Broker& broker) const = 0;
+
+  /// CPU operations the decision itself costs (SWEB's 1-4 ms analysis;
+  /// round-robin decides for free).
+  [[nodiscard]] virtual double analysis_ops(int num_candidates) const noexcept {
+    (void)num_candidates;
+    return 0.0;
+  }
+};
+
+/// Serve where DNS sent it.
+class RoundRobinPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "round-robin";
+  }
+  [[nodiscard]] int choose(const RequestFacts&, int self, const LoadBoard&,
+                           const Broker&) const override {
+    return self;
+  }
+};
+
+/// Always serve on the file's owner node.
+class FileLocalityPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "file-locality";
+  }
+  [[nodiscard]] int choose(const RequestFacts& facts, int /*self*/,
+                           const LoadBoard&, const Broker&) const override {
+    return facts.owner;
+  }
+  [[nodiscard]] double analysis_ops(int) const noexcept override {
+    return 1e4;  // a pathname-to-owner lookup
+  }
+};
+
+/// Single-faceted: least (inflated) CPU run queue among responsive nodes.
+class CpuOnlyPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cpu-only";
+  }
+  [[nodiscard]] int choose(const RequestFacts& facts, int self,
+                           const LoadBoard& board,
+                           const Broker& broker) const override;
+  [[nodiscard]] double analysis_ops(int num_candidates) const noexcept override {
+    return 2e4 + 4e3 * num_candidates;
+  }
+};
+
+/// The paper's contribution: minimize t_redirection + t_data + t_CPU.
+class SwebPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sweb";
+  }
+  [[nodiscard]] int choose(const RequestFacts& facts, int self,
+                           const LoadBoard& board,
+                           const Broker& broker) const override {
+    return broker.choose(facts, self, board);
+  }
+  [[nodiscard]] double analysis_ops(int num_candidates) const noexcept override {
+    // Table 5: "1 or 4 msec" on the 40 MIPS node; grows with the pool.
+    return 4e4 + 1e4 * num_candidates;
+  }
+};
+
+/// Factory by name ("sweb", "round-robin", "file-locality", "cpu-only").
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_policy(
+    std::string_view name);
+
+}  // namespace sweb::core

@@ -1,0 +1,453 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace sweb::core {
+
+/// Mutable per-request state threaded through the event callbacks.
+struct SwebServer::Pending {
+  std::uint64_t rec = 0;            // metrics record id
+  cluster::ClientLinkId link = 0;
+  std::string path;
+  const fs::Document* doc = nullptr;  // resolved at preprocess
+  RequestFacts facts;
+  int node = -1;                    // node currently processing the request
+  int redirects = 0;
+  double phase_start = 0.0;
+  double reserved_bytes = 0.0;      // memory currently held on `node`
+  bool holds_connection = false;
+  // Request-forwarding state: the node that still holds the client
+  // connection while `node` does the work (kForward reassignment only).
+  int relay_origin = -1;
+  double origin_reserved = 0.0;
+};
+
+SwebServer::SwebServer(cluster::Cluster& cluster, const fs::Docbase& docbase,
+                       Oracle oracle, std::unique_ptr<SchedulingPolicy> policy,
+                       ServerParams params, util::Rng& rng)
+    : cluster_(cluster),
+      docbase_(docbase),
+      oracle_(std::move(oracle)),
+      policy_(std::move(policy)),
+      params_(std::move(params)),
+      rng_(rng),
+      broker_(cluster_, params_.broker),
+      loads_(cluster_, params_.loadd, rng),
+      active_(static_cast<std::size_t>(cluster_.num_nodes()), 0),
+      backlog_(static_cast<std::size_t>(cluster_.num_nodes())) {
+  assert(policy_ != nullptr);
+  std::vector<dns::Address> addresses;
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    addresses.push_back(static_cast<dns::Address>(n));
+  }
+  dns_.set_records(params_.hostname, std::move(addresses), params_.dns_ttl_s);
+  if (params_.centralized) {
+    // The rejected design of §3.1, kept for comparison: "all HTTP requests
+    // go through this processor" — DNS hands out only the dispatcher.
+    dns_.set_records(params_.hostname, {static_cast<dns::Address>(0)},
+                     params_.dns_ttl_s);
+  }
+}
+
+void SwebServer::start() {
+  // Seed every board so nodes are schedulable before the first broadcast.
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    const LoadVector zero = loads_.sample(n);
+    for (int peer = 0; peer < cluster_.num_nodes(); ++peer) {
+      loads_.board(peer).update(n, zero);
+    }
+  }
+  loads_.start();
+}
+
+dns::CachingResolver& SwebServer::resolver_for(cluster::ClientLinkId link) {
+  const auto idx = static_cast<std::size_t>(link);
+  if (resolvers_.size() <= idx) resolvers_.resize(idx + 1);
+  if (!resolvers_[idx]) {
+    resolvers_[idx] = std::make_unique<dns::CachingResolver>(dns_);
+  }
+  return *resolvers_[idx];
+}
+
+int SwebServer::active_connections(int node) const {
+  assert(node >= 0 && node < static_cast<int>(active_.size()));
+  return active_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t SwebServer::client_request(cluster::ClientLinkId link,
+                                         const std::string& path) {
+  sim::Simulation& sim = cluster_.sim();
+  const fs::Document* doc = docbase_.find(path);
+  const double size = doc != nullptr ? static_cast<double>(doc->size) : 0.0;
+
+  auto p = std::make_shared<Pending>();
+  p->rec = collector_.open(path, size, sim.now());
+  p->link = link;
+  p->path = path;
+
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  const double latency = cluster_.client_latency(link);
+
+  // DNS resolution: a cache hit is free; a miss pays a round trip to the
+  // authoritative server at the server site.
+  const auto answer = resolver_for(link).resolve(params_.hostname, sim.now());
+  if (!answer) {
+    rec.outcome = metrics::Outcome::kError;
+    rec.status_code = 0;
+    rec.finish = sim.now();
+    return p->rec;
+  }
+  const double t_dns = answer->cache_hit ? 0.0 : 2.0 * latency;
+  rec.t_dns = t_dns;
+  rec.first_node = answer->address;
+
+  // TCP connect (one round trip) plus the request's own transmission leg.
+  const double t_connect = 2.0 * latency + params_.connect_time_s;
+  rec.t_connect = t_connect;
+
+  const int node = answer->address;
+  sim.schedule_in(t_dns + t_connect, [this, p, node] { arrive(p, node); });
+  return p->rec;
+}
+
+void SwebServer::arrive(const std::shared_ptr<Pending>& p, int node) {
+  sim::Simulation& sim = cluster_.sim();
+  p->node = node;
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+
+  if (!cluster_.available(node)) {
+    // Connection to a dead node: the client hangs until its timeout; the
+    // collector converts still-pending records at experiment end.
+    SWEB_DEBUG() << "request " << p->rec << " hit unavailable node " << node;
+    return;
+  }
+  const cluster::NodeConfig& node_cfg =
+      cluster_.config().nodes[static_cast<std::size_t>(node)];
+  if (active_[static_cast<std::size_t>(node)] < node_cfg.max_connections) {
+    admit(p);
+    return;
+  }
+  auto& queue = backlog_[static_cast<std::size_t>(node)];
+  if (static_cast<int>(queue.size()) < node_cfg.listen_backlog) {
+    // Accepted by the kernel, waiting for a handler slot.
+    p->phase_start = sim.now();
+    queue.push_back(p);
+    return;
+  }
+  rec.outcome = metrics::Outcome::kRefused;
+  rec.status_code = 0;
+  rec.finish = sim.now() + cluster_.client_latency(p->link);  // RST back
+  if (completion_hook_) {
+    sim.schedule_at(rec.finish,
+                    [this, id = p->rec] { completion_hook_(id); });
+  }
+}
+
+void SwebServer::admit(const std::shared_ptr<Pending>& p) {
+  ++active_[static_cast<std::size_t>(p->node)];
+  p->holds_connection = true;
+  // A forked handler's resident footprint.
+  const double rss = cluster_.config().request_rss_bytes;
+  cluster_.reserve_memory(p->node, rss);
+  p->reserved_bytes = rss;
+  preprocess(p);
+}
+
+void SwebServer::preprocess(const std::shared_ptr<Pending>& p) {
+  p->phase_start = cluster_.sim().now();
+  cluster_.cpu_burst(p->node, cluster::CpuUse::kParse, params_.preprocess_ops,
+                     [this, p] {
+    metrics::RequestRecord& rec = collector_.record(p->rec);
+    rec.t_preprocess += cluster_.sim().now() - p->phase_start;
+
+    p->doc = docbase_.find(p->path);
+    if (p->doc == nullptr) {
+      // "If r is ... determined to be a redirection, does not exist, or is
+      // not a retrieval of information, then the request is always
+      // completed at x."
+      cluster_.cpu_burst(p->node, cluster::CpuUse::kParse, params_.error_ops,
+                         [this, p] {
+        cluster_.send_external(p->node, p->link, params_.response_header_bytes,
+                               [this, p] {
+          finish(p, metrics::Outcome::kError, 404);
+        });
+      });
+      return;
+    }
+    const OracleEstimate est =
+        oracle_.estimate(p->path, static_cast<double>(p->doc->size));
+    p->facts.size_bytes = static_cast<double>(p->doc->size);
+    p->facts.owner = p->doc->owner;
+    p->facts.cpu_ops = est.cpu_ops;
+    p->facts.client_latency_s = cluster_.client_latency(p->link);
+    p->facts.path = p->path;
+    analyze(p);
+  });
+}
+
+void SwebServer::analyze(const std::shared_ptr<Pending>& p) {
+  // A request that already bounced once is always completed here.
+  if (p->redirects >= params_.max_redirects) {
+    fulfill(p);
+    return;
+  }
+  p->phase_start = cluster_.sim().now();
+  const double ops = policy_->analysis_ops(cluster_.num_nodes());
+  const auto decide = [this, p] {
+    metrics::RequestRecord& rec = collector_.record(p->rec);
+    rec.t_analysis += cluster_.sim().now() - p->phase_start;
+    const int target =
+        policy_->choose(p->facts, p->node, loads_.board(p->node), broker_);
+    if (target != p->node && target >= 0 && target < cluster_.num_nodes() &&
+        cluster_.available(target)) {
+      if (params_.reassignment == ServerParams::Reassignment::kForward) {
+        forward(p, target);
+      } else {
+        redirect(p, target);
+      }
+    } else {
+      fulfill(p);
+    }
+  };
+  if (ops > 0.0) {
+    cluster_.cpu_burst(p->node, cluster::CpuUse::kSchedule, ops, decide);
+  } else {
+    decide();
+  }
+}
+
+void SwebServer::redirect(const std::shared_ptr<Pending>& p, int target) {
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  rec.redirected = true;
+  ++p->redirects;
+  // Guard against the unsynchronized herd: remember we just sent work there.
+  loads_.board(p->node).note_redirect(target, params_.delta);
+
+  p->phase_start = cluster_.sim().now();
+  const int origin = p->node;
+  cluster_.cpu_burst(origin, cluster::CpuUse::kRedirect, params_.redirect_ops,
+                     [this, p, target, origin] {
+    cluster_.send_external(origin, p->link, params_.redirect_response_bytes,
+                           [this, p, target] {
+      // The 302 has left the origin; the connection there closes.
+      release_node_state(p);
+      // Client sees the Location after one latency leg, reconnects to the
+      // target (t_redirection = 2 * latency + t_connect of §3.2).
+      const double latency = cluster_.client_latency(p->link);
+      const double reconnect =
+          2.0 * latency + params_.connect_time_s;
+      cluster_.sim().schedule_in(reconnect, [this, p, target] {
+        metrics::RequestRecord& rec2 = collector_.record(p->rec);
+        rec2.t_redirect += cluster_.sim().now() - p->phase_start;
+        arrive(p, target);
+      });
+    });
+  });
+}
+
+void SwebServer::forward(const std::shared_ptr<Pending>& p, int target) {
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  rec.redirected = true;  // reassigned, by the forwarding mechanism
+  ++p->redirects;
+  loads_.board(p->node).note_redirect(target, params_.delta);
+
+  p->phase_start = cluster_.sim().now();
+  const int origin = p->node;
+  cluster_.cpu_burst(origin, cluster::CpuUse::kRedirect, params_.forward_ops,
+                     [this, p, target, origin] {
+    // Ship the parsed request across the interconnect. The origin keeps
+    // the client connection (and its memory) until the response relays.
+    cluster_.send_internal(origin, target, params_.request_bytes,
+                           [this, p, target, origin] {
+      metrics::RequestRecord& rec2 = collector_.record(p->rec);
+      rec2.t_redirect += cluster_.sim().now() - p->phase_start;
+      if (!cluster_.available(target)) {
+        fulfill(p);  // target died mid-flight: serve it ourselves
+        return;
+      }
+      const cluster::NodeConfig& cfg =
+          cluster_.config().nodes[static_cast<std::size_t>(target)];
+      if (active_[static_cast<std::size_t>(target)] >= cfg.max_connections) {
+        fulfill(p);  // target is full: fall back to local service
+        return;
+      }
+      // The target takes a handler slot of its own; the origin's slot and
+      // memory stay held (tracked via relay_origin) until the response has
+      // been relayed to the client.
+      p->relay_origin = origin;
+      p->origin_reserved = p->reserved_bytes;
+      p->reserved_bytes = 0.0;
+      p->holds_connection = false;
+      p->node = target;
+      ++active_[static_cast<std::size_t>(target)];
+      p->holds_connection = true;
+      const double rss = cluster_.config().request_rss_bytes;
+      cluster_.reserve_memory(target, rss);
+      p->reserved_bytes = rss;
+      fulfill(p);
+    });
+  });
+}
+
+void SwebServer::fulfill(const std::shared_ptr<Pending>& p) {
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  rec.final_node = p->node;
+  p->phase_start = cluster_.sim().now();
+  // Fork the handler (accounted as preprocessing: the paper's 70 ms figure
+  // covers fork+parse+stat), then fetch the document bytes.
+  cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, params_.fork_ops,
+                     [this, p] {
+    collector_.record(p->rec).t_preprocess +=
+        cluster_.sim().now() - p->phase_start;
+    fetch_data(p);
+  });
+}
+
+void SwebServer::fetch_data(const std::shared_ptr<Pending>& p) {
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  p->phase_start = cluster_.sim().now();
+  const double size = p->facts.size_bytes;
+  // I/O buffering grows the request's footprint while data is in flight.
+  const double buf =
+      std::min(size, cluster_.config().io_buffer_bytes);
+  cluster_.reserve_memory(p->node, buf);
+  p->reserved_bytes += buf;
+
+  const auto fetched = [this, p] {
+    metrics::RequestRecord& rec2 = collector_.record(p->rec);
+    rec2.t_data += cluster_.sim().now() - p->phase_start;
+    transmit(p);
+  };
+
+  if (cluster_.page_cache(p->node).lookup(p->path)) {
+    rec.cache_hit = true;
+    fetched();  // served from the buffer cache: no disk transfer
+    return;
+  }
+  const auto insert_and_go = [this, p, fetched] {
+    cluster_.page_cache(p->node).insert(
+        p->path, static_cast<std::uint64_t>(p->facts.size_bytes));
+    fetched();
+  };
+  if (p->facts.owner == p->node) {
+    cluster_.read_local(p->node, size, insert_and_go);
+  } else {
+    rec.remote_read = true;
+    cluster_.read_remote(p->facts.owner, p->node, size, insert_and_go);
+  }
+}
+
+void SwebServer::transmit(const std::shared_ptr<Pending>& p) {
+  p->phase_start = cluster_.sim().now();
+  const double payload = p->facts.size_bytes + params_.response_header_bytes;
+  const auto complete = [this, p] {
+    metrics::RequestRecord& rec = collector_.record(p->rec);
+    rec.t_send += cluster_.sim().now() - p->phase_start;
+    finish(p, metrics::Outcome::kCompleted, 200);
+  };
+
+  if (p->relay_origin >= 0) {
+    // Forwarded request: marshal at the worker while the response crosses
+    // the interconnect, then the origin relays it out to the client.
+    auto stage1 = std::make_shared<int>(2);
+    const auto relay = [this, p, payload, complete, stage1] {
+      if (--*stage1 > 0) return;
+      auto stage2 = std::make_shared<int>(2);
+      const auto join2 = [complete, stage2] {
+        if (--*stage2 == 0) complete();
+      };
+      cluster_.cpu_burst(p->relay_origin, cluster::CpuUse::kFulfill,
+                         params_.relay_per_byte_ops * p->facts.size_bytes,
+                         join2);
+      cluster_.send_external(p->relay_origin, p->link, payload, join2);
+    };
+    cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, p->facts.cpu_ops,
+                       relay);
+    cluster_.send_internal(p->node, p->relay_origin, payload, relay);
+    return;
+  }
+
+  // Marshalling CPU and the network transfer overlap; the phase completes
+  // when both are done ("some estimated CPU cycles may overlap with network
+  // and disk time").
+  auto remaining = std::make_shared<int>(2);
+  const auto join = [this, p, remaining, complete] {
+    if (--*remaining == 0) complete();
+  };
+  cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, p->facts.cpu_ops,
+                     join);
+  cluster_.send_external(p->node, p->link, payload, join);
+}
+
+void SwebServer::release_node_state(const std::shared_ptr<Pending>& p) {
+  const auto drain_backlog = [this](int node) {
+    auto& queue = backlog_[static_cast<std::size_t>(node)];
+    if (!queue.empty() &&
+        active_[static_cast<std::size_t>(node)] <
+            cluster_.config().nodes[static_cast<std::size_t>(node)]
+                .max_connections) {
+      std::shared_ptr<Pending> next = queue.front();
+      queue.pop_front();
+      collector_.record(next->rec).t_queue +=
+          cluster_.sim().now() - next->phase_start;
+      // Defer via the event queue: release may run deep inside a
+      // completion callback chain.
+      cluster_.sim().schedule_in(0.0, [this, next] { admit(next); });
+    }
+  };
+
+  const int node = p->node;
+  if (p->holds_connection) {
+    --active_[static_cast<std::size_t>(node)];
+    p->holds_connection = false;
+  }
+  if (p->reserved_bytes > 0.0) {
+    cluster_.release_memory(node, p->reserved_bytes);
+    p->reserved_bytes = 0.0;
+  }
+  drain_backlog(node);
+
+  // A forwarding origin's connection and memory are released with the
+  // request (the relay has completed or been abandoned by now).
+  if (p->relay_origin >= 0) {
+    --active_[static_cast<std::size_t>(p->relay_origin)];
+    if (p->origin_reserved > 0.0) {
+      cluster_.release_memory(p->relay_origin, p->origin_reserved);
+      p->origin_reserved = 0.0;
+    }
+    drain_backlog(p->relay_origin);
+    p->relay_origin = -1;
+  }
+}
+
+void SwebServer::finish(const std::shared_ptr<Pending>& p,
+                        metrics::Outcome outcome, int status) {
+  release_node_state(p);
+  metrics::RequestRecord& rec = collector_.record(p->rec);
+  rec.outcome = outcome;
+  rec.status_code = status;
+  // The last byte still rides one propagation leg to the client.
+  rec.finish = cluster_.sim().now() + cluster_.client_latency(p->link);
+  if (completion_hook_) {
+    // Fire when the client actually has the response.
+    cluster_.sim().schedule_at(rec.finish,
+                               [this, id = p->rec] { completion_hook_(id); });
+  }
+}
+
+void SwebServer::set_node_available(int node, bool available) {
+  cluster_.set_available(node, available);
+  if (available) {
+    // Remove first: re-announcing an already-listed node must not duplicate
+    // its rotation slot.
+    dns_.remove_address(params_.hostname, static_cast<dns::Address>(node));
+    dns_.add_address(params_.hostname, static_cast<dns::Address>(node));
+  } else {
+    dns_.remove_address(params_.hostname, static_cast<dns::Address>(node));
+  }
+}
+
+}  // namespace sweb::core

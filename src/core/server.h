@@ -1,0 +1,151 @@
+// The SWEB logical server: the full request lifecycle of §3.2 on the
+// simulated multicomputer.
+//
+//   client --(DNS round-robin)--> node x:
+//     1. Preprocess  — parse HTTP command, complete the pathname, stat.
+//     2. Analyze     — the broker estimates each server's completion time.
+//     3. Redirection — if a better node was chosen, answer 302 and let the
+//                      browser re-issue (at most once: no ping-pong).
+//     4. Fulfillment — fork, read locally or via NFS (page cache permitting),
+//                      then marshal + transmit to the client.
+//
+// Connection slots, per-request memory, CPU accounting, loadd, Δ-inflation
+// and the page cache are all engaged, so the experiment benches recover the
+// paper's tables from the same machinery.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "core/broker.h"
+#include "core/load.h"
+#include "core/oracle.h"
+#include "core/policy.h"
+#include "dns/dns.h"
+#include "fs/docbase.h"
+#include "metrics/collector.h"
+#include "util/rng.h"
+
+namespace sweb::core {
+
+struct ServerParams {
+  // CPU costs (operations) of the httpd phases; see Oracle for calibration.
+  double preprocess_ops = 7e5;   // ≈17 ms unloaded, ~70 ms under load (T5)
+  double redirect_ops = 1.6e5;   // ≈4 ms: generate the 302
+  double error_ops = 1e5;        // 404 and friends
+  double fork_ops = 4e5;         // ≈10 ms: fork the handler process
+
+  // Wire details.
+  double response_header_bytes = 256.0;
+  double redirect_response_bytes = 320.0;
+  double request_bytes = 256.0;   // the GET itself
+  double connect_time_s = 2e-3;   // TCP setup at the server
+
+  // Scheduling.
+  int max_redirects = 1;          // "not allowed to be redirected more than
+                                  //  once to avoid the ping-pong effect"
+  double delta = 0.30;            // Δ-inflation per outgoing redirect
+
+  /// How a request moves to the chosen node. The paper: "Two approaches,
+  /// URL redirection or request forwarding, could be used to achieve
+  /// reassignment and we use the former." Forwarding is implemented for
+  /// comparison: the origin keeps the client connection, ships the request
+  /// over the interconnect, and relays the whole response back — no client
+  /// round trip, but double internal traffic and two busy nodes.
+  enum class Reassignment { kRedirect, kForward };
+  Reassignment reassignment = Reassignment::kRedirect;
+  double forward_ops = 1.0e5;          // proxying bookkeeping at the origin
+  double relay_per_byte_ops = 0.25;    // response relay cost at the origin
+
+  /// The rejected centralized design of §3.1: DNS lists only node 0, which
+  /// runs the scheduler for everyone — and is a single point of failure.
+  bool centralized = false;
+
+  std::string hostname = "www.alexandria.ucsb.edu";
+  double dns_ttl_s = 1800.0;      // client-side caching window
+
+  LoaddParams loadd;
+  BrokerParams broker;
+};
+
+class SwebServer {
+ public:
+  /// The server borrows the cluster and docbase; policy ownership moves in.
+  SwebServer(cluster::Cluster& cluster, const fs::Docbase& docbase,
+             Oracle oracle, std::unique_ptr<SchedulingPolicy> policy,
+             ServerParams params, util::Rng& rng);
+
+  /// Starts the loadd daemons and seeds every board with a t=0 sample so
+  /// peers are immediately schedulable.
+  void start();
+
+  /// A client on `link` issues GET `path` at the current simulated time.
+  /// Returns the metrics record id.
+  std::uint64_t client_request(cluster::ClientLinkId link,
+                               const std::string& path);
+
+  /// Called with the record id whenever a request reaches a terminal state
+  /// (completed, refused, or error) — closed-loop clients hang their next
+  /// think-time off this. Requests stuck on a dead node never fire it.
+  void set_completion_hook(std::function<void(std::uint64_t)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  /// Node leaves/joins the pool: flips cluster availability and updates the
+  /// DNS rotation. loadd staleness handles the peers' views.
+  void set_node_available(int node, bool available);
+
+  [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
+  [[nodiscard]] const LoadSystem& loads() const noexcept { return loads_; }
+  [[nodiscard]] LoadSystem& loads() noexcept { return loads_; }
+  [[nodiscard]] const SchedulingPolicy& policy() const noexcept {
+    return *policy_;
+  }
+  [[nodiscard]] const Broker& broker() const noexcept { return broker_; }
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const ServerParams& params() const noexcept { return params_; }
+  [[nodiscard]] int active_connections(int node) const;
+  [[nodiscard]] dns::AuthoritativeServer& dns() noexcept { return dns_; }
+
+ private:
+  struct Pending;
+
+  /// Request reaches `node`'s accept queue.
+  void arrive(const std::shared_ptr<Pending>& p, int node);
+  /// Takes a connection slot and begins processing.
+  void admit(const std::shared_ptr<Pending>& p);
+  void preprocess(const std::shared_ptr<Pending>& p);
+  void analyze(const std::shared_ptr<Pending>& p);
+  void redirect(const std::shared_ptr<Pending>& p, int target);
+  void forward(const std::shared_ptr<Pending>& p, int target);
+  void fulfill(const std::shared_ptr<Pending>& p);
+  void fetch_data(const std::shared_ptr<Pending>& p);
+  void transmit(const std::shared_ptr<Pending>& p);
+  void finish(const std::shared_ptr<Pending>& p, metrics::Outcome outcome,
+              int status);
+  void release_node_state(const std::shared_ptr<Pending>& p);
+
+  /// Per-link caching resolver (created on first use).
+  dns::CachingResolver& resolver_for(cluster::ClientLinkId link);
+
+  cluster::Cluster& cluster_;
+  const fs::Docbase& docbase_;
+  Oracle oracle_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  ServerParams params_;
+  util::Rng& rng_;
+  Broker broker_;
+  LoadSystem loads_;
+  metrics::Collector collector_;
+  dns::AuthoritativeServer dns_;
+  std::vector<std::unique_ptr<dns::CachingResolver>> resolvers_;  // per link
+  std::vector<int> active_;  // in-service connections per node
+  // Kernel-style listen queues: accepted connections waiting for a handler.
+  std::vector<std::deque<std::shared_ptr<Pending>>> backlog_;
+  std::function<void(std::uint64_t)> completion_hook_;
+};
+
+}  // namespace sweb::core

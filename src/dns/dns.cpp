@@ -1,0 +1,68 @@
+#include "dns/dns.h"
+
+#include <algorithm>
+
+namespace sweb::dns {
+
+void AuthoritativeServer::set_records(std::string name,
+                                      std::vector<Address> addresses,
+                                      double ttl_seconds) {
+  records_[std::move(name)] =
+      RecordSet{std::move(addresses), ttl_seconds, 0};
+}
+
+void AuthoritativeServer::add_address(std::string_view name, Address address) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  it->second.addresses.push_back(address);
+}
+
+bool AuthoritativeServer::remove_address(std::string_view name,
+                                         Address address) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return false;
+  auto& addrs = it->second.addresses;
+  const auto pos = std::find(addrs.begin(), addrs.end(), address);
+  if (pos == addrs.end()) return false;
+  const std::size_t idx = static_cast<std::size_t>(pos - addrs.begin());
+  addrs.erase(pos);
+  // Keep the rotation cursor pointing at the same logical successor.
+  if (!addrs.empty()) {
+    if (it->second.next > idx) --it->second.next;
+    it->second.next %= addrs.size();
+  } else {
+    it->second.next = 0;
+  }
+  return true;
+}
+
+std::optional<AuthoritativeServer::Answer> AuthoritativeServer::query(
+    std::string_view name) {
+  ++queries_;
+  const auto it = records_.find(name);
+  if (it == records_.end() || it->second.addresses.empty()) {
+    return std::nullopt;
+  }
+  RecordSet& rs = it->second;
+  const Address address = rs.addresses[rs.next];
+  rs.next = (rs.next + 1) % rs.addresses.size();
+  return Answer{address, rs.ttl};
+}
+
+std::optional<CachingResolver::Result> CachingResolver::resolve(
+    std::string_view name, double now) {
+  if (const auto it = cache_.find(name);
+      it != cache_.end() && it->second.expires > now) {
+    ++hits_;
+    return Result{it->second.address, true};
+  }
+  const auto answer = upstream_.query(name);
+  if (!answer) return std::nullopt;
+  ++misses_;
+  if (answer->ttl > 0.0) {
+    cache_[std::string(name)] = Entry{answer->address, now + answer->ttl};
+  }
+  return Result{answer->address, false};
+}
+
+}  // namespace sweb::dns

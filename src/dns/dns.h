@@ -1,0 +1,105 @@
+// Round-robin DNS with client-side caching.
+//
+// SWEB's first-level request distribution: "user requests are first evenly
+// routed to SWEB processors via the DNS rotation ... The rotation on
+// available workstation network IDs is in a round-robin fashion." The paper
+// also calls out the weakness of the scheme: "DNS caching enables a local
+// DNS system to cache the name-to-IP address mapping ... the downside is
+// that all requests for a period of time from a DNS server's domain will go
+// to a particular IP address."
+//
+// Both behaviours are modelled here: an authoritative server that rotates
+// A records per query, and per-client-domain caching resolvers that pin a
+// domain to one address for a TTL. Time is injected by the caller so the
+// module composes with the simulator and with wall-clock tests alike.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweb::dns {
+
+/// A server address. In the simulation this is the cluster node index; in
+/// the real runtime it maps to a TCP port.
+using Address = std::int32_t;
+
+inline constexpr Address kNoAddress = -1;
+
+/// The authoritative name server for the SWEB logical host. One hostname
+/// maps to the address pool; each query returns the next address in
+/// rotation. Addresses can be added/removed as nodes join or leave.
+class AuthoritativeServer {
+ public:
+  /// Registers (or replaces) the record set for `name`.
+  void set_records(std::string name, std::vector<Address> addresses,
+                   double ttl_seconds);
+
+  /// Adds one address to an existing record set (node joins the pool).
+  void add_address(std::string_view name, Address address);
+
+  /// Removes one address (node leaves). Returns false if absent.
+  bool remove_address(std::string_view name, Address address);
+
+  struct Answer {
+    Address address = kNoAddress;
+    double ttl = 0.0;
+  };
+
+  /// Resolves `name`, advancing the round-robin rotation. std::nullopt for
+  /// unknown names or empty record sets.
+  [[nodiscard]] std::optional<Answer> query(std::string_view name);
+
+  /// Total queries served (for overhead accounting).
+  [[nodiscard]] std::uint64_t query_count() const noexcept { return queries_; }
+
+ private:
+  struct RecordSet {
+    std::vector<Address> addresses;
+    double ttl = 0.0;
+    std::size_t next = 0;  // rotation cursor
+  };
+  std::map<std::string, RecordSet, std::less<>> records_;
+  std::uint64_t queries_ = 0;
+};
+
+/// A client-side (local-domain) caching resolver. All clients behind the
+/// same resolver share its cache, which is exactly the skew the paper
+/// describes: a cached name pins the whole domain to one server until the
+/// TTL expires.
+class CachingResolver {
+ public:
+  explicit CachingResolver(AuthoritativeServer& upstream)
+      : upstream_(upstream) {}
+
+  struct Result {
+    Address address = kNoAddress;
+    bool cache_hit = false;
+  };
+
+  /// Resolves `name` at time `now` (seconds). A fresh cache entry is
+  /// returned without consulting the authoritative server.
+  [[nodiscard]] std::optional<Result> resolve(std::string_view name,
+                                              double now);
+
+  /// Drops every cached entry.
+  void flush() { cache_.clear(); }
+
+  [[nodiscard]] std::uint64_t hit_count() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t miss_count() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    Address address = kNoAddress;
+    double expires = 0.0;
+  };
+  AuthoritativeServer& upstream_;
+  std::map<std::string, Entry, std::less<>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sweb::dns

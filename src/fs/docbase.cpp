@@ -1,0 +1,154 @@
+#include "fs/docbase.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sweb::fs {
+
+namespace {
+
+[[nodiscard]] NodeId place(Placement placement, std::size_t i, int num_nodes,
+                           util::Rng* rng) {
+  assert(num_nodes > 0);
+  switch (placement) {
+    case Placement::kRoundRobin:
+      return static_cast<NodeId>(i % static_cast<std::size_t>(num_nodes));
+    case Placement::kSingleNode:
+      return 0;
+    case Placement::kRandom:
+      assert(rng != nullptr && "kRandom placement needs an Rng");
+      return static_cast<NodeId>(rng->index(static_cast<std::size_t>(num_nodes)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Docbase::add(Document doc) {
+  assert(!doc.path.empty() && doc.path.front() == '/');
+  const auto it = index_.find(doc.path);
+  if (it != index_.end()) {
+    docs_[it->second] = std::move(doc);
+    return;
+  }
+  index_.emplace(doc.path, docs_.size());
+  docs_.push_back(std::move(doc));
+}
+
+const Document* Docbase::find(std::string_view path) const {
+  const auto it = index_.find(std::string(path));
+  if (it == index_.end()) return nullptr;
+  return &docs_[it->second];
+}
+
+std::vector<std::uint64_t> Docbase::bytes_per_node(int num_nodes) const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(num_nodes), 0);
+  for (const Document& d : docs_) {
+    if (d.owner >= 0 && d.owner < num_nodes) {
+      out[static_cast<std::size_t>(d.owner)] += d.size;
+    }
+  }
+  return out;
+}
+
+double Docbase::mean_size() const {
+  if (docs_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Document& d : docs_) total += static_cast<double>(d.size);
+  return total / static_cast<double>(docs_.size());
+}
+
+Docbase make_uniform(std::size_t count, std::uint64_t size, int num_nodes,
+                     Placement placement, util::Rng* rng,
+                     std::string_view prefix) {
+  Docbase base;
+  for (std::size_t i = 0; i < count; ++i) {
+    Document d;
+    d.path = std::string(prefix) + "/file" + std::to_string(i) +
+             (size >= 256 * 1024 ? ".tiff" : ".html");
+    d.size = size;
+    d.owner = place(placement, i, num_nodes, rng);
+    base.add(std::move(d));
+  }
+  return base;
+}
+
+Docbase make_nonuniform(std::size_t count, std::uint64_t min_size,
+                        std::uint64_t max_size, int num_nodes,
+                        Placement placement, util::Rng& rng,
+                        SizeDistribution dist, std::string_view prefix) {
+  assert(min_size > 0 && max_size > min_size);
+  Docbase base;
+  const double log_lo = std::log(static_cast<double>(min_size));
+  const double log_hi = std::log(static_cast<double>(max_size));
+  for (std::size_t i = 0; i < count; ++i) {
+    // "sizes varying from short, approximately 100 bytes, to relatively
+    // long, approximately 1.5MB."
+    double sz = 0.0;
+    switch (dist) {
+      case SizeDistribution::kLogUniform:
+        sz = std::exp(rng.uniform(log_lo, log_hi));
+        break;
+      case SizeDistribution::kUniform:
+        sz = rng.uniform(static_cast<double>(min_size),
+                         static_cast<double>(max_size));
+        break;
+      case SizeDistribution::kBimodal:
+        sz = rng.bernoulli(0.25)
+                 ? rng.uniform(0.6, 1.0) * static_cast<double>(max_size)
+                 : rng.uniform(static_cast<double>(min_size),
+                               16.0 * 1024.0);
+        break;
+    }
+    Document d;
+    d.size = static_cast<std::uint64_t>(sz);
+    const char* ext = d.size < 8 * 1024      ? ".html"
+                      : d.size < 128 * 1024  ? ".gif"
+                                             : ".jpg";
+    d.path = std::string(prefix) + "/mix" + std::to_string(i) + ext;
+    d.owner = place(placement, i, num_nodes, &rng);
+    base.add(std::move(d));
+  }
+  return base;
+}
+
+Docbase make_hotfile(std::uint64_t size, NodeId owner, std::string_view path) {
+  Docbase base;
+  Document d;
+  d.path = std::string(path);
+  d.size = size;
+  d.owner = owner;
+  base.add(std::move(d));
+  return base;
+}
+
+Docbase make_adl(std::size_t scenes, int num_nodes, util::Rng& rng) {
+  Docbase base;
+  std::size_t seq = 0;
+  const auto add = [&](std::string stem, const char* ext, std::uint64_t mean,
+                       bool cgi) {
+    Document d;
+    d.path = "/adl/" + std::move(stem) + std::to_string(seq) + ext;
+    // +/-25% size spread around the class mean.
+    d.size = static_cast<std::uint64_t>(
+        std::max(64.0, mean * rng.uniform(0.75, 1.25)));
+    d.owner = static_cast<NodeId>(seq % static_cast<std::size_t>(num_nodes));
+    d.cgi = cgi;
+    base.add(std::move(d));
+    ++seq;
+  };
+  for (std::size_t s = 0; s < scenes; ++s) {
+    add("meta", ".html", 2 * 1024, false);        // catalog metadata page
+    add("thumb", ".gif", 16 * 1024, false);       // browse thumbnail
+    add("browse", ".jpg", 200 * 1024, false);     // medium-resolution browse
+    add("scene", ".tiff", 1536 * 1024, false);    // full digitized scene
+  }
+  // A handful of spatial-query CGI endpoints.
+  for (std::size_t c = 0; c < std::max<std::size_t>(1, scenes / 8); ++c) {
+    add("query", ".cgi", 4 * 1024, true);
+  }
+  return base;
+}
+
+}  // namespace sweb::fs

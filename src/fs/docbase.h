@@ -1,0 +1,98 @@
+// Distributed document base.
+//
+// On the Meiko testbed "each node is connected to a dedicated 1GB hard drive
+// on which the test files reside. Disk service is available to all other
+// nodes via NFS mounts." A Docbase records every document, its size, and the
+// node that owns its disk; the broker's file-locality reasoning and the
+// NFS-vs-local cost split both read from it.
+//
+// Builders generate the paper's workloads: uniform 1 KB files, uniform
+// 1.5 MB files, the non-uniform 100 B..1.5 MB mix of Table 3, the single
+// hot file of the skewed test, and an Alexandria-digital-library-shaped mix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sweb::fs {
+
+/// Node index owning a document's disk.
+using NodeId = std::int32_t;
+
+struct Document {
+  std::string path;        // canonical, starts with '/'
+  std::uint64_t size = 0;  // bytes
+  NodeId owner = 0;        // node whose local disk holds the file
+  bool cgi = false;        // executable (CGI) rather than static content
+};
+
+/// How documents are spread across node disks.
+enum class Placement {
+  kRoundRobin,  // i-th document on node i % p (the default striping)
+  kSingleNode,  // everything on node 0 (the skewed test's pathology)
+  kRandom,      // uniform random owner
+};
+
+class Docbase {
+ public:
+  Docbase() = default;
+
+  /// Adds a document; replaces any previous one at the same path.
+  void add(Document doc);
+
+  [[nodiscard]] const Document* find(std::string_view path) const;
+  [[nodiscard]] const std::vector<Document>& documents() const noexcept {
+    return docs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return docs_.size(); }
+
+  /// Total bytes per owner node — used to check striping balance.
+  [[nodiscard]] std::vector<std::uint64_t> bytes_per_node(int num_nodes) const;
+
+  /// Mean document size in bytes (0 for an empty base).
+  [[nodiscard]] double mean_size() const;
+
+ private:
+  std::vector<Document> docs_;
+  // Owned keys: docs_ may reallocate, so the index cannot hold views into it.
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// Uniform-size corpus: `count` files of exactly `size` bytes.
+[[nodiscard]] Docbase make_uniform(std::size_t count, std::uint64_t size,
+                                   int num_nodes, Placement placement,
+                                   util::Rng* rng = nullptr,
+                                   std::string_view prefix = "/docs");
+
+/// Shape of a non-uniform size mix.
+enum class SizeDistribution {
+  kLogUniform,  // many small files, thin large tail (classic web corpus)
+  kUniform,     // sizes uniform in bytes: heavy aggregate load (Table 3)
+  kBimodal,     // 75% small pages, 25% large scenes
+};
+
+/// Non-uniform corpus matching the Table 3 description: sizes from ~100 B
+/// to ~1.5 MB.
+[[nodiscard]] Docbase make_nonuniform(
+    std::size_t count, std::uint64_t min_size, std::uint64_t max_size,
+    int num_nodes, Placement placement, util::Rng& rng,
+    SizeDistribution dist = SizeDistribution::kLogUniform,
+    std::string_view prefix = "/docs");
+
+/// The skewed test: one hot 1.5 MB file owned by a single node.
+[[nodiscard]] Docbase make_hotfile(std::uint64_t size, NodeId owner,
+                                   std::string_view path = "/hot/scene.tiff");
+
+/// Alexandria-digital-library-shaped corpus: metadata pages (~2 KB html),
+/// thumbnails (~16 KB gif), browse images (~200 KB jpg), full scenes
+/// (~1.5 MB tiff), plus a few CGI query scripts.
+[[nodiscard]] Docbase make_adl(std::size_t scenes, int num_nodes,
+                               util::Rng& rng);
+
+}  // namespace sweb::fs

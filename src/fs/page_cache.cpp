@@ -1,0 +1,61 @@
+#include "fs/page_cache.h"
+
+#include <cassert>
+
+namespace sweb::fs {
+
+bool PageCache::contains(std::string_view path) const {
+  return index_.find(std::string(path)) != index_.end();
+}
+
+bool PageCache::lookup(std::string_view path) {
+  const auto it = index_.find(std::string(path));
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  return true;
+}
+
+void PageCache::evict_to_fit(std::uint64_t incoming) {
+  while (used_ + incoming > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.bytes;
+    index_.erase(victim.path);
+    lru_.pop_back();
+  }
+}
+
+void PageCache::insert(std::string_view path, std::uint64_t bytes) {
+  if (bytes > capacity_) return;  // would evict the world for one use
+  std::string key(path);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  evict_to_fit(bytes);
+  lru_.push_front(Entry{key, bytes});
+  index_[std::move(key)] = lru_.begin();
+  used_ += bytes;
+  assert(used_ <= capacity_);
+}
+
+bool PageCache::erase(std::string_view path) {
+  const auto it = index_.find(std::string(path));
+  if (it == index_.end()) return false;
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+}  // namespace sweb::fs

@@ -1,0 +1,70 @@
+// Per-node page (buffer) cache.
+//
+// The paper attributes its superlinear speedup to aggregate memory: "the
+// total size of memory in SWEB is much larger than on a one-node server, and
+// the multi-node server accommodates more requests within main memory while
+// one-node server spends more time in swapping". Each simulated node owns an
+// LRU byte-budgeted cache standing in for the OS buffer cache: a hit skips
+// the disk read entirely; the aggregate capacity grows with the node count.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sweb::fs {
+
+class PageCache {
+ public:
+  /// `capacity_bytes` is the RAM available for caching file pages.
+  explicit PageCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Looks up `path`; a hit refreshes recency. Records hit/miss statistics.
+  [[nodiscard]] bool lookup(std::string_view path);
+
+  /// Residency probe without side effects (no recency refresh, no stats) —
+  /// what a cache-aware scheduler peeks at when costing candidates.
+  [[nodiscard]] bool contains(std::string_view path) const;
+
+  /// Inserts `path` with the given size, evicting LRU entries to fit.
+  /// Objects larger than the whole cache are not cached (they would wipe
+  /// everything for a single use). Re-inserting refreshes size and recency.
+  void insert(std::string_view path, std::uint64_t bytes);
+
+  /// Removes one entry (file replaced/deleted). Returns false if absent.
+  bool erase(std::string_view path);
+
+  /// Drops everything (e.g. node restart).
+  void clear();
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return lru_.size(); }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  struct Entry {
+    std::string path;
+    std::uint64_t bytes;
+  };
+  using LruList = std::list<Entry>;
+
+  void evict_to_fit(std::uint64_t incoming);
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  LruList lru_;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace sweb::fs

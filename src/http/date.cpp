@@ -1,0 +1,68 @@
+#include "http/date.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace sweb::http {
+
+namespace {
+
+constexpr std::array<std::string_view, 7> kDays = {
+    "Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+std::string format_http_date(std::time_t t) {
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s, %02d %s %04d %02d:%02d:%02d GMT",
+                std::string(kDays[static_cast<std::size_t>(tm_utc.tm_wday)]).c_str(),
+                tm_utc.tm_mday,
+                std::string(kMonths[static_cast<std::size_t>(tm_utc.tm_mon)]).c_str(),
+                tm_utc.tm_year + 1900, tm_utc.tm_hour, tm_utc.tm_min,
+                tm_utc.tm_sec);
+  return buf;
+}
+
+std::optional<std::time_t> parse_http_date(std::string_view s) {
+  // "Sun, 06 Nov 1994 08:49:37 GMT"
+  const std::string input(util::trim(s));
+  std::tm tm_utc{};
+  char weekday[4] = {};
+  char month[4] = {};
+  char zone[4] = {};
+  int day = 0, year = 0, hour = 0, minute = 0, second = 0;
+  const int fields =
+      std::sscanf(input.c_str(), "%3s, %2d %3s %4d %2d:%2d:%2d %3s", weekday,
+                  &day, month, &year, &hour, &minute, &second, zone);
+  if (fields != 8 || std::strcmp(zone, "GMT") != 0) return std::nullopt;
+  int mon = -1;
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (kMonths[i] == month) {
+      mon = static_cast<int>(i);
+      break;
+    }
+  }
+  if (mon < 0 || day < 1 || day > 31 || year < 1900 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return std::nullopt;
+  }
+  tm_utc.tm_mday = day;
+  tm_utc.tm_mon = mon;
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = minute;
+  tm_utc.tm_sec = second;
+  const std::time_t t = timegm(&tm_utc);
+  if (t == static_cast<std::time_t>(-1)) return std::nullopt;
+  return t;
+}
+
+}  // namespace sweb::http

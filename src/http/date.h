@@ -1,0 +1,19 @@
+// RFC 1123 HTTP dates ("Sun, 06 Nov 1994 08:49:37 GMT") — the format behind
+// Last-Modified / If-Modified-Since conditional GETs.
+#pragma once
+
+#include <ctime>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sweb::http {
+
+/// Formats a Unix timestamp as an RFC 1123 date (always GMT).
+[[nodiscard]] std::string format_http_date(std::time_t t);
+
+/// Parses an RFC 1123 date. std::nullopt on malformed input (the obsolete
+/// RFC 850 and asctime forms are not accepted).
+[[nodiscard]] std::optional<std::time_t> parse_http_date(std::string_view s);
+
+}  // namespace sweb::http

@@ -1,0 +1,136 @@
+#include "http/message.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sweb::http {
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kUnknown: return "UNKNOWN";
+  }
+  return "UNKNOWN";
+}
+
+Method parse_method(std::string_view s) noexcept {
+  if (s == "GET") return Method::kGet;
+  if (s == "HEAD") return Method::kHead;
+  if (s == "POST") return Method::kPost;
+  return Method::kUnknown;
+}
+
+std::string_view reason_phrase(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "OK";
+    case Status::kMovedPermanently: return "Moved Permanently";
+    case Status::kFound: return "Found";
+    case Status::kBadRequest: return "Bad Request";
+    case Status::kForbidden: return "Forbidden";
+    case Status::kNotFound: return "Not Found";
+    case Status::kRequestTimeout: return "Request Timeout";
+    case Status::kInternalError: return "Internal Server Error";
+    case Status::kNotImplemented: return "Not Implemented";
+    case Status::kServiceUnavailable: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+void Headers::add(std::string name, std::string value) {
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::set(std::string_view name, std::string value) {
+  for (auto& [n, v] : items_) {
+    if (util::iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::string(name), std::move(value));
+}
+
+std::optional<std::string_view> Headers::get(
+    std::string_view name) const noexcept {
+  for (const auto& [n, v] : items_) {
+    if (util::iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+bool Headers::has(std::string_view name) const noexcept {
+  return get(name).has_value();
+}
+
+namespace {
+
+void serialize_headers(std::ostringstream& out, const Headers& headers) {
+  for (const auto& [name, value] : headers.items()) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n";
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::ostringstream out;
+  out << to_string(method) << ' ' << target << " HTTP/" << version_major << '.'
+      << version_minor << "\r\n";
+  serialize_headers(out, headers);
+  out << body;
+  return out.str();
+}
+
+std::string Response::serialize() const {
+  std::ostringstream out;
+  out << "HTTP/" << version_major << '.' << version_minor << ' '
+      << code(status) << ' ' << reason_phrase(status) << "\r\n";
+  serialize_headers(out, headers);
+  out << body;
+  return out.str();
+}
+
+bool Response::is_redirect() const noexcept {
+  const int c = code(status);
+  return c >= 300 && c < 400 && headers.has("Location");
+}
+
+Response make_redirect(const std::string& location) {
+  Response r;
+  r.status = Status::kFound;
+  r.headers.add("Location", location);
+  r.headers.add("Content-Type", "text/html");
+  r.body = "<html><body>Document moved <a href=\"" + location +
+           "\">here</a>.</body></html>";
+  r.headers.add("Content-Length", std::to_string(r.body.size()));
+  return r;
+}
+
+Response make_error(Status status, std::string_view detail) {
+  Response r;
+  r.status = status;
+  std::ostringstream body;
+  body << "<html><head><title>" << code(status) << ' ' << reason_phrase(status)
+       << "</title></head><body><h1>" << reason_phrase(status) << "</h1>";
+  if (!detail.empty()) body << "<p>" << detail << "</p>";
+  body << "</body></html>";
+  r.body = body.str();
+  r.headers.add("Content-Type", "text/html");
+  r.headers.add("Content-Length", std::to_string(r.body.size()));
+  return r;
+}
+
+Response make_ok(std::string body, std::string content_type) {
+  Response r;
+  r.status = Status::kOk;
+  r.headers.add("Content-Type", std::move(content_type));
+  r.headers.add("Content-Length", std::to_string(body.size()));
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace sweb::http

@@ -1,0 +1,100 @@
+// HTTP/1.0 message model.
+//
+// SWEB is an HTTP server; the paper's request lifecycle (parse -> analyze ->
+// redirect or fulfill) operates on these types. The subset implemented is
+// what SWEB needs: GET/HEAD (the paper: "SWEB currently focuses on GET and
+// related commands"), status codes including 302 for the URL-redirection
+// scheduling mechanism, and enough header handling for real browsers'
+// requests to parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sweb::http {
+
+enum class Method { kGet, kHead, kPost, kUnknown };
+
+[[nodiscard]] std::string_view to_string(Method m) noexcept;
+[[nodiscard]] Method parse_method(std::string_view s) noexcept;
+
+/// Status codes SWEB emits. (The paper quotes "202 ... OK. File found." —
+/// that is the paper's typo for 200; we implement RFC semantics.)
+enum class Status : int {
+  kOk = 200,
+  kMovedPermanently = 301,
+  kFound = 302,  // URL redirection: SWEB's request re-assignment mechanism
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kRequestTimeout = 408,
+  kInternalError = 500,
+  kNotImplemented = 501,
+  kServiceUnavailable = 503,
+};
+
+[[nodiscard]] std::string_view reason_phrase(Status s) noexcept;
+[[nodiscard]] constexpr int code(Status s) noexcept {
+  return static_cast<int>(s);
+}
+
+/// Ordered header list with case-insensitive name lookup (HTTP header names
+/// are case-insensitive; order is preserved for serialization fidelity).
+class Headers {
+ public:
+  void add(std::string name, std::string value);
+  void set(std::string_view name, std::string value);  // replace-or-add
+  [[nodiscard]] std::optional<std::string_view> get(
+      std::string_view name) const noexcept;
+  [[nodiscard]] bool has(std::string_view name) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& items()
+      const noexcept {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+struct Request {
+  Method method = Method::kGet;
+  std::string target;   // origin-form, e.g. "/maps/goleta.gif?zoom=2"
+  int version_major = 1;
+  int version_minor = 0;
+  Headers headers;
+  std::string body;
+
+  /// Serializes to wire format (request line, headers, CRLF, body).
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct Response {
+  Status status = Status::kOk;
+  int version_major = 1;
+  int version_minor = 0;
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  /// True for 3xx with a Location header.
+  [[nodiscard]] bool is_redirect() const noexcept;
+};
+
+/// Builds a 302 response pointing at `location` — the mechanism SWEB uses to
+/// move a request to the chosen server ("URL redirection gives us excellent
+/// compatibility with current browsers and near-invisibility to users").
+[[nodiscard]] Response make_redirect(const std::string& location);
+
+/// Builds an error response with a small HTML body.
+[[nodiscard]] Response make_error(Status status, std::string_view detail = {});
+
+/// Builds a 200 response carrying `body` with the given content type.
+[[nodiscard]] Response make_ok(std::string body, std::string content_type);
+
+}  // namespace sweb::http

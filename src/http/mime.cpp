@@ -1,0 +1,56 @@
+#include "http/mime.h"
+
+#include <array>
+#include <utility>
+
+#include "http/url.h"
+#include "util/strings.h"
+
+namespace sweb::http {
+
+namespace {
+
+constexpr std::array<std::pair<std::string_view, std::string_view>, 22>
+    kMimeTable{{
+        {"html", "text/html"},
+        {"htm", "text/html"},
+        {"txt", "text/plain"},
+        {"css", "text/css"},
+        {"xml", "text/xml"},
+        {"js", "application/javascript"},
+        {"gif", "image/gif"},
+        {"jpg", "image/jpeg"},
+        {"jpeg", "image/jpeg"},
+        {"png", "image/png"},
+        {"tif", "image/tiff"},   // ADL aerial photographs
+        {"tiff", "image/tiff"},
+        {"xbm", "image/x-xbitmap"},
+        {"pdf", "application/pdf"},
+        {"ps", "application/postscript"},
+        {"zip", "application/zip"},
+        {"gz", "application/gzip"},
+        {"tar", "application/x-tar"},
+        {"mpg", "video/mpeg"},
+        {"mpeg", "video/mpeg"},
+        {"au", "audio/basic"},
+        {"cgi", "application/x-httpd-cgi"},
+    }};
+
+}  // namespace
+
+std::string_view mime_type_for_extension(std::string_view ext) {
+  for (const auto& [e, type] : kMimeTable) {
+    if (e == ext) return type;
+  }
+  return "application/octet-stream";
+}
+
+std::string_view mime_type_for_path(std::string_view path) {
+  return mime_type_for_extension(path_extension(path));
+}
+
+bool is_text_type(std::string_view mime_type) {
+  return util::istarts_with(mime_type, "text/");
+}
+
+}  // namespace sweb::http

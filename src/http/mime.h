@@ -1,0 +1,22 @@
+// MIME type resolution by file extension.
+//
+// The Alexandria Digital Library serves "maps, satellite images, digitized
+// aerial photographs, and associated metadata" — the table covers the 1996-era
+// document classes plus modern basics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sweb::http {
+
+/// Content type for a document path; "application/octet-stream" if unknown.
+[[nodiscard]] std::string_view mime_type_for_path(std::string_view path);
+
+/// Content type for a bare (lower-case) extension such as "gif".
+[[nodiscard]] std::string_view mime_type_for_extension(std::string_view ext);
+
+/// True when the type is textual (gets charset handling in real servers).
+[[nodiscard]] bool is_text_type(std::string_view mime_type);
+
+}  // namespace sweb::http

@@ -1,0 +1,326 @@
+#include "http/parser.h"
+
+#include "util/strings.h"
+
+namespace sweb::http {
+
+namespace {
+
+/// Parses "HTTP/major.minor". Returns false on malformed input.
+[[nodiscard]] bool parse_version(std::string_view s, int& major, int& minor) {
+  if (!s.starts_with("HTTP/")) return false;
+  s.remove_prefix(5);
+  const auto dot = s.find('.');
+  if (dot == std::string_view::npos) return false;
+  std::uint64_t maj = 0, min = 0;
+  if (!util::parse_u64(s.substr(0, dot), maj) ||
+      !util::parse_u64(s.substr(dot + 1), min)) {
+    return false;
+  }
+  if (maj > 9 || min > 9) return false;
+  major = static_cast<int>(maj);
+  minor = static_cast<int>(min);
+  return true;
+}
+
+/// Splits "Name: value"; header names may not contain spaces.
+[[nodiscard]] bool split_header(std::string_view line, std::string& name,
+                                std::string& value) {
+  const auto colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  const std::string_view n = line.substr(0, colon);
+  if (n.find(' ') != std::string_view::npos ||
+      n.find('\t') != std::string_view::npos) {
+    return false;
+  }
+  name = std::string(n);
+  value = std::string(util::trim(line.substr(colon + 1)));
+  return true;
+}
+
+/// Pulls bytes out of `data` into `buffer` until a '\n' lands in `buffer`.
+/// Returns true when `line` holds a complete line (CR/LF stripped).
+[[nodiscard]] bool extract_line(std::string& buffer, std::string_view data,
+                                std::size_t& consumed, std::string& line) {
+  const auto nl = data.find('\n', consumed);
+  if (nl == std::string_view::npos) {
+    buffer.append(data.substr(consumed));
+    consumed = data.size();
+    return false;
+  }
+  buffer.append(data.substr(consumed, nl - consumed + 1));
+  consumed = nl + 1;
+  // Strip the terminator ("\r\n" or bare "\n").
+  std::string_view full = buffer;
+  full.remove_suffix(1);
+  if (!full.empty() && full.back() == '\r') full.remove_suffix(1);
+  line = std::string(full);
+  buffer.clear();
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- requests
+
+void RequestParser::reset() {
+  state_ = State::kRequestLine;
+  buffer_.clear();
+  body_needed_ = 0;
+  request_ = Request{};
+  error_.clear();
+}
+
+ParseResult RequestParser::fail(std::string what) {
+  state_ = State::kError;
+  error_ = std::move(what);
+  return ParseResult::kError;
+}
+
+bool RequestParser::parse_request_line(std::string_view line) {
+  const auto parts = util::split_nonempty(line, ' ');
+  if (parts.size() == 2) {
+    // HTTP/0.9 simple request: "GET /path" — no headers, no body. The
+    // target must be origin-form, which also disambiguates a missing
+    // target ("GET  HTTP/1.0") from a real simple request.
+    if (parts[0] != "GET" || parts[1].empty() || parts[1].front() != '/') {
+      return false;
+    }
+    request_.method = Method::kGet;
+    request_.target = std::string(parts[1]);
+    request_.version_major = 0;
+    request_.version_minor = 9;
+    state_ = State::kDone;
+    return true;
+  }
+  if (parts.size() != 3) return false;
+  request_.method = parse_method(parts[0]);
+  request_.target = std::string(parts[1]);
+  if (!parse_version(parts[2], request_.version_major,
+                     request_.version_minor)) {
+    return false;
+  }
+  if (request_.target.empty()) return false;
+  state_ = State::kHeaders;
+  return true;
+}
+
+bool RequestParser::parse_header_line(std::string_view line) {
+  if (request_.headers.size() >= limits_.max_headers) return false;
+  std::string name, value;
+  if (!split_header(line, name, value)) return false;
+  request_.headers.add(std::move(name), std::move(value));
+  return true;
+}
+
+bool RequestParser::finish_headers() {
+  body_needed_ = 0;
+  if (const auto cl = request_.headers.get("Content-Length")) {
+    std::uint64_t n = 0;
+    if (!util::parse_u64(*cl, n) || n > limits_.max_body) return false;
+    body_needed_ = static_cast<std::size_t>(n);
+  }
+  state_ = body_needed_ > 0 ? State::kBody : State::kDone;
+  return true;
+}
+
+ParseResult RequestParser::feed(std::string_view data, std::size_t& consumed) {
+  consumed = 0;
+  if (state_ == State::kError) return ParseResult::kError;
+
+  while (true) {
+    switch (state_) {
+      case State::kRequestLine: {
+        std::string line;
+        if (!extract_line(buffer_, data, consumed, line)) {
+          if (buffer_.size() > limits_.max_request_line) {
+            return fail("request line too long");
+          }
+          return ParseResult::kNeedMore;
+        }
+        if (line.empty()) continue;  // tolerate leading CRLFs (RFC 9112 §2.2)
+        if (line.size() > limits_.max_request_line) {
+          return fail("request line too long");
+        }
+        if (!parse_request_line(line)) {
+          return fail("malformed request line: '" + line + "'");
+        }
+        break;
+      }
+      case State::kHeaders: {
+        std::string line;
+        if (!extract_line(buffer_, data, consumed, line)) {
+          if (buffer_.size() > limits_.max_header_line) {
+            return fail("header line too long");
+          }
+          return ParseResult::kNeedMore;
+        }
+        if (line.size() > limits_.max_header_line) {
+          return fail("header line too long");
+        }
+        if (line.empty()) {
+          if (!finish_headers()) return fail("bad Content-Length");
+          break;
+        }
+        if (!parse_header_line(line)) {
+          return fail("malformed header: '" + line + "'");
+        }
+        break;
+      }
+      case State::kBody: {
+        const std::size_t want = body_needed_ - request_.body.size();
+        const std::size_t take = std::min(want, data.size() - consumed);
+        request_.body.append(data.substr(consumed, take));
+        consumed += take;
+        if (request_.body.size() < body_needed_) return ParseResult::kNeedMore;
+        state_ = State::kDone;
+        break;
+      }
+      case State::kDone:
+        return ParseResult::kComplete;
+      case State::kError:
+        return ParseResult::kError;
+    }
+  }
+}
+
+// --------------------------------------------------------------- responses
+
+void ResponseParser::reset() {
+  state_ = State::kStatusLine;
+  buffer_.clear();
+  body_needed_ = 0;
+  response_ = Response{};
+  error_.clear();
+}
+
+ParseResult ResponseParser::fail(std::string what) {
+  state_ = State::kError;
+  error_ = std::move(what);
+  return ParseResult::kError;
+}
+
+bool ResponseParser::parse_status_line(std::string_view line) {
+  // "HTTP/1.0 302 Found" — the reason phrase may contain spaces or be empty.
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  if (!parse_version(line.substr(0, sp1), response_.version_major,
+                     response_.version_minor)) {
+    return false;
+  }
+  std::string_view rest = util::trim(line.substr(sp1 + 1));
+  const auto sp2 = rest.find(' ');
+  const std::string_view code_str =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  std::uint64_t status_code = 0;
+  if (!util::parse_u64(code_str, status_code) || status_code < 100 ||
+      status_code > 599) {
+    return false;
+  }
+  response_.status = static_cast<Status>(status_code);
+  state_ = State::kHeaders;
+  return true;
+}
+
+bool ResponseParser::parse_header_line(std::string_view line) {
+  if (response_.headers.size() >= limits_.max_headers) return false;
+  std::string name, value;
+  if (!split_header(line, name, value)) return false;
+  response_.headers.add(std::move(name), std::move(value));
+  return true;
+}
+
+bool ResponseParser::finish_headers() {
+  // HEAD responses and bodiless statuses (1xx/204/304) end at the headers.
+  const int status_code = code(response_.status);
+  if (head_response_ || status_code / 100 == 1 || status_code == 204 ||
+      status_code == 304) {
+    state_ = State::kDone;
+    return true;
+  }
+  if (const auto cl = response_.headers.get("Content-Length")) {
+    std::uint64_t n = 0;
+    if (!util::parse_u64(*cl, n) || n > limits_.max_body) return false;
+    body_needed_ = static_cast<std::size_t>(n);
+    state_ = body_needed_ > 0 ? State::kBodyCounted : State::kDone;
+  } else {
+    state_ = State::kBodyToEof;  // HTTP/1.0: body runs to connection close
+  }
+  return true;
+}
+
+ParseResult ResponseParser::feed(std::string_view data, std::size_t& consumed) {
+  consumed = 0;
+  if (state_ == State::kError) return ParseResult::kError;
+
+  while (true) {
+    switch (state_) {
+      case State::kStatusLine: {
+        std::string line;
+        if (!extract_line(buffer_, data, consumed, line)) {
+          if (buffer_.size() > limits_.max_request_line) {
+            return fail("status line too long");
+          }
+          return ParseResult::kNeedMore;
+        }
+        if (line.empty()) continue;
+        if (!parse_status_line(line)) {
+          return fail("malformed status line: '" + line + "'");
+        }
+        break;
+      }
+      case State::kHeaders: {
+        std::string line;
+        if (!extract_line(buffer_, data, consumed, line)) {
+          if (buffer_.size() > limits_.max_header_line) {
+            return fail("header line too long");
+          }
+          return ParseResult::kNeedMore;
+        }
+        if (line.empty()) {
+          if (!finish_headers()) return fail("bad Content-Length");
+          break;
+        }
+        if (!parse_header_line(line)) {
+          return fail("malformed header: '" + line + "'");
+        }
+        break;
+      }
+      case State::kBodyCounted: {
+        const std::size_t want = body_needed_ - response_.body.size();
+        const std::size_t take = std::min(want, data.size() - consumed);
+        response_.body.append(data.substr(consumed, take));
+        consumed += take;
+        if (response_.body.size() < body_needed_) {
+          return ParseResult::kNeedMore;
+        }
+        state_ = State::kDone;
+        break;
+      }
+      case State::kBodyToEof: {
+        if (response_.body.size() + (data.size() - consumed) >
+            limits_.max_body) {
+          return fail("body exceeds limit");
+        }
+        response_.body.append(data.substr(consumed));
+        consumed = data.size();
+        return ParseResult::kNeedMore;  // complete only at finish_eof()
+      }
+      case State::kDone:
+        return ParseResult::kComplete;
+      case State::kError:
+        return ParseResult::kError;
+    }
+  }
+}
+
+ParseResult ResponseParser::finish_eof() {
+  if (state_ == State::kBodyToEof) {
+    state_ = State::kDone;
+    return ParseResult::kComplete;
+  }
+  if (state_ == State::kDone) return ParseResult::kComplete;
+  return fail("connection closed mid-message");
+}
+
+}  // namespace sweb::http

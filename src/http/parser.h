@@ -1,0 +1,101 @@
+// Incremental HTTP/1.0 message parsers.
+//
+// The real-sockets runtime feeds these byte-by-byte as data arrives; the
+// simulator and tests feed whole buffers. Both requests and responses are
+// covered (the redirect-following client needs the latter).
+//
+// Limits guard against hostile input: request-line and header-line lengths,
+// header counts and body sizes are bounded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace sweb::http {
+
+enum class ParseResult {
+  kNeedMore,  // consume returned; feed more bytes
+  kComplete,  // message() is valid; trailing bytes were not consumed
+  kError,     // malformed input; error() describes why
+};
+
+struct ParserLimits {
+  std::size_t max_request_line = 8 * 1024;
+  std::size_t max_header_line = 8 * 1024;
+  std::size_t max_headers = 100;
+  std::size_t max_body = 64 * 1024 * 1024;
+};
+
+/// Parses one request. Reusable via reset().
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Consumes as much of `data` as possible; returns the parser state.
+  /// `consumed` reports how many bytes of `data` were used — on kComplete
+  /// the remainder belongs to the next message (HTTP/1.0 SWEB closes the
+  /// connection per request, but the parser is keep-alive clean).
+  ParseResult feed(std::string_view data, std::size_t& consumed);
+
+  [[nodiscard]] const Request& message() const noexcept { return request_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  void reset();
+
+ private:
+  enum class State { kRequestLine, kHeaders, kBody, kDone, kError };
+
+  ParseResult fail(std::string what);
+  bool parse_request_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  /// On headers complete: decide body length from Content-Length.
+  bool finish_headers();
+
+  ParserLimits limits_;
+  State state_ = State::kRequestLine;
+  std::string buffer_;        // partial line accumulation
+  std::size_t body_needed_ = 0;
+  Request request_;
+  std::string error_;
+};
+
+/// Parses one response (status line, headers, body to Content-Length or
+/// connection close).
+class ResponseParser {
+ public:
+  explicit ResponseParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  /// Declare that the response answers a HEAD request: Content-Length then
+  /// describes the entity but no body bytes follow (RFC 9110 §9.3.2).
+  void expect_head_response(bool head) noexcept { head_response_ = head; }
+
+  ParseResult feed(std::string_view data, std::size_t& consumed);
+
+  /// Call when the peer closed the connection: a response without
+  /// Content-Length is complete at EOF (HTTP/1.0 framing).
+  ParseResult finish_eof();
+
+  [[nodiscard]] const Response& message() const noexcept { return response_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  void reset();
+
+ private:
+  enum class State { kStatusLine, kHeaders, kBodyCounted, kBodyToEof, kDone, kError };
+
+  ParseResult fail(std::string what);
+  bool parse_status_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  bool finish_headers();
+
+  ParserLimits limits_;
+  State state_ = State::kStatusLine;
+  std::string buffer_;
+  std::size_t body_needed_ = 0;
+  bool head_response_ = false;
+  Response response_;
+  std::string error_;
+};
+
+}  // namespace sweb::http

@@ -1,0 +1,170 @@
+#include "http/url.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace sweb::http {
+
+namespace {
+
+[[nodiscard]] int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://" + host;
+  const bool default_port = (scheme == "http" && port == 80) ||
+                            (scheme == "https" && port == 443);
+  if (!default_port) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += path.empty() ? "/" : path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+std::optional<Url> parse_url(std::string_view s) {
+  const auto scheme_end = s.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return std::nullopt;
+  }
+  Url url;
+  url.scheme = util::to_lower(s.substr(0, scheme_end));
+  if (url.scheme == "https") url.port = 443;
+  s.remove_prefix(scheme_end + 3);
+
+  // Authority runs to the first '/' or '?'.
+  std::size_t auth_end = s.find_first_of("/?");
+  const std::string_view authority =
+      auth_end == std::string_view::npos ? s : s.substr(0, auth_end);
+  if (authority.empty()) return std::nullopt;
+
+  if (const auto colon = authority.rfind(':');
+      colon != std::string_view::npos) {
+    std::uint64_t port = 0;
+    if (!util::parse_u64(authority.substr(colon + 1), port) || port == 0 ||
+        port > 65535) {
+      return std::nullopt;
+    }
+    url.host = util::to_lower(authority.substr(0, colon));
+    url.port = static_cast<std::uint16_t>(port);
+  } else {
+    url.host = util::to_lower(authority);
+  }
+  if (url.host.empty()) return std::nullopt;
+
+  if (auth_end == std::string_view::npos) {
+    url.path = "/";
+    return url;
+  }
+  s.remove_prefix(auth_end);
+  std::string path, query;
+  if (s.front() == '?') {
+    url.path = "/";
+    url.query = std::string(s.substr(1));
+    return url;
+  }
+  if (!split_target(s, path, query)) return std::nullopt;
+  url.path = std::move(path);
+  url.query = std::move(query);
+  return url;
+}
+
+bool split_target(std::string_view target, std::string& path,
+                  std::string& query) {
+  if (target.empty() || target.front() != '/') return false;
+  const auto qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    path = std::string(target);
+    query.clear();
+  } else {
+    path = std::string(target.substr(0, qmark));
+    query = std::string(target.substr(qmark + 1));
+  }
+  return true;
+}
+
+std::optional<std::string> percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) return std::nullopt;
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (s[i] == '+') {
+      out.push_back(' ');  // form-encoding convention, harmless for paths
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> normalize_path(std::string_view path) {
+  if (path.empty() || path.front() != '/') return std::nullopt;
+  std::vector<std::string_view> stack;
+  for (std::string_view seg : util::split(path, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (stack.empty()) return std::nullopt;  // escapes the docroot
+      stack.pop_back();
+      continue;
+    }
+    stack.push_back(seg);
+  }
+  std::string out;
+  for (std::string_view seg : stack) {
+    out += '/';
+    out += seg;
+  }
+  if (out.empty()) out = "/";
+  // Preserve a trailing slash on directory references.
+  if (path.size() > 1 && path.back() == '/' && out != "/") out += '/';
+  return out;
+}
+
+std::optional<Url> canonicalize_target(std::string_view target) {
+  std::string raw_path, query;
+  if (!split_target(target, raw_path, query)) return std::nullopt;
+  const auto decoded = percent_decode(raw_path);
+  if (!decoded) return std::nullopt;
+  // Refuse decoded NUL or embedded newline — classic request-smuggling junk.
+  if (decoded->find('\0') != std::string::npos ||
+      decoded->find('\n') != std::string::npos) {
+    return std::nullopt;
+  }
+  const auto normalized = normalize_path(*decoded);
+  if (!normalized) return std::nullopt;
+  Url url;
+  url.scheme = "http";
+  url.path = *normalized;
+  url.query = std::move(query);
+  return url;
+}
+
+std::string path_extension(std::string_view path) {
+  const auto slash = path.rfind('/');
+  const std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  const auto dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == base.size()) {
+    return {};
+  }
+  return util::to_lower(base.substr(dot + 1));
+}
+
+}  // namespace sweb::http

@@ -1,0 +1,55 @@
+// URL parsing and document-path normalization.
+//
+// SWEB preprocessing "parses the HTTP commands, and completes the pathname
+// given, determining appropriate permissions along the way". This module
+// does the pathname work: absolute-URL parsing (for Location headers and
+// redirect targets), origin-form splitting, percent-decoding, and dot-segment
+// normalization that refuses to escape the document root.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sweb::http {
+
+struct Url {
+  std::string scheme;  // "http"
+  std::string host;    // "sweb.cs.ucsb.edu"
+  std::uint16_t port = 80;
+  std::string path;    // "/maps/goleta.gif", always starts with '/'
+  std::string query;   // "zoom=2" (no leading '?'), may be empty
+
+  /// Reassembles the absolute form "http://host:port/path?query"
+  /// (the port is omitted when it is the scheme default).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses an absolute URL ("http://host[:port][/path][?query]").
+/// Returns std::nullopt on malformed input.
+[[nodiscard]] std::optional<Url> parse_url(std::string_view s);
+
+/// Splits an origin-form request target "/path?query" into path and query.
+/// Returns false if `target` does not start with '/'.
+[[nodiscard]] bool split_target(std::string_view target, std::string& path,
+                                std::string& query);
+
+/// Percent-decodes a path or query component. Returns std::nullopt on a
+/// truncated or non-hex escape.
+[[nodiscard]] std::optional<std::string> percent_decode(std::string_view s);
+
+/// Normalizes "." and ".." segments and collapses duplicate slashes.
+/// Returns std::nullopt when ".." would climb above the root — the
+/// permission check that keeps requests inside the docroot.
+[[nodiscard]] std::optional<std::string> normalize_path(std::string_view path);
+
+/// Full request-target canonicalization: split, decode, normalize.
+/// The result's path is safe to hand to the document store.
+[[nodiscard]] std::optional<Url> canonicalize_target(std::string_view target);
+
+/// File extension of a path ("gif" for "/a/b.gif"), lower-cased; empty if
+/// none. Drives both the MIME table and the oracle's request classes.
+[[nodiscard]] std::string path_extension(std::string_view path);
+
+}  // namespace sweb::http

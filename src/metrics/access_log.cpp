@@ -1,0 +1,58 @@
+#include "metrics/access_log.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+namespace sweb::metrics {
+
+namespace {
+
+/// "[01/Jan/1996:00:00:05 +0000]" — CLF's strftime format.
+[[nodiscard]] std::string clf_timestamp(std::int64_t epoch_base,
+                                        double sim_time) {
+  const std::time_t t =
+      static_cast<std::time_t>(epoch_base + static_cast<std::int64_t>(sim_time));
+  std::tm tm_utc{};
+  gmtime_r(&t, &tm_utc);
+  char buf[48];
+  std::strftime(buf, sizeof buf, "[%d/%b/%Y:%H:%M:%S +0000]", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+std::string clf_line(const RequestRecord& record,
+                     const AccessLogOptions& options) {
+  const bool completed = record.outcome == Outcome::kCompleted ||
+                         record.outcome == Outcome::kError;
+  const int status = record.status_code;
+  const double stamp_time = completed ? record.finish : record.start;
+  const long long bytes =
+      record.outcome == Outcome::kCompleted
+          ? static_cast<long long>(std::llround(record.size_bytes))
+          : 0;
+  std::string line = options.host_prefix +
+                     std::to_string(record.first_node >= 0
+                                        ? record.first_node
+                                        : 0) +
+                     " - - " + clf_timestamp(options.epoch_base, stamp_time) +
+                     " \"GET " + record.path + " HTTP/1.0\" " +
+                     std::to_string(status) + " ";
+  // CLF uses "-" for a zero/unknown byte count.
+  line += bytes > 0 ? std::to_string(bytes) : std::string("-");
+  return line;
+}
+
+void write_access_log(std::ostream& out,
+                      const std::vector<RequestRecord>& records,
+                      const AccessLogOptions& options) {
+  for (const RequestRecord& record : records) {
+    const bool ok = record.outcome == Outcome::kCompleted ||
+                    record.outcome == Outcome::kError;
+    if (!ok && !options.include_failures) continue;
+    out << clf_line(record, options) << '\n';
+  }
+}
+
+}  // namespace sweb::metrics

@@ -1,0 +1,40 @@
+// NCSA Common Log Format writer.
+//
+// SWEB descends from NCSA httpd, whose access_log format became the
+// de-facto standard:
+//
+//   host ident authuser [date] "request" status bytes
+//
+// Simulated requests become CLF lines so existing log-analysis tooling
+// can chew on experiment output, and so a simulated run can be diffed
+// against a real server's log.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace sweb::metrics {
+
+struct AccessLogOptions {
+  /// Unix epoch seconds corresponding to simulated t = 0.
+  std::int64_t epoch_base = 820454400;  // 1996-01-01 00:00:00 UTC
+  /// Client host names are synthesized as "<prefix><first_node>".
+  std::string host_prefix = "client";
+  /// Include refused/timed-out requests (status 0 lines) or skip them.
+  bool include_failures = false;
+};
+
+/// Formats one record as a CLF line (no trailing newline).
+[[nodiscard]] std::string clf_line(const RequestRecord& record,
+                                   const AccessLogOptions& options = {});
+
+/// Writes the whole log, completed requests only unless include_failures.
+void write_access_log(std::ostream& out,
+                      const std::vector<RequestRecord>& records,
+                      const AccessLogOptions& options = {});
+
+}  // namespace sweb::metrics

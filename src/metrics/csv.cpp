@@ -1,0 +1,107 @@
+#include "metrics/csv.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace sweb::metrics {
+
+namespace {
+
+[[nodiscard]] const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kPending: return "pending";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRefused: return "refused";
+    case Outcome::kTimedOut: return "timed_out";
+    case Outcome::kError: return "error";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::string num(double v) {
+  std::ostringstream out;
+  out.precision(9);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << ',';
+      out << csv_escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+CsvWriter records_csv(const std::vector<RequestRecord>& records) {
+  CsvWriter csv({"id", "path", "size_bytes", "outcome", "status",
+                 "first_node", "final_node", "redirected", "cache_hit",
+                 "remote_read", "start_s", "finish_s", "response_s",
+                 "t_dns", "t_connect", "t_queue", "t_preprocess",
+                 "t_analysis", "t_redirect", "t_data", "t_send"});
+  for (const RequestRecord& r : records) {
+    const bool done = r.outcome == Outcome::kCompleted;
+    csv.add_row({std::to_string(r.id), r.path, num(r.size_bytes),
+                 outcome_name(r.outcome), std::to_string(r.status_code),
+                 std::to_string(r.first_node), std::to_string(r.final_node),
+                 r.redirected ? "1" : "0", r.cache_hit ? "1" : "0",
+                 r.remote_read ? "1" : "0", num(r.start),
+                 done ? num(r.finish) : "", done ? num(r.response_time()) : "",
+                 num(r.t_dns), num(r.t_connect), num(r.t_queue),
+                 num(r.t_preprocess), num(r.t_analysis), num(r.t_redirect),
+                 num(r.t_data), num(r.t_send)});
+  }
+  return csv;
+}
+
+CsvWriter summary_csv(const Summary& s) {
+  CsvWriter csv({"total", "completed", "refused", "timed_out", "errors",
+                 "pending", "redirected", "cache_hits", "remote_reads",
+                 "mean_response_s", "p50_response_s", "p95_response_s",
+                 "max_response_s", "drop_rate", "redirect_rate"});
+  csv.add_row({std::to_string(s.total), std::to_string(s.completed),
+               std::to_string(s.refused), std::to_string(s.timed_out),
+               std::to_string(s.errors), std::to_string(s.pending),
+               std::to_string(s.redirected), std::to_string(s.cache_hits),
+               std::to_string(s.remote_reads), num(s.mean_response),
+               num(s.p50_response), num(s.p95_response), num(s.max_response),
+               num(s.drop_rate()), num(s.redirect_rate())});
+  return csv;
+}
+
+}  // namespace sweb::metrics

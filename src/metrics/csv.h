@@ -1,0 +1,41 @@
+// CSV export: per-request records and experiment summaries, for analysis
+// outside the bench harness (gnuplot, pandas, spreadsheets).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace sweb::metrics {
+
+/// RFC-4180-style escaping: quotes fields containing separators, quotes or
+/// newlines; doubles embedded quotes.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Minimal CSV document builder.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Appends one row; it must have exactly as many cells as columns.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  void write(std::ostream& out) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row per request: outcome, nodes, phases — everything a plot needs.
+[[nodiscard]] CsvWriter records_csv(const std::vector<RequestRecord>& records);
+
+/// A single-row summary (the table-cell values).
+[[nodiscard]] CsvWriter summary_csv(const Summary& summary);
+
+}  // namespace sweb::metrics

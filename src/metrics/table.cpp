@@ -1,0 +1,77 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sweb::metrics {
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  // Column widths from headers and every row.
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(headers_);
+  for (const Row& row : rows_) {
+    if (!row.separator) widen(row.cells);
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& cells,
+                            bool header) {
+    out << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const std::size_t pad = widths[i] - cell.size();
+      out << ' ';
+      if (i == 0 || header) {  // left-align labels and headers
+        out << cell << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cell;
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  const auto emit_separator = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  emit_separator();
+  emit_row(headers_, true);
+  emit_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_separator();
+    } else {
+      emit_row(row.cells, false);
+    }
+  }
+  emit_separator();
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace sweb::metrics

@@ -1,0 +1,43 @@
+// Fixed-width ASCII table rendering for the bench harnesses.
+//
+// Every bench binary reproduces one of the paper's tables; this renderer
+// prints them in a layout recognizably close to the originals.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweb::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; it may have fewer cells than there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator at this position.
+  void add_separator();
+
+  /// Renders with per-column auto-widths; first column left-aligned,
+  /// the rest right-aligned (numeric convention).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` decimals ("3.46").
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+/// Formats a percentage ("37.3%").
+[[nodiscard]] std::string fmt_pct(double fraction, int digits = 1);
+
+}  // namespace sweb::metrics

@@ -1,0 +1,82 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sweb::metrics {
+
+std::vector<TimelineBucket> build_timeline(
+    const std::vector<RequestRecord>& records, double bucket_s,
+    double horizon) {
+  assert(bucket_s > 0.0);
+  if (horizon <= 0.0) {
+    for (const RequestRecord& r : records) {
+      horizon = std::max(horizon, r.start);
+      if (r.outcome == Outcome::kCompleted) {
+        horizon = std::max(horizon, r.finish);
+      }
+    }
+    horizon += bucket_s;  // room for the last event's bucket
+  }
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(horizon / bucket_s));
+  std::vector<TimelineBucket> buckets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets[i].start = static_cast<double>(i) * bucket_s;
+  }
+  const auto bucket_of = [&](double t) -> TimelineBucket* {
+    if (t < 0.0) return nullptr;
+    const auto i = static_cast<std::size_t>(t / bucket_s);
+    return i < n ? &buckets[i] : nullptr;
+  };
+
+  // Accumulate; means need a second pass denominator, kept inline.
+  std::vector<double> response_sums(n, 0.0);
+  for (const RequestRecord& r : records) {
+    if (TimelineBucket* b = bucket_of(r.start)) ++b->launched;
+    switch (r.outcome) {
+      case Outcome::kCompleted:
+        if (TimelineBucket* b = bucket_of(r.finish)) {
+          ++b->completed;
+          const std::size_t i = static_cast<std::size_t>(b - buckets.data());
+          response_sums[i] += r.response_time();
+          b->max_response = std::max(b->max_response, r.response_time());
+        }
+        break;
+      case Outcome::kRefused:
+      case Outcome::kTimedOut:
+        if (TimelineBucket* b = bucket_of(r.start)) ++b->failed;
+        break;
+      case Outcome::kError:
+      case Outcome::kPending:
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets[i].completed > 0) {
+      buckets[i].mean_response = response_sums[i] / buckets[i].completed;
+    }
+  }
+  return buckets;
+}
+
+CsvWriter timeline_csv(const std::vector<TimelineBucket>& buckets) {
+  CsvWriter csv({"t", "launched", "completed", "failed", "mean_response",
+                 "max_response"});
+  const auto num = [](double v) {
+    std::ostringstream out;
+    out.precision(9);
+    out << v;
+    return out.str();
+  };
+  for (const TimelineBucket& b : buckets) {
+    csv.add_row({num(b.start), std::to_string(b.launched),
+                 std::to_string(b.completed), std::to_string(b.failed),
+                 num(b.mean_response), num(b.max_response)});
+  }
+  return csv;
+}
+
+}  // namespace sweb::metrics

@@ -1,0 +1,31 @@
+// Time-bucketed experiment series: offered vs completed throughput and
+// response-time statistics per interval — the data behind "does the queue
+// grow through the window?" questions (and latency-over-time plots).
+#pragma once
+
+#include <vector>
+
+#include "metrics/collector.h"
+#include "metrics/csv.h"
+
+namespace sweb::metrics {
+
+struct TimelineBucket {
+  double start = 0.0;       // bucket [start, start + width)
+  int launched = 0;         // requests initiated in the bucket
+  int completed = 0;        // responses finished in the bucket
+  int failed = 0;           // refused or timed out (stamped at start time)
+  double mean_response = 0.0;  // over the bucket's completions
+  double max_response = 0.0;
+};
+
+/// Buckets `records` into `bucket_s`-wide intervals covering [0, horizon).
+/// When horizon <= 0 it is derived from the records (last finish/start).
+[[nodiscard]] std::vector<TimelineBucket> build_timeline(
+    const std::vector<RequestRecord>& records, double bucket_s,
+    double horizon = 0.0);
+
+/// Columns: t,launched,completed,failed,mean_response,max_response.
+[[nodiscard]] CsvWriter timeline_csv(const std::vector<TimelineBucket>& buckets);
+
+}  // namespace sweb::metrics

@@ -1,0 +1,81 @@
+#include "runtime/client.h"
+
+#include "http/parser.h"
+#include "http/url.h"
+#include "runtime/socket.h"
+
+namespace sweb::runtime {
+
+namespace {
+
+/// One request/response exchange; std::nullopt on any failure.
+[[nodiscard]] std::optional<http::Response> exchange(
+    const http::Url& url, const FetchOptions& options) {
+  // Loopback-only client: the MiniCluster lives on 127.0.0.1.
+  auto stream = TcpStream::connect(SocketAddress::loopback(url.port),
+                                   options.timeout);
+  if (!stream) return std::nullopt;
+
+  http::Request request;
+  request.method = options.head          ? http::Method::kHead
+                   : options.post_body.empty() ? http::Method::kGet
+                                               : http::Method::kPost;
+  request.target = url.path + (url.query.empty() ? "" : "?" + url.query);
+  request.headers.add("Host", url.host + ":" + std::to_string(url.port));
+  request.headers.add("User-Agent", "sweb-client/1.0");
+  if (!options.post_body.empty()) {
+    request.headers.add("Content-Type", options.post_content_type);
+    request.headers.add("Content-Length",
+                        std::to_string(options.post_body.size()));
+    request.body = options.post_body;
+  }
+  if (!stream->write_all(request.serialize(), options.timeout)) {
+    return std::nullopt;
+  }
+  stream->shutdown_write();
+
+  http::ResponseParser parser;
+  parser.expect_head_response(options.head);
+  http::ParseResult state = http::ParseResult::kNeedMore;
+  while (state == http::ParseResult::kNeedMore) {
+    const auto chunk = stream->read_some(64 * 1024, options.timeout);
+    if (!chunk.ok) return std::nullopt;
+    if (chunk.eof) {
+      state = parser.finish_eof();
+      break;
+    }
+    std::size_t consumed = 0;
+    state = parser.feed(chunk.data, consumed);
+  }
+  if (state != http::ParseResult::kComplete) return std::nullopt;
+  return parser.message();
+}
+
+}  // namespace
+
+std::optional<FetchResult> fetch(const std::string& url,
+                                 const FetchOptions& options) {
+  auto parsed = http::parse_url(url);
+  if (!parsed) return std::nullopt;
+
+  FetchResult result;
+  result.final_url = url;
+  for (int hop = 0; hop <= options.max_redirects; ++hop) {
+    auto response = exchange(*parsed, options);
+    if (!response) return std::nullopt;
+    if (response->is_redirect()) {
+      const auto location = response->headers.get("Location");
+      auto next = http::parse_url(std::string(*location));
+      if (!next) return std::nullopt;
+      parsed = std::move(next);
+      result.final_url = std::string(*location);
+      ++result.redirects_followed;
+      continue;
+    }
+    result.response = std::move(*response);
+    return result;
+  }
+  return std::nullopt;  // too many redirects
+}
+
+}  // namespace sweb::runtime

@@ -1,0 +1,33 @@
+// Redirect-following HTTP client for the real runtime.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+
+namespace sweb::runtime {
+
+struct FetchResult {
+  http::Response response;
+  int redirects_followed = 0;
+  std::string final_url;
+};
+
+struct FetchOptions {
+  int max_redirects = 4;
+  std::chrono::milliseconds timeout{3000};
+  bool head = false;  // HEAD instead of GET
+  // Non-empty body turns the request into a POST (CGI endpoints).
+  std::string post_body;
+  std::string post_content_type = "application/x-www-form-urlencoded";
+};
+
+/// Fetches `url` (absolute http:// form), following up to
+/// options.max_redirects Location hops. std::nullopt on connection error,
+/// malformed response, or redirect loop overflow.
+[[nodiscard]] std::optional<FetchResult> fetch(const std::string& url,
+                                               const FetchOptions& options = {});
+
+}  // namespace sweb::runtime

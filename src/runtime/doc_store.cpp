@@ -1,0 +1,50 @@
+#include "runtime/doc_store.h"
+
+#include <algorithm>
+
+namespace sweb::runtime {
+
+DocStore::DocStore(const fs::Docbase& docbase,
+                   std::uint64_t max_bytes_per_doc) {
+  std::time_t stamp = 820454400;  // 1996-01-01, one minute apart per doc
+  for (const fs::Document& doc : docbase.documents()) {
+    Entry entry;
+    entry.owner = doc.owner;
+    entry.cgi = doc.cgi;
+    entry.last_modified = stamp;
+    stamp += 60;
+    const std::uint64_t size = std::min(doc.size, max_bytes_per_doc);
+    entry.content.reserve(static_cast<std::size_t>(size));
+    // Deterministic filler derived from the path, so responses are
+    // distinguishable in tests.
+    const std::string stamp = "<!-- " + doc.path + " -->";
+    while (entry.content.size() < size) {
+      entry.content.append(
+          stamp, 0,
+          std::min(stamp.size(),
+                   static_cast<std::size_t>(size) - entry.content.size()));
+    }
+    entries_.emplace(doc.path, std::move(entry));
+  }
+}
+
+const DocStore::Entry* DocStore::find(std::string_view path) const {
+  const auto it = entries_.find(std::string(path));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void DocStore::register_cgi(std::string path, fs::NodeId owner,
+                            CgiHandler handler) {
+  Entry entry;
+  entry.owner = owner;
+  entry.cgi = true;
+  entries_.insert_or_assign(path, std::move(entry));
+  handlers_.insert_or_assign(std::move(path), std::move(handler));
+}
+
+const CgiHandler* DocStore::cgi_for(std::string_view path) const {
+  const auto it = handlers_.find(std::string(path));
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sweb::runtime

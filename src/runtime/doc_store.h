@@ -1,0 +1,64 @@
+// In-memory document store for the real-sockets runtime.
+//
+// Plays the role of the per-node disks + NFS cross-mounts: every node can
+// serve any document, but each document has an owner node (its "local
+// disk"), which the redirect logic prefers. Content is synthesized from the
+// docbase description so the runtime needs no files on disk.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "fs/docbase.h"
+#include "http/message.h"
+
+namespace sweb::runtime {
+
+/// A dynamic-content handler: receives the request (GET query string or
+/// POST body) and produces the response body. This is the extension the
+/// paper names as future work ("Other commands (e.g., POST) are not
+/// handled, but SWEB could be extended to do so").
+using CgiHandler =
+    std::function<http::Response(const http::Request& request,
+                                 std::string_view query)>;
+
+class DocStore {
+ public:
+  /// Materializes content for every document in `docbase` (a repeating
+  /// pattern of the requested size, capped at `max_bytes_per_doc` to keep
+  /// test memory sane; the Content-Length always reflects the stored size).
+  explicit DocStore(const fs::Docbase& docbase,
+                    std::uint64_t max_bytes_per_doc = 4 * 1024 * 1024);
+
+  struct Entry {
+    std::string content;
+    fs::NodeId owner = 0;
+    bool cgi = false;
+    /// Unix time the document "was last modified" (synthesized
+    /// deterministically) — drives Last-Modified / If-Modified-Since.
+    std::time_t last_modified = 0;
+  };
+
+  [[nodiscard]] const Entry* find(std::string_view path) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Registers a dynamic handler for `path` (GET with query, or POST).
+  /// Handlers are invoked by the NodeServer on whichever node serves the
+  /// request; they must be thread-safe.
+  void register_cgi(std::string path, fs::NodeId owner, CgiHandler handler);
+
+  /// The handler for `path`, or nullptr for static content.
+  [[nodiscard]] const CgiHandler* cgi_for(std::string_view path) const;
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, CgiHandler> handlers_;
+};
+
+}  // namespace sweb::runtime

@@ -1,0 +1,48 @@
+#include "runtime/load_board.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sweb::runtime {
+
+void LoadBoard::connection_opened(int node, std::uint64_t expected_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NodeLoad& l = loads_[static_cast<std::size_t>(node)];
+  ++l.active_connections;
+  l.bytes_in_flight += expected_bytes;
+}
+
+void LoadBoard::connection_closed(int node, std::uint64_t expected_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  NodeLoad& l = loads_[static_cast<std::size_t>(node)];
+  assert(l.active_connections > 0);
+  --l.active_connections;
+  l.bytes_in_flight -= std::min(l.bytes_in_flight, expected_bytes);
+}
+
+void LoadBoard::note_served(int node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++loads_[static_cast<std::size_t>(node)].served;
+}
+
+void LoadBoard::note_redirected(int node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++loads_[static_cast<std::size_t>(node)].redirected;
+}
+
+void LoadBoard::set_available(int node, bool available) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  loads_[static_cast<std::size_t>(node)].available = available;
+}
+
+NodeLoad LoadBoard::snapshot(int node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loads_[static_cast<std::size_t>(node)];
+}
+
+std::vector<NodeLoad> LoadBoard::snapshot_all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loads_;
+}
+
+}  // namespace sweb::runtime

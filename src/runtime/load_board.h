@@ -1,0 +1,45 @@
+// Thread-safe shared load board for the real-sockets runtime.
+//
+// The simulator's loadd exchanges UDP-style broadcasts; on one machine the
+// node threads can share a mutex-guarded board instead — same information
+// (per-node active connections, bytes in flight, served counts), same
+// consumer (the per-node broker deciding whether to redirect).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sweb::runtime {
+
+struct NodeLoad {
+  int active_connections = 0;
+  std::uint64_t bytes_in_flight = 0;
+  std::uint64_t served = 0;
+  std::uint64_t redirected = 0;
+  bool available = true;
+};
+
+class LoadBoard {
+ public:
+  explicit LoadBoard(int num_nodes)
+      : loads_(static_cast<std::size_t>(num_nodes)) {}
+
+  void connection_opened(int node, std::uint64_t expected_bytes);
+  void connection_closed(int node, std::uint64_t expected_bytes);
+  void note_served(int node);
+  void note_redirected(int node);
+  void set_available(int node, bool available);
+
+  [[nodiscard]] NodeLoad snapshot(int node) const;
+  [[nodiscard]] std::vector<NodeLoad> snapshot_all() const;
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(loads_.size());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<NodeLoad> loads_;
+};
+
+}  // namespace sweb::runtime

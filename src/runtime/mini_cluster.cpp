@@ -1,0 +1,42 @@
+#include "runtime/mini_cluster.h"
+
+#include <cassert>
+
+namespace sweb::runtime {
+
+MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
+                         RuntimeBrokerParams broker)
+    : docs_(docbase), board_(num_nodes) {
+  assert(num_nodes > 0);
+  std::vector<std::uint16_t> ports;
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeServer::Config cfg;
+    cfg.node_id = n;
+    cfg.broker = broker;
+    servers_.push_back(std::make_unique<NodeServer>(cfg, docs_, board_));
+    ports.push_back(servers_.back()->port());
+  }
+  for (auto& server : servers_) server->set_peer_ports(ports);
+}
+
+MiniCluster::~MiniCluster() { stop(); }
+
+void MiniCluster::start() {
+  for (auto& server : servers_) server->start();
+}
+
+void MiniCluster::stop() {
+  for (auto& server : servers_) server->stop();
+}
+
+std::uint16_t MiniCluster::port(int node) const {
+  assert(node >= 0 && node < num_nodes());
+  return servers_[static_cast<std::size_t>(node)]->port();
+}
+
+std::string MiniCluster::next_base_url() {
+  const std::size_t n = rotation_++ % servers_.size();
+  return "http://127.0.0.1:" + std::to_string(servers_[n]->port());
+}
+
+}  // namespace sweb::runtime

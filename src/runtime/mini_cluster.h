@@ -1,0 +1,51 @@
+// MiniCluster: N NodeServers on loopback ports behind a round-robin
+// "DNS" — the whole SWEB logical server (Figure 2) as real processes-worth
+// of threads on one machine.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/docbase.h"
+#include "runtime/doc_store.h"
+#include "runtime/load_board.h"
+#include "runtime/node_server.h"
+
+namespace sweb::runtime {
+
+class MiniCluster {
+ public:
+  /// Builds stores + servers for `num_nodes` nodes serving `docbase`.
+  MiniCluster(int num_nodes, const fs::Docbase& docbase,
+              RuntimeBrokerParams broker = {});
+  ~MiniCluster();
+  MiniCluster(const MiniCluster&) = delete;
+  MiniCluster& operator=(const MiniCluster&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] int num_nodes() const noexcept {
+    return static_cast<int>(servers_.size());
+  }
+  [[nodiscard]] std::uint16_t port(int node) const;
+
+  /// Round-robin DNS: the next node's base URL ("http://127.0.0.1:PORT").
+  [[nodiscard]] std::string next_base_url();
+
+  [[nodiscard]] const LoadBoard& board() const noexcept { return board_; }
+  [[nodiscard]] LoadBoard& board() noexcept { return board_; }
+  [[nodiscard]] const DocStore& docs() const noexcept { return docs_; }
+  /// For registering CGI handlers — only before start() (the servers read
+  /// the store concurrently once running).
+  [[nodiscard]] DocStore& docs_mutable() noexcept { return docs_; }
+
+ private:
+  DocStore docs_;
+  LoadBoard board_;
+  std::vector<std::unique_ptr<NodeServer>> servers_;
+  std::size_t rotation_ = 0;
+};
+
+}  // namespace sweb::runtime

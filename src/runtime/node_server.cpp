@@ -1,0 +1,229 @@
+#include "runtime/node_server.h"
+
+#include <limits>
+
+#include "http/message.h"
+#include "http/date.h"
+#include "http/mime.h"
+#include "http/parser.h"
+#include "http/url.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace sweb::runtime {
+
+using namespace std::chrono_literals;
+
+NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
+    : config_(std::move(config)), docs_(docs), board_(board), listener_(0) {}
+
+NodeServer::~NodeServer() { stop(); }
+
+void NodeServer::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::jthread(
+      [this](const std::stop_token& token) { serve_loop(token); });
+}
+
+void NodeServer::stop() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    thread_.join();
+  }
+}
+
+void NodeServer::serve_loop(const std::stop_token& token) {
+  board_.set_available(config_.node_id, true);
+  while (!token.stop_requested()) {
+    auto stream = listener_.accept(100ms);
+    if (!stream) continue;  // timeout: re-check the stop token
+    handle_connection(std::move(*stream));
+  }
+  board_.set_available(config_.node_id, false);
+}
+
+int NodeServer::choose_node(int owner) const {
+  const int self = config_.node_id;
+  if (!config_.broker.enable_redirects) return self;
+  const std::vector<NodeLoad> loads = board_.snapshot_all();
+  const auto load_of = [&](int n) {
+    return loads[static_cast<std::size_t>(n)].active_connections;
+  };
+  // File locality first: the owner serves from its "local disk" unless it
+  // is clearly busier than we are.
+  if (owner != self && owner >= 0 &&
+      owner < static_cast<int>(loads.size()) &&
+      loads[static_cast<std::size_t>(owner)].available &&
+      load_of(owner) <=
+          load_of(self) + config_.broker.locality_pull_threshold) {
+    return owner;
+  }
+  // Otherwise balance on connection counts.
+  int best = self;
+  int best_load = load_of(self);
+  for (int n = 0; n < static_cast<int>(loads.size()); ++n) {
+    if (n == self || !loads[static_cast<std::size_t>(n)].available) continue;
+    if (load_of(n) + config_.broker.min_connection_advantage <= best_load) {
+      best = n;
+      best_load = load_of(n);
+    }
+  }
+  return best;
+}
+
+void NodeServer::handle_connection(TcpStream stream) {
+  // HTTP/1.0 keep-alive: serve requests on this connection until the
+  // client omits "Connection: Keep-Alive", an error occurs, or the
+  // per-connection cap is reached.
+  std::string leftover;
+  for (int served = 0; served < config_.max_requests_per_connection;
+       ++served) {
+    // --- Preprocess: read and parse one request -------------------------
+    http::RequestParser parser;
+    http::ParseResult state = http::ParseResult::kNeedMore;
+    if (!leftover.empty()) {
+      std::size_t consumed = 0;
+      state = parser.feed(leftover, consumed);
+      leftover.erase(0, consumed);
+    }
+    while (state == http::ParseResult::kNeedMore) {
+      const auto chunk = stream.read_some(16 * 1024, config_.io_timeout);
+      if (!chunk.ok) return;  // timeout/error: drop the connection
+      if (chunk.eof) return;  // client went away between/within requests
+      std::size_t consumed = 0;
+      state = parser.feed(chunk.data, consumed);
+      if (state == http::ParseResult::kComplete) {
+        leftover.assign(chunk.data, consumed,
+                        chunk.data.size() - consumed);
+      }
+    }
+
+    if (state == http::ParseResult::kError) {
+      http::Response bad =
+          http::make_error(http::Status::kBadRequest, parser.error());
+      bad.headers.add("Connection", "close");
+      (void)stream.write_all(bad.serialize(), config_.io_timeout);
+      stream.shutdown_write();
+      ++handled_;
+      return;
+    }
+
+    const http::Request& request = parser.message();
+    // HTTP/1.0: keep-alive only on explicit request (and not for the
+    // headerless 0.9 simple requests).
+    const auto connection_header = request.headers.get("Connection");
+    const bool client_keep_alive =
+        request.version_major >= 1 && connection_header.has_value() &&
+        util::iequals(*connection_header, "keep-alive");
+    const bool keep_alive =
+        client_keep_alive &&
+        served + 1 < config_.max_requests_per_connection;
+
+    http::Response response = process_request(request);
+    response.headers.set("Connection", keep_alive ? "Keep-Alive" : "close");
+    if (!stream.write_all(response.serialize(), config_.io_timeout)) {
+      return;
+    }
+    ++handled_;
+    if (!keep_alive) {
+      stream.shutdown_write();
+      return;
+    }
+  }
+}
+
+http::Response NodeServer::process_request(const http::Request& request) {
+  const int self = config_.node_id;
+  const auto finish = [&](http::Response response) {
+    response.headers.add("Server", config_.server_name);
+    return response;
+  };
+
+  const bool is_post = request.method == http::Method::kPost;
+  if (request.method != http::Method::kGet &&
+      request.method != http::Method::kHead && !is_post) {
+    return finish(http::make_error(http::Status::kNotImplemented));
+  }
+  const auto canonical = http::canonicalize_target(request.target);
+  if (!canonical) {
+    return finish(http::make_error(http::Status::kBadRequest, "bad target"));
+  }
+  const DocStore::Entry* doc = docs_.find(canonical->path);
+  if (doc == nullptr) {
+    return finish(http::make_error(http::Status::kNotFound, canonical->path));
+  }
+  const CgiHandler* cgi = docs_.cgi_for(canonical->path);
+  if (is_post && cgi == nullptr) {
+    // POST only makes sense against a dynamic endpoint.
+    return finish(http::make_error(http::Status::kNotImplemented,
+                                   "POST to static content"));
+  }
+
+  // --- Analyze & possibly redirect ---------------------------------------
+  // The at-most-once marker must survive a standard browser following the
+  // 302, so it travels in the redirect URL's query string (clients that
+  // set the X-Sweb-Redirected header are honored too).
+  const bool already_redirected =
+      request.headers.has("X-Sweb-Redirected") ||
+      canonical->query.find("sweb-hop=1") != std::string::npos;
+  const std::uint64_t expected = doc->content.size();
+  board_.connection_opened(self, expected);
+  struct ConnectionGuard {
+    LoadBoard& board;
+    int node;
+    std::uint64_t bytes;
+    ~ConnectionGuard() { board.connection_closed(node, bytes); }
+  } guard{board_, self, expected};
+
+  if (!already_redirected) {
+    const int target = choose_node(doc->owner);
+    if (target != self &&
+        static_cast<std::size_t>(target) < peer_ports_.size()) {
+      board_.note_redirected(self);
+      const std::string query = canonical->query.empty()
+                                    ? "sweb-hop=1"
+                                    : canonical->query + "&sweb-hop=1";
+      const std::string location =
+          "http://127.0.0.1:" +
+          std::to_string(peer_ports_[static_cast<std::size_t>(target)]) +
+          canonical->path + "?" + query;
+      return finish(http::make_redirect(location));
+    }
+  }
+
+  // --- Fulfill -------------------------------------------------------------
+  http::Response ok;
+  if (cgi != nullptr) {
+    // Dynamic content: execute the registered handler with the query (GET)
+    // or body (POST) as its input.
+    ok = (*cgi)(request, canonical->query);
+  } else {
+    // Conditional GET: an If-Modified-Since at or after the document's
+    // mtime earns a body-less 304 (NCSA httpd supported this in 1994).
+    if (const auto ims = request.headers.get("If-Modified-Since")) {
+      const auto since = http::parse_http_date(*ims);
+      if (since && doc->last_modified <= *since) {
+        http::Response not_modified;
+        not_modified.status = static_cast<http::Status>(304);
+        not_modified.headers.add(
+            "Last-Modified", http::format_http_date(doc->last_modified));
+        not_modified.headers.add("X-Sweb-Node", std::to_string(self));
+        board_.note_served(self);
+        return finish(std::move(not_modified));
+      }
+    }
+    ok = http::make_ok(
+        request.method == http::Method::kHead ? std::string() : doc->content,
+        std::string(http::mime_type_for_path(canonical->path)));
+    if (request.method == http::Method::kHead) {
+      ok.headers.set("Content-Length", std::to_string(doc->content.size()));
+    }
+    ok.headers.add("Last-Modified",
+                   http::format_http_date(doc->last_modified));
+  }
+  ok.headers.add("X-Sweb-Node", std::to_string(self));
+  board_.note_served(self);
+  return finish(ok);
+}
+
+}  // namespace sweb::runtime

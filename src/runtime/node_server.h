@@ -1,0 +1,88 @@
+// One SWEB node as a real HTTP server thread.
+//
+// Each NodeServer runs the paper's per-node pipeline against live sockets:
+// accept -> parse (preprocess) -> broker decision -> 302 redirect to a
+// better node, or serve the document. The X-Sweb-Redirected request header
+// marks a request that already bounced once, enforcing the at-most-once
+// rule across real connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/message.h"
+#include "runtime/doc_store.h"
+#include "runtime/load_board.h"
+#include "runtime/socket.h"
+
+namespace sweb::runtime {
+
+/// Redirect decision logic shared by all nodes (the runtime broker): prefer
+/// the owner node unless it is markedly busier than the best alternative.
+struct RuntimeBrokerParams {
+  /// A peer must be at least this many connections lighter to redirect to.
+  int min_connection_advantage = 2;
+  /// Redirect to the owner when our own queue is at least this long.
+  int locality_pull_threshold = 0;
+  bool enable_redirects = true;
+};
+
+class NodeServer {
+ public:
+  struct Config {
+    int node_id = 0;
+    std::string server_name = "SWEB/1.0";
+    RuntimeBrokerParams broker;
+    std::chrono::milliseconds io_timeout{2000};
+    /// HTTP/1.0 keep-alive: requests served on one connection before the
+    /// server closes it anyway (a fairness/robustness cap).
+    int max_requests_per_connection = 32;
+  };
+
+  /// Binds an ephemeral loopback port immediately; serving starts at
+  /// start(). `peer_ports` must be filled (by the MiniCluster) before
+  /// start() so redirects know the other nodes' addresses.
+  NodeServer(Config config, const DocStore& docs, LoadBoard& board);
+  ~NodeServer();
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+  [[nodiscard]] int node_id() const noexcept { return config_.node_id; }
+
+  void set_peer_ports(std::vector<std::uint16_t> ports) {
+    peer_ports_ = std::move(ports);
+  }
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return handled_.load();
+  }
+
+ private:
+  void serve_loop(const std::stop_token& token);
+  void handle_connection(TcpStream stream);
+  /// Parses/serves one request; Connection header is set by the caller.
+  [[nodiscard]] http::Response process_request(const http::Request& request);
+
+  /// Chooses the serving node for `path` owned by `owner`; may be self.
+  [[nodiscard]] int choose_node(int owner) const;
+
+  Config config_;
+  const DocStore& docs_;
+  LoadBoard& board_;
+  TcpListener listener_;
+  std::vector<std::uint16_t> peer_ports_;
+  std::jthread thread_;
+  std::atomic<std::uint64_t> handled_{0};
+};
+
+}  // namespace sweb::runtime

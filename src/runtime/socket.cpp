@@ -1,0 +1,181 @@
+#include "runtime/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sweb::runtime {
+
+namespace {
+
+/// Polls one fd for the given events; true when ready, false on timeout.
+[[nodiscard]] bool wait_ready(int fd, short events,
+                              std::chrono::milliseconds timeout) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc > 0) return (pfd.revents & (events | POLLERR | POLLHUP)) != 0;
+    if (rc == 0) return false;  // timeout
+    if (errno != EINTR) return false;
+  }
+}
+
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { reset(); }
+
+FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FileDescriptor::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int FileDescriptor::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+SocketAddress SocketAddress::loopback(std::uint16_t port) noexcept {
+  SocketAddress a;
+  a.host = INADDR_LOOPBACK;
+  a.port = port;
+  return a;
+}
+
+std::string SocketAddress::to_string() const {
+  in_addr ia{};
+  ia.s_addr = htonl(host);
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &ia, buf, sizeof buf);
+  return std::string(buf) + ":" + std::to_string(port);
+}
+
+sockaddr_in SocketAddress::to_sockaddr() const noexcept {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(host);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+SocketAddress SocketAddress::from_sockaddr(const sockaddr_in& sa) noexcept {
+  SocketAddress a;
+  a.host = ntohl(sa.sin_addr.s_addr);
+  a.port = ntohs(sa.sin_port);
+  return a;
+}
+
+std::optional<TcpStream> TcpStream::connect(const SocketAddress& addr,
+                                            std::chrono::milliseconds timeout) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return std::nullopt;
+  set_nonblocking(fd.get(), true);
+  const sockaddr_in sa = addr.to_sockaddr();
+  const int rc =
+      ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return std::nullopt;
+    if (!wait_ready(fd.get(), POLLOUT, timeout)) return std::nullopt;
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return std::nullopt;
+    }
+  }
+  set_nonblocking(fd.get(), false);
+  return TcpStream(std::move(fd));
+}
+
+TcpStream::ReadResult TcpStream::read_some(std::size_t max,
+                                           std::chrono::milliseconds timeout) {
+  ReadResult result;
+  if (!fd_.valid()) return result;
+  if (!wait_ready(fd_.get(), POLLIN, timeout)) return result;
+  result.data.resize(max);
+  const ssize_t n = ::recv(fd_.get(), result.data.data(), max, 0);
+  if (n < 0) {
+    result.data.clear();
+    return result;
+  }
+  result.data.resize(static_cast<std::size_t>(n));
+  result.ok = true;
+  result.eof = (n == 0);
+  return result;
+}
+
+bool TcpStream::write_all(std::string_view data,
+                          std::chrono::milliseconds timeout) {
+  if (!fd_.valid()) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    if (!wait_ready(fd_.get(), POLLOUT, timeout)) return false;
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void TcpStream::shutdown_write() noexcept {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in sa = SocketAddress::loopback(port).to_sockaddr();
+  if (::bind(fd_.get(), reinterpret_cast<sockaddr*>(&sa), sizeof sa) != 0) {
+    throw std::system_error(errno, std::generic_category(), "bind");
+  }
+  if (::listen(fd_.get(), backlog) != 0) {
+    throw std::system_error(errno, std::generic_category(), "listen");
+  }
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw std::system_error(errno, std::generic_category(), "getsockname");
+  }
+  port_ = ntohs(sa.sin_port);
+}
+
+std::optional<TcpStream> TcpListener::accept(
+    std::chrono::milliseconds timeout) {
+  if (!wait_ready(fd_.get(), POLLIN, timeout)) return std::nullopt;
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  return TcpStream(FileDescriptor(client));
+}
+
+}  // namespace sweb::runtime

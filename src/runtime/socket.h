@@ -1,0 +1,104 @@
+// RAII POSIX sockets for the real (non-simulated) SWEB runtime.
+//
+// The paper built on "the sockets library built on the Solaris TCP/IP
+// streams implementation" for compatibility and portability; this module is
+// the modern equivalent: blocking TCP with poll-based timeouts, loopback
+// addresses, no exceptions across the accept loop.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace sweb::runtime {
+
+/// Move-only owner of a file descriptor.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) noexcept : fd_(fd) {}
+  ~FileDescriptor();
+  FileDescriptor(FileDescriptor&& other) noexcept;
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset(int fd = -1) noexcept;
+  [[nodiscard]] int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// IPv4 address/port pair.
+struct SocketAddress {
+  std::uint32_t host = 0;  // network byte order inside sockaddr helpers
+  std::uint16_t port = 0;
+
+  [[nodiscard]] static SocketAddress loopback(std::uint16_t port) noexcept;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] sockaddr_in to_sockaddr() const noexcept;
+  [[nodiscard]] static SocketAddress from_sockaddr(
+      const sockaddr_in& sa) noexcept;
+};
+
+/// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FileDescriptor fd) noexcept : fd_(std::move(fd)) {}
+
+  /// Connects with a timeout; std::nullopt on failure/timeout.
+  [[nodiscard]] static std::optional<TcpStream> connect(
+      const SocketAddress& addr, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
+
+  /// Reads up to `max` bytes; "" + ok=false on error, "" + ok=true on EOF is
+  /// distinguished via the eof flag.
+  struct ReadResult {
+    std::string data;
+    bool ok = false;
+    bool eof = false;
+  };
+  [[nodiscard]] ReadResult read_some(std::size_t max,
+                                     std::chrono::milliseconds timeout);
+
+  /// Writes the whole buffer; false on any error/timeout.
+  [[nodiscard]] bool write_all(std::string_view data,
+                               std::chrono::milliseconds timeout);
+
+  /// Half-closes the write side (signals EOF to the peer — HTTP/1.0 framing).
+  void shutdown_write() noexcept;
+  void close() noexcept { fd_.reset(); }
+
+ private:
+  FileDescriptor fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port. Throws
+  /// std::system_error on failure (server startup is fail-fast).
+  explicit TcpListener(std::uint16_t port = 0, int backlog = 64);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout` for a connection; std::nullopt on timeout.
+  [[nodiscard]] std::optional<TcpStream> accept(
+      std::chrono::milliseconds timeout);
+
+ private:
+  FileDescriptor fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace sweb::runtime

@@ -1,0 +1,52 @@
+#include "sim/periodic.h"
+
+#include <cassert>
+
+namespace sweb::sim {
+
+PeriodicTask::PeriodicTask(Simulation& sim, double period,
+                           std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0.0);
+  assert(fn_);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start(double initial_delay) {
+  stop();
+  arm(initial_delay);
+}
+
+void PeriodicTask::stop() {
+  ++generation_;  // invalidates any in-flight re-arm
+  if (event_ != 0) {
+    sim_.cancel(event_);
+    event_ = 0;
+  }
+}
+
+void PeriodicTask::set_jitter(util::Rng* rng, double fraction) {
+  assert(fraction >= 0.0 && fraction < 1.0);
+  jitter_rng_ = rng;
+  jitter_fraction_ = fraction;
+}
+
+double PeriodicTask::next_delay() {
+  if (jitter_rng_ != nullptr && jitter_fraction_ > 0.0) {
+    return period_ *
+           jitter_rng_->uniform(1.0 - jitter_fraction_, 1.0 + jitter_fraction_);
+  }
+  return period_;
+}
+
+void PeriodicTask::arm(double delay) {
+  const std::uint64_t gen = generation_;
+  event_ = sim_.schedule_in(delay, [this, gen] {
+    event_ = 0;
+    fn_();  // may call stop() (bumping generation_) or start()
+    if (generation_ == gen) arm(next_delay());
+  });
+}
+
+}  // namespace sweb::sim

@@ -1,0 +1,53 @@
+// Periodic task helper for the simulator.
+//
+// The paper's loadd "is responsible for updating the system CPU, network and
+// disk load information periodically (every 2-3 seconds)". PeriodicTask is
+// the scheduling primitive behind that: a callback re-armed every period,
+// with optional phase offset and jitter so the per-node daemons don't fire
+// in lockstep.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sweb::sim {
+
+class PeriodicTask {
+ public:
+  /// Creates a stopped task. `fn` runs once per period after start().
+  PeriodicTask(Simulation& sim, double period, std::function<void()> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Arms the task: first firing after `initial_delay`, then every period.
+  void start(double initial_delay = 0.0);
+
+  /// Cancels any pending firing. Safe to call repeatedly or from `fn`.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return event_ != 0; }
+
+  /// Adds +/- `fraction` uniform jitter to every period using `rng`.
+  /// Must be set before start(); `rng` must outlive the task.
+  void set_jitter(util::Rng* rng, double fraction);
+
+  [[nodiscard]] double period() const noexcept { return period_; }
+  void set_period(double period) noexcept { period_ = period; }
+
+ private:
+  void arm(double delay);
+  [[nodiscard]] double next_delay();
+
+  Simulation& sim_;
+  double period_;
+  std::function<void()> fn_;
+  EventId event_ = 0;
+  std::uint64_t generation_ = 0;  // bumped by stop(); stale re-arms abort
+  util::Rng* jitter_rng_ = nullptr;
+  double jitter_fraction_ = 0.0;
+};
+
+}  // namespace sweb::sim

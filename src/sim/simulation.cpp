@@ -1,0 +1,81 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sweb::sim {
+
+EventId Simulation::schedule_at(Time t, std::function<void()> fn) {
+  assert(fn);
+  const EventId id = next_id_++;
+  heap_.push(Event{std::max(t, now_), next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulation::schedule_in(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulation::pop_next(Event& out) {
+  while (!heap_.empty()) {
+    const Event e = heap_.top();
+    heap_.pop();
+    if (const auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+bool Simulation::step() {
+  Event e;
+  if (!pop_next(e)) return false;
+  now_ = e.time;
+  // Move the callback out before invoking: the callback may schedule or
+  // cancel other events, invalidating iterators into callbacks_.
+  auto node = callbacks_.extract(e.id);
+  assert(!node.empty());
+  ++executed_;
+  node.mapped()();
+  return true;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::run_until(Time t_end) {
+  stopped_ = false;
+  while (!stopped_) {
+    Event e;
+    if (!pop_next(e)) break;
+    if (e.time > t_end) {
+      // Not due yet: push it back and stop.
+      heap_.push(e);
+      break;
+    }
+    now_ = e.time;
+    auto node = callbacks_.extract(e.id);
+    assert(!node.empty());
+    ++executed_;
+    node.mapped()();
+  }
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace sweb::sim

@@ -1,0 +1,97 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a time-ordered event queue. Components schedule
+// callbacks at absolute or relative simulated times; run() drains the queue
+// in timestamp order (FIFO among equal timestamps). Cancellation is lazy:
+// cancelled events stay in the heap and are skipped on pop.
+//
+// Everything in the SWEB reproduction that "takes time" — CPU bursts, disk
+// transfers, network latency, loadd broadcast periods, client think time —
+// is expressed as events on one Simulation instance, which makes whole-
+// cluster experiments deterministic and fast.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sweb::sim {
+
+/// Simulated time in seconds since simulation start.
+using Time = double;
+
+/// Handle for cancelling a scheduled event. Id 0 is never issued.
+using EventId = std::uint64_t;
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now, clamped otherwise).
+  /// Events with equal time run in scheduling order.
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (negative delays clamp to 0).
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Runs until the queue is empty or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `t_end`; afterwards now() == max(now, t_end)
+  /// even if the queue still holds later events.
+  void run_until(Time t_end);
+
+  /// Executes at most one event. Returns false if the queue was empty.
+  bool step();
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+  /// Total events executed so far (cancelled events excluded).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    EventId id;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next live event, or returns false if none remain.
+  bool pop_next(Event& out);
+
+  Time now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Callbacks keyed by id, stored out of the heap so Event stays trivially
+  // copyable and cancellation can free the closure promptly.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace sweb::sim

@@ -1,0 +1,109 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sweb::util {
+
+Cli& Cli::option(std::string name, std::string default_value,
+                 std::string help) {
+  options_[std::move(name)] = Option{std::move(default_value),
+                                     std::move(help), false};
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, std::string help) {
+  options_[std::move(name)] = Option{"", std::move(help), true};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      inline_value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw CliError("unknown option: --" + name);
+    }
+    if (it->second.is_flag) {
+      if (inline_value) throw CliError("flag --" + name + " takes no value");
+      values_[name] = "true";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) throw CliError("option --" + name + " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string Cli::get(std::string_view name) const {
+  const auto opt = options_.find(name);
+  if (opt == options_.end()) {
+    throw CliError("undeclared option queried: --" + std::string(name));
+  }
+  const auto it = values_.find(name);
+  return it != values_.end() ? it->second : opt->second.default_value;
+}
+
+double Cli::get_double(std::string_view name) const {
+  const std::string raw = get(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    throw CliError("option --" + std::string(name) + " is not a number: " +
+                   raw);
+  }
+  return v;
+}
+
+std::int64_t Cli::get_int(std::string_view name) const {
+  const std::string raw = get(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    throw CliError("option --" + std::string(name) + " is not an integer: " +
+                   raw);
+  }
+  return v;
+}
+
+bool Cli::get_flag(std::string_view name) const { return get(name) == "true"; }
+
+bool Cli::provided(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Cli::help_text(std::string_view program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [options]\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out << "  --" << name;
+    if (!opt.is_flag) out << " <value>";
+    out << "\n      " << opt.help;
+    if (!opt.is_flag && !opt.default_value.empty()) {
+      out << " (default: " << opt.default_value << ")";
+    }
+    out << "\n";
+  }
+  out << "  --help\n      show this message\n";
+  return out.str();
+}
+
+}  // namespace sweb::util

@@ -1,0 +1,61 @@
+// Small command-line flag parser for the sweb tools.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, `--help`
+// generation, and typed access with defaults. Unknown flags are errors
+// (typos should not silently change an experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweb::util {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Cli {
+ public:
+  /// Declares an option taking a value. Call before parse().
+  Cli& option(std::string name, std::string default_value,
+              std::string help);
+
+  /// Declares a boolean switch (present = true).
+  Cli& flag(std::string name, std::string help);
+
+  /// Parses argv. Throws CliError on unknown options or missing values.
+  /// Returns false if --help was requested (help text via help_text()).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(std::string_view name) const;
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view name) const;
+  [[nodiscard]] bool get_flag(std::string_view name) const;
+  /// True when the user supplied the option explicitly.
+  [[nodiscard]] bool provided(std::string_view name) const;
+
+  /// Positional arguments (everything that is not an option).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string help_text(std::string_view program) const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::map<std::string, Option, std::less<>> options_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sweb::util

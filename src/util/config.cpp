@@ -1,0 +1,182 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sweb::util {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ConfigError("config line " + std::to_string(line) + ": " + what);
+}
+
+[[nodiscard]] std::string_view strip_comment(std::string_view line) {
+  // A comment starts at an unquoted '#' or ';'.
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') in_quote = !in_quote;
+    if (!in_quote && (c == '#' || c == ';')) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Strips surrounding double quotes, if present, so values may contain '#'.
+[[nodiscard]] std::string_view unquote(std::string_view v) {
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    return v.substr(1, v.size() - 2);
+  }
+  return v;
+}
+
+}  // namespace
+
+void ConfigSection::set(std::string key, std::string value) {
+  auto [it, inserted] = values_.insert_or_assign(std::move(key), std::move(value));
+  if (inserted) order_.push_back(it->first);
+}
+
+bool ConfigSection::has(std::string_view key) const noexcept {
+  return values_.find(key) != values_.end();
+}
+
+std::optional<std::string> ConfigSection::get(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigSection::get_string(std::string_view key) const {
+  auto v = get(key);
+  if (!v) {
+    throw ConfigError("missing key '" + std::string(key) + "' in section [" +
+                      name_ + "]");
+  }
+  return *v;
+}
+
+std::string ConfigSection::get_string_or(std::string_view key,
+                                         std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+double ConfigSection::get_double(std::string_view key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    throw ConfigError("key '" + std::string(key) + "' in section [" + name_ +
+                      "] is not a number: '" + raw + "'");
+  }
+  return value;
+}
+
+double ConfigSection::get_double_or(std::string_view key,
+                                    double fallback) const {
+  return has(key) ? get_double(key) : fallback;
+}
+
+std::int64_t ConfigSection::get_int(std::string_view key) const {
+  const std::string raw = get_string(key);
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    throw ConfigError("key '" + std::string(key) + "' in section [" + name_ +
+                      "] is not an integer: '" + raw + "'");
+  }
+  return value;
+}
+
+std::int64_t ConfigSection::get_int_or(std::string_view key,
+                                       std::int64_t fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+bool ConfigSection::get_bool(std::string_view key) const {
+  const std::string raw = to_lower(get_string(key));
+  if (raw == "true" || raw == "yes" || raw == "on" || raw == "1") return true;
+  if (raw == "false" || raw == "no" || raw == "off" || raw == "0") return false;
+  throw ConfigError("key '" + std::string(key) + "' in section [" + name_ +
+                    "] is not a boolean: '" + raw + "'");
+}
+
+bool ConfigSection::get_bool_or(std::string_view key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+Config Config::parse(std::string_view text) {
+  Config config;
+  config.sections_.emplace_back("");  // implicit unnamed section
+
+  std::size_t line_no = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = trim(strip_comment(raw_line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(line_no, "unterminated section header");
+      std::string_view name = trim(line.substr(1, line.size() - 2));
+      if (name.empty()) fail(line_no, "empty section name");
+      // Allow `[oracle "cgi"]` git-config style: fold into `oracle.cgi`.
+      if (const auto q = name.find('"'); q != std::string_view::npos) {
+        const std::string_view base = trim(name.substr(0, q));
+        std::string_view rest = name.substr(q);
+        rest = unquote(trim(rest));
+        config.sections_.emplace_back(std::string(base) + "." +
+                                      std::string(rest));
+      } else {
+        config.sections_.emplace_back(std::string(name));
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected 'key = value', got '" + std::string(line) + "'");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = unquote(trim(line.substr(eq + 1)));
+    if (key.empty()) fail(line_no, "empty key");
+    config.sections_.back().set(std::string(key), std::string(value));
+  }
+  return config;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+const ConfigSection& Config::section(std::string_view name) const {
+  for (const ConfigSection& s : sections_) {
+    if (s.name() == name) return s;
+  }
+  throw ConfigError("missing section [" + std::string(name) + "]");
+}
+
+bool Config::has_section(std::string_view name) const noexcept {
+  for (const ConfigSection& s : sections_) {
+    if (s.name() == name) return true;
+  }
+  return false;
+}
+
+std::vector<const ConfigSection*> Config::sections(
+    std::string_view name) const {
+  std::vector<const ConfigSection*> out;
+  for (const ConfigSection& s : sections_) {
+    if (s.name() == name) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace sweb::util

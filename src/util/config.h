@@ -1,0 +1,100 @@
+// INI-style configuration parser.
+//
+// The paper's oracle reads "a user-supplied table to characterize the CPU and
+// disk demands for a particular task", and "the parameters for different
+// architectures are saved in a configuration file". This module is that
+// configuration substrate: sections of key = value pairs, '#' or ';'
+// comments, typed accessors with error reporting.
+//
+//   [cpu]
+//   speed_mops = 40      # SuperSparc @40MHz
+//   [oracle "cgi"]
+//   fixed_ops = 2.0e6
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweb::util {
+
+/// Raised on malformed input or a missing/mistyped key. Carries the
+/// offending line number when parsing.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One `[section]` block: ordered key/value pairs with typed lookups.
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void set(std::string key, std::string value);
+  [[nodiscard]] bool has(std::string_view key) const noexcept;
+
+  /// Raw lookup; std::nullopt if absent.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed lookups. The *_or forms return the fallback when the key is
+  /// absent; the required forms throw ConfigError when absent or malformed.
+  [[nodiscard]] std::string get_string(std::string_view key) const;
+  [[nodiscard]] std::string get_string_or(std::string_view key,
+                                          std::string fallback) const;
+  [[nodiscard]] double get_double(std::string_view key) const;
+  [[nodiscard]] double get_double_or(std::string_view key,
+                                     double fallback) const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key) const;
+  [[nodiscard]] std::int64_t get_int_or(std::string_view key,
+                                        std::int64_t fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key) const;
+  [[nodiscard]] bool get_bool_or(std::string_view key, bool fallback) const;
+
+  /// Keys in insertion order (for iteration over oracle entries).
+  [[nodiscard]] const std::vector<std::string>& keys() const noexcept {
+    return order_;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> order_;
+};
+
+/// A parsed configuration: named sections in file order. Section names may
+/// repeat (e.g. one `[node]` block per cluster node).
+class Config {
+ public:
+  /// Parses configuration text. Throws ConfigError with a line number on
+  /// malformed input. Keys appearing before any [section] land in the
+  /// unnamed section "".
+  [[nodiscard]] static Config parse(std::string_view text);
+
+  /// Parses the file at `path`. Throws ConfigError if unreadable.
+  [[nodiscard]] static Config parse_file(const std::string& path);
+
+  /// First section with the given name; throws ConfigError if absent.
+  [[nodiscard]] const ConfigSection& section(std::string_view name) const;
+
+  [[nodiscard]] bool has_section(std::string_view name) const noexcept;
+
+  /// All sections with the given name, in file order.
+  [[nodiscard]] std::vector<const ConfigSection*> sections(
+      std::string_view name) const;
+
+  /// Every section in file order.
+  [[nodiscard]] const std::vector<ConfigSection>& all() const noexcept {
+    return sections_;
+  }
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace sweb::util

@@ -1,0 +1,56 @@
+// Minimal leveled logging.
+//
+// The simulator is silent by default; examples and benches raise the level
+// when a trace is informative. Logging is process-global and synchronized so
+// the real-sockets runtime can log from multiple threads.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sweb::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one line to stderr: "[level] message". Thread-safe.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Builds the message lazily; operator<< chains into an ostringstream and the
+/// destructor emits. Usage: LogStream(LogLevel::kInfo) << "x=" << x;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace sweb::util
+
+// Level check happens before any argument formatting.
+#define SWEB_LOG(level_enum)                                \
+  if (::sweb::util::log_level() <= (level_enum))            \
+  ::sweb::util::detail::LogStream(level_enum)
+
+#define SWEB_TRACE() SWEB_LOG(::sweb::util::LogLevel::kTrace)
+#define SWEB_DEBUG() SWEB_LOG(::sweb::util::LogLevel::kDebug)
+#define SWEB_INFO() SWEB_LOG(::sweb::util::LogLevel::kInfo)
+#define SWEB_WARN() SWEB_LOG(::sweb::util::LogLevel::kWarn)
+#define SWEB_ERROR() SWEB_LOG(::sweb::util::LogLevel::kError)

@@ -1,0 +1,59 @@
+// Deterministic random-number generation for SWEB simulations.
+//
+// All stochastic behaviour in the simulator (request arrival jitter, document
+// selection, client latency variation) flows through a single seeded Rng so
+// every experiment is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace sweb::util {
+
+/// Seeded pseudo-random source with the distributions the workload
+/// generators need. Not thread-safe; give each simulation its own instance.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eb5eb5eULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (mean = 1/lambda). Used for Poisson
+  /// inter-arrival times.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha. Heavy-tailed document-size
+  /// model (web file sizes are famously Pareto-ish).
+  [[nodiscard]] double bounded_pareto(double lo, double hi, double alpha);
+
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Uniformly chosen index into a container of the given size (size > 0).
+  [[nodiscard]] std::size_t index(std::size_t size);
+
+  /// Samples an index according to non-negative weights (at least one > 0).
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  /// Models skewed document popularity.
+  [[nodiscard]] std::size_t zipf(std::size_t n, double s);
+
+  /// Underlying engine, for std::shuffle interop.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached Zipf normalization: recomputed when (n, s) changes.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace sweb::util

@@ -1,0 +1,44 @@
+// String helpers shared across SWEB modules.
+//
+// All functions operate on std::string_view and never allocate unless they
+// return an owned std::string.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sweb::util {
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields. "a,,b" -> {"a", "", "b"}.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, dropping fields that are empty after trimming.
+[[nodiscard]] std::vector<std::string_view> split_nonempty(std::string_view s,
+                                                           char sep);
+
+/// ASCII lower-casing (locale-independent).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality (HTTP header names, hostnames).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Case-insensitive check that `s` starts with `prefix`.
+[[nodiscard]] bool istarts_with(std::string_view s,
+                                std::string_view prefix) noexcept;
+
+/// Parses a non-negative decimal integer; returns false on any non-digit or
+/// overflow. Used by the HTTP parser where std::stoul's exceptions and
+/// whitespace/sign tolerance are unwanted.
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+/// Formats a byte count with binary units ("1.5 MB", "512 B") for reports.
+[[nodiscard]] std::string format_bytes(double bytes);
+
+/// Formats seconds adaptively ("1.2 ms", "3.45 s") for reports.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace sweb::util

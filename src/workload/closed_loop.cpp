@@ -1,0 +1,80 @@
+#include "workload/closed_loop.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "core/policy.h"
+
+namespace sweb::workload {
+
+ClosedLoopResult run_closed_loop(const ExperimentSpec& base,
+                                 const ClosedLoopSpec& spec) {
+  assert(base.docbase.size() > 0);
+  util::Rng rng(base.seed);
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim, base.cluster);
+  std::vector<cluster::ClientLinkId> links;
+  const int domains = std::max(1, base.clients.domains);
+  for (int d = 0; d < domains; ++d) {
+    links.push_back(cluster.add_client_link(
+        base.clients.name + std::to_string(d),
+        base.clients.bandwidth_bytes_per_sec, base.clients.latency_s));
+  }
+  core::SwebServer server(cluster, base.docbase, core::Oracle::builtin(),
+                          core::make_policy(base.policy), base.server, rng);
+  server.start();
+  if (base.on_start) base.on_start(server, sim);
+
+  // Each virtual user loops: pick a document, request, wait for the
+  // response, think, repeat — until the test window closes.
+  std::unordered_map<std::uint64_t, int> owner_of;  // record id -> client
+  std::size_t issued = 0;
+  std::vector<bool> stalled(static_cast<std::size_t>(spec.num_clients),
+                            false);
+
+  std::function<void(int)> issue = [&](int client) {
+    if (sim.now() >= spec.duration_s) return;
+    const auto link =
+        links[static_cast<std::size_t>(client) % links.size()];
+    const std::string& path =
+        base.docbase.documents()[rng.index(base.docbase.size())].path;
+    const std::uint64_t id = server.client_request(link, path);
+    owner_of[id] = client;
+    ++issued;
+    stalled[static_cast<std::size_t>(client)] = true;  // until it returns
+  };
+
+  server.set_completion_hook([&](std::uint64_t id) {
+    const auto it = owner_of.find(id);
+    if (it == owner_of.end()) return;
+    const int client = it->second;
+    stalled[static_cast<std::size_t>(client)] = false;
+    const double think = rng.exponential(spec.think_mean_s);
+    sim.schedule_in(think, [&issue, client] { issue(client); });
+  });
+
+  // Stagger the users' first requests across one mean think time.
+  for (int c = 0; c < spec.num_clients; ++c) {
+    sim.schedule_at(rng.uniform(0.0, spec.think_mean_s),
+                    [&issue, c] { issue(c); });
+  }
+
+  sim.run_until(spec.duration_s +
+                std::max(300.0, base.cluster.request_timeout_s + 5.0));
+  server.collector().apply_timeout(base.cluster.request_timeout_s, sim.now());
+
+  ClosedLoopResult result;
+  result.summary = server.collector().summarize();
+  result.requests_issued = issued;
+  result.throughput_rps =
+      static_cast<double>(result.summary.completed) / spec.duration_s;
+  result.mean_response = result.summary.mean_response;
+  for (bool s : stalled) {
+    if (s) ++result.stalled_clients;
+  }
+  return result;
+}
+
+}  // namespace sweb::workload

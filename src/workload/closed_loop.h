@@ -1,0 +1,35 @@
+// Closed-loop (WebStone-style) load generation.
+//
+// The paper's bursts are *open-loop*: requests arrive at a fixed rate no
+// matter how slow the server gets, so overload shows up as queueing and
+// drops. Benchmarking tools of the era (WebStone, later SPECweb) were
+// *closed-loop*: N virtual users each wait for their response, think, and
+// only then issue the next request — overload shows up as depressed
+// throughput with bounded per-user latency. Both are needed to understand
+// a server; this driver provides the closed side.
+#pragma once
+
+#include "workload/scenario.h"
+
+namespace sweb::workload {
+
+struct ClosedLoopSpec {
+  int num_clients = 32;        // concurrent virtual users
+  double think_mean_s = 1.0;   // exponential think time between requests
+  double duration_s = 60.0;    // stop issuing new requests after this
+};
+
+struct ClosedLoopResult {
+  metrics::Summary summary;
+  double throughput_rps = 0.0;   // completions per second of test time
+  double mean_response = 0.0;    // per-request, completed only
+  std::size_t requests_issued = 0;
+  std::size_t stalled_clients = 0;  // users whose request never returned
+};
+
+/// Runs `spec.num_clients` virtual users against the cluster/docbase/policy
+/// described by `base` (its burst/trace fields are ignored).
+[[nodiscard]] ClosedLoopResult run_closed_loop(const ExperimentSpec& base,
+                                               const ClosedLoopSpec& spec);
+
+}  // namespace sweb::workload

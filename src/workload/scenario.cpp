@@ -1,0 +1,249 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/policy.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sweb::workload {
+
+ClientSpec ucsb_clients() {
+  ClientSpec c;
+  c.name = "ucsb";
+  c.bandwidth_bytes_per_sec = 3.0e6;
+  c.latency_s = 1.5e-3;
+  c.domains = 12;
+  return c;
+}
+
+ClientSpec rutgers_clients() {
+  ClientSpec c;
+  c.name = "rutgers";
+  c.bandwidth_bytes_per_sec = 600e3;  // one campus's share of the backbone
+  c.latency_s = 45e-3;
+  c.domains = 6;
+  return c;
+}
+
+double ExperimentResult::cpu_fraction(cluster::CpuUse use) const {
+  double used = 0.0, capacity = 0.0;
+  for (std::size_t n = 0; n < cpu.size(); ++n) {
+    used += cpu[n].of(use);
+    capacity += cpu_capacity_ops[n];
+  }
+  return capacity > 0.0 ? used / capacity : 0.0;
+}
+
+namespace {
+
+/// Picks the next document path according to the mix.
+class DocumentPicker {
+ public:
+  DocumentPicker(const fs::Docbase& docbase, const MixSpec& mix,
+                 util::Rng& rng)
+      : docbase_(docbase), mix_(mix), rng_(rng) {}
+
+  [[nodiscard]] const std::string& next() {
+    switch (mix_.kind) {
+      case MixSpec::Kind::kSinglePath:
+        return mix_.fixed_path;
+      case MixSpec::Kind::kZipf: {
+        const std::size_t i =
+            rng_.zipf(docbase_.size(), mix_.zipf_exponent);
+        return docbase_.documents()[i].path;
+      }
+      case MixSpec::Kind::kUniformOverDocs:
+      default: {
+        const std::size_t i = rng_.index(docbase_.size());
+        return docbase_.documents()[i].path;
+      }
+    }
+  }
+
+ private:
+  const fs::Docbase& docbase_;
+  const MixSpec& mix_;
+  util::Rng& rng_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  assert(spec.docbase.size() > 0 || !spec.mix.fixed_path.empty());
+  util::Rng rng(spec.seed);
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim, spec.cluster);
+
+  // One link per client domain: separate DNS caches and last-mile pipes.
+  std::vector<cluster::ClientLinkId> links;
+  const int domains = std::max(1, spec.clients.domains);
+  for (int d = 0; d < domains; ++d) {
+    links.push_back(cluster.add_client_link(
+        spec.clients.name + std::to_string(d),
+        spec.clients.bandwidth_bytes_per_sec, spec.clients.latency_s));
+  }
+
+  core::SwebServer server(cluster, spec.docbase, core::Oracle::builtin(),
+                          core::make_policy(spec.policy), spec.server, rng);
+  server.start();
+  if (spec.on_start) spec.on_start(server, sim);
+
+  DocumentPicker picker(spec.docbase, spec.mix, rng);
+
+  // Schedule the offered load: a replayed trace when one is supplied,
+  // otherwise the burst generator — `rps` launches per wall second, paced
+  // across each second with jitter, or Poisson inter-arrivals.
+  const double duration =
+      spec.trace.empty() ? spec.burst.duration_s : spec.trace.duration();
+  const auto launch = [&](double at) {
+    const cluster::ClientLinkId link = links[rng.index(links.size())];
+    const std::string path = picker.next();
+    sim.schedule_at(at, [&server, link, path] {
+      server.client_request(link, path);
+    });
+  };
+  if (!spec.trace.empty()) {
+    for (const TraceEntry& entry : spec.trace.entries()) {
+      const cluster::ClientLinkId link =
+          links[static_cast<std::size_t>(entry.client) % links.size()];
+      sim.schedule_at(entry.time, [&server, link, path = entry.path] {
+        server.client_request(link, path);
+      });
+    }
+  } else if (spec.burst.poisson) {
+    double t = 0.0;
+    const double mean_gap = 1.0 / std::max(spec.burst.rps, 1e-9);
+    while (true) {
+      t += rng.exponential(mean_gap);
+      if (t >= duration) break;
+      launch(t);
+    }
+  } else {
+    const int per_second = static_cast<int>(std::llround(spec.burst.rps));
+    for (int second = 0; second < static_cast<int>(duration); ++second) {
+      for (int i = 0; i < per_second; ++i) {
+        // "a burst of requests would arrive nearly simultaneously": the
+        // second's quota lands in a front-loaded cluster with jitter.
+        const double offset =
+            static_cast<double>(i) / std::max(1, per_second) * 0.5 +
+            rng.uniform(0.0, 0.02);
+        launch(static_cast<double>(second) + offset);
+      }
+    }
+  }
+
+  // Run to the measurement point, snapshot CPU accounting, then drain (a
+  // stuck flow on an unavailable node would otherwise hold events forever).
+  const double measure_at = duration + spec.measure_slack_s;
+  sim.run_until(measure_at);
+  ExperimentResult result;
+  for (int n = 0; n < cluster.num_nodes(); ++n) {
+    result.cpu.push_back(cluster.cpu_accounting(n));
+    result.cpu_capacity_ops.push_back(cluster.cpu_capacity_ops_elapsed(n));
+  }
+  const double horizon =
+      duration + std::max(spec.drain_s, spec.cluster.request_timeout_s + 5.0);
+  sim.run_until(horizon);
+
+  metrics::Collector& collector = server.collector();
+  collector.apply_timeout(spec.cluster.request_timeout_s, sim.now());
+
+  result.summary = collector.summarize();
+  result.phases = collector.phase_breakdown();
+  result.offered_rps =
+      spec.trace.empty()
+          ? spec.burst.rps
+          : static_cast<double>(result.summary.total) / std::max(1.0, duration);
+  result.duration_s = duration;
+  // Sustained throughput measured over the launch window plus the mean
+  // response (completions caused by the burst).
+  result.achieved_rps =
+      collector.completed_rps(0.0, duration + result.summary.mean_response);
+  if (result.summary.total > 0) {
+    result.cache_hit_rate = static_cast<double>(result.summary.cache_hits) /
+                            static_cast<double>(result.summary.total);
+    result.remote_read_rate =
+        static_cast<double>(result.summary.remote_reads) /
+        static_cast<double>(result.summary.total);
+  }
+  result.fulfillments_per_node.assign(
+      static_cast<std::size_t>(cluster.num_nodes()), 0);
+  for (const metrics::RequestRecord& r : collector.records()) {
+    if (r.outcome == metrics::Outcome::kCompleted && r.final_node >= 0) {
+      ++result.fulfillments_per_node[static_cast<std::size_t>(r.final_node)];
+    }
+  }
+  result.loadd_broadcasts = server.loads().broadcasts();
+  if (spec.keep_records) result.records = collector.records();
+  return result;
+}
+
+MaxRpsResult find_max_rps(const ExperimentSpec& base,
+                          const MaxRpsCriteria& criteria) {
+  const auto succeeds = [&](int rps, ExperimentResult* out) {
+    ExperimentSpec spec = base;
+    spec.burst.rps = rps;
+    ExperimentResult r = run_experiment(spec);
+    bool ok = r.summary.total > 0;
+    if (ok) {
+      const double failures =
+          criteria.count_timeouts
+              ? r.summary.drop_rate()
+              : static_cast<double>(r.summary.refused) /
+                    static_cast<double>(r.summary.total);
+      ok = failures <= criteria.max_drop_rate;
+      if (criteria.count_timeouts) {
+        ok = ok && r.summary.mean_response <= criteria.max_mean_response_s &&
+             r.summary.p95_response <= criteria.max_p95_response_s;
+      }
+    }
+    if (out != nullptr) *out = std::move(r);
+    return ok;
+  };
+
+  MaxRpsResult result;
+  ExperimentResult probe;
+  if (!succeeds(criteria.rps_floor, &probe)) {
+    // Even the floor fails: report the floor's result with max 0.
+    result.max_rps = 0;
+    result.at_max = std::move(probe);
+    return result;
+  }
+  // Exponential climb to bracket the limit...
+  int lo = criteria.rps_floor;
+  int hi = lo;
+  ExperimentResult at_lo = std::move(probe);
+  while (hi < criteria.rps_ceiling) {
+    hi = std::min(criteria.rps_ceiling, hi * 2);
+    ExperimentResult r;
+    if (succeeds(hi, &r)) {
+      lo = hi;
+      at_lo = std::move(r);
+      if (hi == criteria.rps_ceiling) break;
+    } else {
+      break;
+    }
+  }
+  // ...then bisect.
+  int bad = hi > lo ? hi : criteria.rps_ceiling + 1;
+  while (bad - lo > 1) {
+    const int mid = lo + (bad - lo) / 2;
+    if (mid == lo) break;
+    ExperimentResult r;
+    if (succeeds(mid, &r)) {
+      lo = mid;
+      at_lo = std::move(r);
+    } else {
+      bad = mid;
+    }
+  }
+  result.max_rps = lo;
+  result.at_max = std::move(at_lo);
+  return result;
+}
+
+}  // namespace sweb::workload

@@ -1,0 +1,131 @@
+// Experiment harness: assembles a cluster + server + client populations,
+// replays a request burst, and reports the metrics the paper's tables use.
+//
+// The paper's test methodology: "a series of tests where a burst of requests
+// would arrive nearly simultaneously ... One is a short period as a duration
+// of 30 seconds and at each second a constant number of requests are
+// launched. The long period has 120 seconds, in order to obtain the
+// sustained maximum rps." Clients sat at UCSB (campus LAN) and at Rutgers
+// (cross-country WAN).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "core/server.h"
+#include "fs/docbase.h"
+#include "metrics/collector.h"
+#include "workload/trace.h"
+
+namespace sweb::workload {
+
+/// A client population: its Internet path to the server site and how many
+/// distinct DNS domains it spans (each domain = one caching resolver).
+struct ClientSpec {
+  std::string name = "ucsb";
+  double bandwidth_bytes_per_sec = 3.0e6;  // campus LAN share
+  double latency_s = 1.5e-3;               // one-way
+  int domains = 12;  // resolver diversity; 1 reproduces the DNS-caching skew
+};
+
+/// Campus clients (the primary experiments).
+[[nodiscard]] ClientSpec ucsb_clients();
+/// Cross-country clients (the Rutgers tests): long latency, thin pipe.
+[[nodiscard]] ClientSpec rutgers_clients();
+
+/// What documents the burst requests.
+struct MixSpec {
+  enum class Kind {
+    kUniformOverDocs,  // uniform random document
+    kZipf,             // popularity-skewed (exponent below)
+    kSinglePath,       // everyone fetches `fixed_path` (the skewed test)
+  };
+  Kind kind = Kind::kUniformOverDocs;
+  double zipf_exponent = 0.8;
+  std::string fixed_path;
+};
+
+struct BurstSpec {
+  double rps = 16.0;        // launched per second
+  double duration_s = 30.0; // 30 = short period, 120 = sustained
+  bool poisson = false;     // exponential inter-arrivals instead of paced
+};
+
+struct ExperimentSpec {
+  cluster::ClusterConfig cluster;
+  fs::Docbase docbase;
+  std::string policy = "sweb";
+  core::ServerParams server;
+  BurstSpec burst;
+  ClientSpec clients;
+  MixSpec mix;
+  /// Non-empty: replay this trace instead of generating the burst (entries'
+  /// client indices map onto the client links modulo `clients.domains`).
+  Trace trace;
+  std::uint64_t seed = 0x5eb5eb5eULL;
+  /// Extra simulated time after the burst for in-flight requests to drain.
+  double drain_s = 300.0;
+  /// CPU accounting (overhead shares) is snapshotted this long after the
+  /// burst ends, so drain-time idling doesn't dilute the percentages.
+  double measure_slack_s = 30.0;
+  /// Copy the per-request records into the result (CSV export).
+  bool keep_records = false;
+  /// Hook called right before the simulation runs (fault injection etc.).
+  std::function<void(core::SwebServer&, sim::Simulation&)> on_start;
+};
+
+struct ExperimentResult {
+  metrics::Summary summary;
+  metrics::PhaseBreakdown phases;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;    // completions during the burst window
+  double duration_s = 0.0;
+  double cache_hit_rate = 0.0;
+  double remote_read_rate = 0.0;
+  std::vector<cluster::CpuAccounting> cpu;       // per node
+  std::vector<double> cpu_capacity_ops;          // per node denominator
+  std::vector<int> fulfillments_per_node;
+  std::uint64_t loadd_broadcasts = 0;
+  /// Populated only when ExperimentSpec::keep_records is set.
+  std::vector<metrics::RequestRecord> records;
+
+  /// Fraction of total CPU capacity spent on `use`, cluster-wide.
+  [[nodiscard]] double cpu_fraction(cluster::CpuUse use) const;
+};
+
+/// Runs one experiment start-to-drain and aggregates the results.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+/// The Table 1 procedure: raises rps until the run no longer "succeeds"
+/// (drop rate and sustained-response criteria below), returns the highest
+/// integer rps that still succeeded.
+struct MaxRpsCriteria {
+  double max_drop_rate = 0.02;
+  /// Mean response must stay under this for the run to count as sustained.
+  double max_mean_response_s = 30.0;
+  /// Tail bound: under genuine overload the queue grows through the test
+  /// window and the late requests' responses blow up even when the mean
+  /// still looks tolerable. (Sustained tests only.)
+  double max_p95_response_s = 20.0;
+  int rps_floor = 1;
+  int rps_ceiling = 512;
+  /// Short-period tests ("requests coming in a short period can be queued
+  /// and processed gradually") count only refused connections as failures;
+  /// sustained tests also count timeouts against the drop budget.
+  bool count_timeouts = true;
+};
+
+struct MaxRpsResult {
+  int max_rps = 0;
+  ExperimentResult at_max;  // the run at the reported rate
+};
+
+[[nodiscard]] MaxRpsResult find_max_rps(
+    const ExperimentSpec& base, const MaxRpsCriteria& criteria = {});
+
+}  // namespace sweb::workload

@@ -1,0 +1,89 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sweb::workload {
+
+void Trace::add(double time, int client, std::string path) {
+  assert(time >= 0.0);
+  entries_.push_back(TraceEntry{time, client, std::move(path)});
+}
+
+double Trace::duration() const noexcept {
+  return entries_.empty() ? 0.0 : entries_.back().time;
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void Trace::save_csv(std::ostream& out) const {
+  out << "time,client,path\n";
+  for (const TraceEntry& e : entries_) {
+    out << e.time << ',' << e.client << ',' << e.path << '\n';
+  }
+}
+
+Trace Trace::load_csv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.starts_with("#")) continue;
+    if (line_no == 1 && trimmed.starts_with("time,")) continue;  // header
+    const auto fields = util::split(trimmed, ',');
+    if (fields.size() != 3) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": expected time,client,path");
+    }
+    char* end = nullptr;
+    const std::string time_str(fields[0]);
+    const double time = std::strtod(time_str.c_str(), &end);
+    if (end == time_str.c_str() || time < 0.0) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad time '" + time_str + "'");
+    }
+    const std::string client_str(fields[1]);
+    const long client = std::strtol(client_str.c_str(), &end, 10);
+    if (end == client_str.c_str() || client < 0) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad client '" + client_str + "'");
+    }
+    trace.add(time, static_cast<int>(client), std::string(fields[2]));
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+Trace generate_trace(const fs::Docbase& docbase, double rps,
+                     double duration_s, int clients, util::Rng& rng,
+                     double zipf_exponent) {
+  assert(docbase.size() > 0 && rps > 0.0 && clients > 0);
+  Trace trace;
+  const int per_second = std::max(1, static_cast<int>(rps));
+  for (int second = 0; second < static_cast<int>(duration_s); ++second) {
+    for (int i = 0; i < per_second; ++i) {
+      const double at = second + rng.uniform(0.0, 1.0);
+      const std::size_t doc =
+          zipf_exponent > 0.0 ? rng.zipf(docbase.size(), zipf_exponent)
+                              : rng.index(docbase.size());
+      trace.add(at, static_cast<int>(rng.index(static_cast<std::size_t>(clients))),
+                docbase.documents()[doc].path);
+    }
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace sweb::workload

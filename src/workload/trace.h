@@ -1,0 +1,57 @@
+// Request traces: record, save, load, and replay access patterns.
+//
+// The paper drove SWEB with synthetic bursts; a production server is driven
+// by logs. A Trace is the bridge: generate one from any MixSpec (so an
+// experiment is exactly repeatable across policies), save it as CSV, or
+// load one derived from real access logs and replay it against the
+// simulated cluster.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fs/docbase.h"
+#include "util/rng.h"
+
+namespace sweb::workload {
+
+struct TraceEntry {
+  double time = 0.0;    // seconds from trace start
+  int client = 0;       // client/domain index (maps onto links)
+  std::string path;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void add(double time, int client, std::string path);
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  /// Duration: the last entry's time (0 for an empty trace).
+  [[nodiscard]] double duration() const noexcept;
+
+  /// Stable-sorts entries by time (load order is preserved for ties).
+  void sort_by_time();
+
+  /// CSV round-trip: "time,client,path" with a header line.
+  void save_csv(std::ostream& out) const;
+  [[nodiscard]] static Trace load_csv(std::istream& in);
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Synthesizes a trace: `rps` requests per second for `duration_s`,
+/// documents drawn uniformly from `docbase`, Zipf-skewed when
+/// `zipf_exponent` > 0, spread over `clients` client domains.
+[[nodiscard]] Trace generate_trace(const fs::Docbase& docbase, double rps,
+                                   double duration_s, int clients,
+                                   util::Rng& rng,
+                                   double zipf_exponent = 0.0);
+
+}  // namespace sweb::workload

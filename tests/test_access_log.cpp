@@ -1,0 +1,79 @@
+#include "metrics/access_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace sweb::metrics {
+namespace {
+
+RequestRecord completed_record() {
+  RequestRecord r;
+  r.id = 1;
+  r.path = "/adl/map7.gif";
+  r.size_bytes = 16384;
+  r.outcome = Outcome::kCompleted;
+  r.status_code = 200;
+  r.first_node = 2;
+  r.start = 3.0;
+  r.finish = 5.0;
+  return r;
+}
+
+TEST(AccessLog, ClfLineStructure) {
+  const std::string line = clf_line(completed_record());
+  // host ident authuser [date] "request" status bytes
+  EXPECT_NE(line.find("client2 - - ["), std::string::npos);
+  EXPECT_NE(line.find("\"GET /adl/map7.gif HTTP/1.0\" 200 16384"),
+            std::string::npos);
+}
+
+TEST(AccessLog, TimestampUsesEpochBasePlusFinish) {
+  AccessLogOptions options;
+  options.epoch_base = 820454400;  // 1996-01-01 00:00:00 UTC
+  const std::string line = clf_line(completed_record(), options);
+  // finish = 5.0 s after midnight, Jan 1 1996.
+  EXPECT_NE(line.find("[01/Jan/1996:00:00:05 +0000]"), std::string::npos);
+}
+
+TEST(AccessLog, ErrorResponsesKeepTheirStatus) {
+  RequestRecord r = completed_record();
+  r.outcome = Outcome::kError;
+  r.status_code = 404;
+  r.size_bytes = 0;
+  const std::string line = clf_line(r);
+  EXPECT_NE(line.find("\" 404 -"), std::string::npos);
+}
+
+TEST(AccessLog, FailuresSkippedUnlessRequested) {
+  std::vector<RequestRecord> records;
+  records.push_back(completed_record());
+  RequestRecord refused;
+  refused.path = "/x";
+  refused.outcome = Outcome::kRefused;
+  records.push_back(refused);
+
+  std::ostringstream out;
+  write_access_log(out, records);
+  const std::string just_completed = out.str();
+  EXPECT_EQ(std::count(just_completed.begin(), just_completed.end(), '\n'),
+            1);
+
+  std::ostringstream all;
+  AccessLogOptions options;
+  options.include_failures = true;
+  write_access_log(all, records, options);
+  const std::string everything = all.str();
+  EXPECT_EQ(std::count(everything.begin(), everything.end(), '\n'), 2);
+}
+
+TEST(AccessLog, HostPrefixConfigurable) {
+  AccessLogOptions options;
+  options.host_prefix = "subnet-";
+  const std::string line = clf_line(completed_record(), options);
+  EXPECT_NE(line.find("subnet-2 - -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweb::metrics

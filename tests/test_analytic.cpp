@@ -1,0 +1,113 @@
+#include "core/analytic.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::core {
+namespace {
+
+AnalyticParams paper_example() {
+  AnalyticParams q;
+  q.p = 6;
+  q.F = 1.5e6;
+  q.b1 = 5.0e6;
+  q.b2 = 4.5e6;
+  q.A = 0.02;
+  q.O = 0.004;
+  q.d = 0.0;
+  return q;
+}
+
+TEST(Analytic, ReproducesPaperWorkedExample) {
+  // "if b1 = 5MB/s and b2 = 4.5MB/s, O ~ 0, p = 6, r = 2.88, then the
+  // maximum sustained rps is 17.3 for 6 nodes"
+  const AnalyticParams q = paper_example();
+  EXPECT_NEAR(analytic_per_node_rps(q), 2.88, 0.03);
+  EXPECT_NEAR(analytic_max_rps(q), 17.3, 0.2);
+}
+
+TEST(Analytic, SingleNodeIsDiskBound) {
+  AnalyticParams q = paper_example();
+  q.p = 1;
+  // All reads local: r = 1 / (F/b1 + A) = 1 / 0.32.
+  EXPECT_NEAR(analytic_per_node_rps(q), 1.0 / 0.32, 1e-9);
+}
+
+TEST(Analytic, ScalesRoughlyLinearlyInP) {
+  AnalyticParams q = paper_example();
+  q.p = 4;
+  const double at4 = analytic_max_rps(q);
+  q.p = 8;
+  const double at8 = analytic_max_rps(q);
+  EXPECT_GT(at8, at4 * 1.8);
+  EXPECT_LT(at8, at4 * 2.2);
+}
+
+TEST(Analytic, MoreLocalityHelpsWhenRedirectsAreFree) {
+  AnalyticParams q = paper_example();
+  q.O = 0.0;
+  q.A = 0.0;
+  q.d = 0.0;
+  const double no_redirects = analytic_max_rps(q);
+  q.d = 0.5;  // half the requests moved to their file's owner
+  EXPECT_GT(analytic_max_rps(q), no_redirects);
+}
+
+TEST(Analytic, RedirectionOverheadEventuallyCosts) {
+  AnalyticParams q = paper_example();
+  q.F = 1024;  // tiny files: data terms negligible
+  q.O = 0.05;
+  q.d = 0.0;
+  const double without = analytic_max_rps(q);
+  q.d = 0.9;
+  EXPECT_LT(analytic_max_rps(q), without);
+}
+
+TEST(Analytic, LargerFilesLowerTheBound) {
+  AnalyticParams q = paper_example();
+  const double large = analytic_max_rps(q);
+  q.F = 1024;
+  EXPECT_GT(analytic_max_rps(q), large * 10);
+}
+
+TEST(Analytic, SlowRemoteBandwidthHurtsOnlyRemoteFraction) {
+  AnalyticParams q = paper_example();
+  q.b2 = 1.0e6;  // terrible NFS
+  const double slow_nfs = analytic_max_rps(q);
+  EXPECT_LT(slow_nfs, analytic_max_rps(paper_example()));
+  // With full locality (d covers all remote traffic) b2 stops mattering.
+  q.d = 1.0;
+  AnalyticParams fast = q;
+  fast.b2 = 100e6;
+  EXPECT_NEAR(analytic_max_rps(q), analytic_max_rps(fast), 1e-9);
+}
+
+TEST(Analytic, LocalFractionClampsAtOne) {
+  AnalyticParams q = paper_example();
+  q.d = 0.95;  // 1/p + d > 1: cannot serve more than 100% locally
+  const double bounded = analytic_per_node_rps(q);
+  // Equivalent to all-local plus the redirection overhead term.
+  const double expected = 1.0 / (q.F / q.b1 + q.A + q.d * (q.A + q.O));
+  EXPECT_NEAR(bounded, expected, 1e-9);
+}
+
+// Property sweep: the bound is monotone in each resource direction.
+class AnalyticMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyticMonotone, FasterDisksNeverLowerTheBound) {
+  AnalyticParams q = paper_example();
+  q.p = GetParam();
+  double prev = 0.0;
+  for (double b1 = 1e6; b1 <= 20e6; b1 += 1e6) {
+    q.b1 = b1;
+    q.b2 = b1 * 0.9;
+    const double r = analytic_max_rps(q);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, AnalyticMonotone,
+                         ::testing::Values(1, 2, 4, 6, 12));
+
+}  // namespace
+}  // namespace sweb::core

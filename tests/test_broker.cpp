@@ -1,0 +1,210 @@
+#include "core/broker.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "sim/simulation.h"
+
+namespace sweb::core {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : clu(sim, cluster::meiko_config(4)), board(4, 6.0) {
+    // Seed the board: everyone idle and fresh.
+    for (int n = 0; n < 4; ++n) {
+      LoadVector v;
+      v.timestamp = 0.0;
+      board.update(n, v);
+    }
+  }
+
+  RequestFacts facts_for(double size, int owner) const {
+    RequestFacts f;
+    f.size_bytes = size;
+    f.owner = owner;
+    f.cpu_ops = 4e5 + 0.5 * size;
+    f.client_latency_s = 1.5e-3;
+    return f;
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster clu;
+  LoadBoard board;
+  BrokerParams params;
+};
+
+TEST_F(BrokerTest, LocalCandidateHasNoRedirectionCost) {
+  Broker broker(clu, params);
+  const auto est = broker.estimate(facts_for(1.5e6, 0), /*self=*/0,
+                                   /*candidate=*/0, board);
+  EXPECT_DOUBLE_EQ(est.t_redirection, 0.0);
+  EXPECT_GT(est.t_data, 0.0);
+  EXPECT_GT(est.t_cpu, 0.0);
+}
+
+TEST_F(BrokerTest, RemoteCandidatePaysTwoLatenciesPlusConnect) {
+  Broker broker(clu, params);
+  const auto est = broker.estimate(facts_for(1.5e6, 1), 0, 1, board);
+  EXPECT_NEAR(est.t_redirection, 2 * 1.5e-3 + params.connect_time_s, 1e-12);
+}
+
+TEST_F(BrokerTest, OwnerHasCheaperDataTermThanRemote) {
+  Broker broker(clu, params);
+  const auto at_owner = broker.estimate(facts_for(1.5e6, 2), 0, 2, board);
+  const auto at_other = broker.estimate(facts_for(1.5e6, 2), 0, 3, board);
+  // Owner reads at b1 = 5 MB/s; others at min(b2, net) <= 4.5 MB/s.
+  EXPECT_LT(at_owner.t_data, at_other.t_data);
+  EXPECT_NEAR(at_owner.t_data, 1.5e6 / 5.0e6, 1e-9);
+}
+
+TEST_F(BrokerTest, DiskQueueDegradesDataTerm) {
+  Broker broker(clu, params);
+  LoadVector busy;
+  busy.timestamp = 0.0;
+  busy.disk_queue = 4;  // b_disk / (1 + 4)
+  board.update(2, busy);
+  const auto est = broker.estimate(facts_for(1.0e6, 2), 0, 2, board);
+  EXPECT_NEAR(est.t_data, 1.0e6 / (5.0e6 / 5.0), 1e-9);
+}
+
+TEST_F(BrokerTest, CpuLoadScalesCpuTerm) {
+  Broker broker(clu, params);
+  LoadVector loaded;
+  loaded.timestamp = 0.0;
+  loaded.cpu_run_queue = 3.0;
+  board.update(1, loaded);
+  const auto idle = broker.estimate(facts_for(1e6, 0), 0, 2, board);
+  const auto busy = broker.estimate(facts_for(1e6, 0), 0, 1, board);
+  EXPECT_NEAR(busy.t_cpu, idle.t_cpu * 3.0, 1e-9);
+}
+
+TEST_F(BrokerTest, ChoosePrefersOwnerForLargeFiles) {
+  Broker broker(clu, params);
+  // 1.5 MB owned by node 2, arriving at node 0 with all nodes idle: the
+  // ~33 ms data-term advantage beats the ~5 ms redirection cost.
+  EXPECT_EQ(broker.choose(facts_for(1.5e6, 2), 0, board), 2);
+}
+
+TEST_F(BrokerTest, ChooseStaysLocalForTinyFiles) {
+  Broker broker(clu, params);
+  // 1 KB: data-term difference is microseconds, redirection costs 5 ms.
+  EXPECT_EQ(broker.choose(facts_for(1024, 2), 0, board), 0);
+}
+
+TEST_F(BrokerTest, ChooseAvoidsOverloadedOwner) {
+  Broker broker(clu, params);
+  LoadVector slammed;
+  slammed.timestamp = 0.0;
+  slammed.cpu_run_queue = 50.0;
+  slammed.disk_queue = 50;
+  board.update(2, slammed);
+  const int choice = broker.choose(facts_for(1.5e6, 2), 0, board);
+  EXPECT_NE(choice, 2);
+}
+
+TEST_F(BrokerTest, ChooseSkipsUnresponsiveNodes) {
+  Broker broker(clu, params);
+  // Make the owner's record stale: it cannot be chosen.
+  LoadVector ancient;
+  ancient.timestamp = -100.0;
+  board.update(2, ancient);
+  sim.run_until(10.0);  // now = 10, staleness window = 6
+  const int choice = broker.choose(facts_for(1.5e6, 2), 0, board);
+  EXPECT_NE(choice, 2);
+}
+
+TEST_F(BrokerTest, SelfIsAlwaysACandidate) {
+  Broker broker(clu, params);
+  // Every peer stale: must fall back to self.
+  for (int n = 0; n < 4; ++n) {
+    LoadVector ancient;
+    ancient.timestamp = -100.0;
+    board.update(n, ancient);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(broker.choose(facts_for(1.5e6, 2), 0, board), 0);
+}
+
+TEST_F(BrokerTest, TiesPreferSelf) {
+  Broker broker(clu, params);
+  // Zero-size facts: t_data = 0 everywhere; CPU equal; redirect > 0 for
+  // peers, so self wins — but even with the redirection term disabled the
+  // tie must stay local.
+  BrokerParams no_redirect = params;
+  no_redirect.use_redirection_term = false;
+  Broker broker2(clu, no_redirect);
+  RequestFacts f = facts_for(0.0, 1);
+  EXPECT_EQ(broker2.choose(f, 3, board), 3);
+}
+
+TEST_F(BrokerTest, AblationSwitchesZeroTerms) {
+  BrokerParams off = params;
+  off.use_cpu_term = false;
+  off.use_data_term = false;
+  off.use_redirection_term = false;
+  Broker broker(clu, off);
+  const auto est = broker.estimate(facts_for(1.5e6, 1), 0, 1, board);
+  EXPECT_DOUBLE_EQ(est.total(), 0.0);
+}
+
+TEST_F(BrokerTest, DeltaInflationSteersAwayAfterRedirects) {
+  Broker broker(clu, params);
+  const RequestFacts f = facts_for(1.5e6, 2);
+  ASSERT_EQ(broker.choose(f, 0, board), 2);
+  // Simulate a burst of redirects noted against the owner.
+  for (int i = 0; i < 40; ++i) board.note_redirect(2, 0.3);
+  EXPECT_NE(broker.choose(f, 0, board), 2);
+}
+
+TEST_F(BrokerTest, CacheAwareBrokerZeroesResidentDataTerm) {
+  BrokerParams aware = params;
+  aware.cache_aware = true;
+  Broker broker(clu, aware);
+  RequestFacts f = facts_for(1.5e6, 2);
+  f.path = "/hot/scene.tiff";
+  // Not resident anywhere: normal costs.
+  const auto cold = broker.estimate(f, 0, 1, board);
+  EXPECT_GT(cold.t_data, 0.0);
+  // Resident on node 1: its data term vanishes and it wins the choice.
+  clu.page_cache(1).insert("/hot/scene.tiff", 1536 * 1024);
+  const auto warm = broker.estimate(f, 0, 1, board);
+  EXPECT_DOUBLE_EQ(warm.t_data, 0.0);
+  EXPECT_EQ(broker.choose(f, 0, board), 1);
+  // The cache-blind 1996 broker ignores residency entirely.
+  Broker blind(clu, params);
+  EXPECT_GT(blind.estimate(f, 0, 1, board).t_data, 0.0);
+}
+
+TEST_F(BrokerTest, EstimateBreakdownSumsToTotal) {
+  Broker broker(clu, params);
+  const auto est = broker.estimate(facts_for(2e5, 1), 0, 1, board);
+  EXPECT_DOUBLE_EQ(est.total(),
+                   est.t_redirection + est.t_data + est.t_cpu + est.t_net);
+}
+
+TEST_F(BrokerTest, NetTermOffByDefaultPerThePaper) {
+  Broker broker(clu, params);
+  const auto est = broker.estimate(facts_for(1.5e6, 1), 0, 1, board);
+  EXPECT_DOUBLE_EQ(est.t_net, 0.0);  // "it is not estimated"
+}
+
+TEST_F(BrokerTest, NetTermSeesSaturatedSenders) {
+  BrokerParams with_net = params;
+  with_net.use_net_term = true;
+  Broker broker(clu, with_net);
+  const RequestFacts f = facts_for(1.5e6, 1);
+  const auto idle = broker.estimate(f, 0, 1, board);
+  EXPECT_GT(idle.t_net, 0.0);
+  // Mark node 1's external link as nearly saturated on the board.
+  LoadVector busy;
+  busy.timestamp = 0.0;
+  busy.ext_utilization = 0.95;
+  board.update(1, busy);
+  const auto saturated = broker.estimate(f, 0, 1, board);
+  EXPECT_GT(saturated.t_net, idle.t_net * 5.0);
+}
+
+}  // namespace
+}  // namespace sweb::core

@@ -1,0 +1,110 @@
+// Dynamic-content (CGI) handling over real sockets — the extension the
+// paper names as future work (POST + executable endpoints).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "fs/docbase.h"
+#include "runtime/client.h"
+#include "runtime/mini_cluster.h"
+
+namespace sweb::runtime {
+namespace {
+
+fs::Docbase tiny_docbase(int nodes) {
+  return fs::make_uniform(4, 2048, nodes, fs::Placement::kRoundRobin,
+                          nullptr, "/docs");
+}
+
+TEST(Cgi, GetWithQueryExecutesHandler) {
+  MiniCluster cluster(2, tiny_docbase(2));
+  cluster.docs_mutable().register_cgi(
+      "/cgi/echo.cgi", /*owner=*/0,
+      [](const http::Request&, std::string_view query) {
+        return http::make_ok("query=" + std::string(query), "text/plain");
+      });
+  cluster.start();
+  const auto result =
+      fetch(cluster.next_base_url() + "/cgi/echo.cgi?zoom=4&layer=aerial");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 200);
+  // The redirect hop marker may have been appended by a 302.
+  EXPECT_NE(result->response.body.find("zoom=4&layer=aerial"),
+            std::string::npos);
+}
+
+TEST(Cgi, PostBodyReachesHandler) {
+  MiniCluster cluster(2, tiny_docbase(2));
+  std::atomic<int> calls{0};
+  cluster.docs_mutable().register_cgi(
+      "/cgi/search.cgi", 0,
+      [&calls](const http::Request& request, std::string_view) {
+        ++calls;
+        return http::make_ok("posted:" + request.body, "text/plain");
+      });
+  cluster.start();
+  FetchOptions options;
+  options.post_body = "region=goleta&scale=24000";
+  const auto result =
+      fetch(cluster.next_base_url() + "/cgi/search.cgi", options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 200);
+  EXPECT_EQ(result->response.body, "posted:region=goleta&scale=24000");
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(Cgi, PostToStaticContentIs501) {
+  MiniCluster cluster(1, tiny_docbase(1));
+  cluster.start();
+  FetchOptions options;
+  options.post_body = "x=1";
+  const auto result =
+      fetch(cluster.next_base_url() + "/docs/file0.html", options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 501);
+}
+
+TEST(Cgi, PostToUnknownPathIs404) {
+  MiniCluster cluster(1, tiny_docbase(1));
+  cluster.start();
+  FetchOptions options;
+  options.post_body = "x=1";
+  const auto result = fetch(cluster.next_base_url() + "/cgi/ghost.cgi",
+                            options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 404);
+}
+
+TEST(Cgi, HandlerErrorsPropagateAsStatus) {
+  MiniCluster cluster(1, tiny_docbase(1));
+  cluster.docs_mutable().register_cgi(
+      "/cgi/fail.cgi", 0, [](const http::Request&, std::string_view) {
+        return http::make_error(http::Status::kInternalError, "boom");
+      });
+  cluster.start();
+  const auto result = fetch(cluster.next_base_url() + "/cgi/fail.cgi");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 500);
+}
+
+TEST(Cgi, CgiEndpointsMayBeRedirectedLikeAnyRequest) {
+  // The CGI's "owner" node participates in the locality logic: asking the
+  // wrong node bounces once to the owner.
+  MiniCluster cluster(2, tiny_docbase(2));
+  cluster.docs_mutable().register_cgi(
+      "/cgi/where.cgi", /*owner=*/1,
+      [](const http::Request&, std::string_view) {
+        return http::make_ok("here", "text/plain");
+      });
+  cluster.start();
+  const std::string url =
+      "http://127.0.0.1:" + std::to_string(cluster.port(0)) +
+      "/cgi/where.cgi";
+  const auto result = fetch(url);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->redirects_followed, 1);
+  EXPECT_EQ(result->response.headers.get("X-Sweb-Node"), "1");
+}
+
+}  // namespace
+}  // namespace sweb::runtime

@@ -1,0 +1,93 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli;
+  cli.option("policy", "sweb", "scheduling policy")
+      .option("rps", "16", "request rate")
+      .flag("forward", "use forwarding");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnspecified) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("policy"), "sweb");
+  EXPECT_EQ(cli.get_int("rps"), 16);
+  EXPECT_FALSE(cli.get_flag("forward"));
+  EXPECT_FALSE(cli.provided("policy"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--policy", "round-robin", "--rps", "24"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get("policy"), "round-robin");
+  EXPECT_EQ(cli.get_int("rps"), 24);
+  EXPECT_TRUE(cli.provided("policy"));
+}
+
+TEST(Cli, EqualsSyntaxAndFlags) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--rps=32", "--forward"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rps"), 32.0);
+  EXPECT_TRUE(cli.get_flag("forward"));
+}
+
+TEST(Cli, PositionalArgumentsCollected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "input.conf", "--rps", "8", "extra"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.conf");
+  EXPECT_EQ(cli.positional()[1], "extra");
+}
+
+TEST(Cli, HelpShortCircuits) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string help = cli.help_text("prog");
+  EXPECT_NE(help.find("--policy"), std::string::npos);
+  EXPECT_NE(help.find("default: sweb"), std::string::npos);
+}
+
+TEST(Cli, Errors) {
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--nope", "1"};
+    EXPECT_THROW((void)cli.parse(3, argv), CliError);
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--rps"};
+    EXPECT_THROW((void)cli.parse(2, argv), CliError);
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--forward=yes"};
+    EXPECT_THROW((void)cli.parse(2, argv), CliError);
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog", "--rps", "abc"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_THROW((void)cli.get_int("rps"), CliError);
+    EXPECT_THROW((void)cli.get_double("rps"), CliError);
+  }
+  {
+    Cli cli = make_cli();
+    const char* argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_THROW((void)cli.get("undeclared"), CliError);
+  }
+}
+
+}  // namespace
+}  // namespace sweb::util

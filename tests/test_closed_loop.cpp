@@ -1,0 +1,98 @@
+#include "workload/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::workload {
+namespace {
+
+ExperimentSpec base_spec(int nodes, std::uint64_t file_size) {
+  ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(nodes);
+  spec.docbase =
+      fs::make_uniform(64, file_size, nodes, fs::Placement::kRoundRobin);
+  spec.clients = ucsb_clients();
+  spec.policy = "sweb";
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(ClosedLoop, UsersCycleThroughRequests) {
+  ClosedLoopSpec loop;
+  loop.num_clients = 8;
+  loop.think_mean_s = 0.5;
+  loop.duration_s = 20.0;
+  const auto r = run_closed_loop(base_spec(4, 64 * 1024), loop);
+  // 8 users at ~(response + 0.5s think) per cycle: well over one request
+  // per user, all completed.
+  EXPECT_GT(r.requests_issued, 8u * 10u);
+  EXPECT_EQ(r.summary.completed, r.summary.total);
+  EXPECT_EQ(r.stalled_clients, 0u);
+  EXPECT_GT(r.throughput_rps, 4.0);
+}
+
+TEST(ClosedLoop, ThroughputSelfThrottlesUnderOverload) {
+  // 1.5 MB files on one node: capacity ~3 rps. A closed loop with many
+  // users cannot exceed it, and (unlike the open loop) drops little.
+  ClosedLoopSpec loop;
+  loop.num_clients = 24;
+  loop.think_mean_s = 0.5;
+  loop.duration_s = 30.0;
+  const auto closed = run_closed_loop(base_spec(1, 1536 * 1024), loop);
+  EXPECT_LE(closed.throughput_rps, 4.5);
+  EXPECT_GT(closed.throughput_rps, 1.0);
+  // Per-user latency stays bounded: each user has at most one request in
+  // flight, so the queue never exceeds the user count.
+  EXPECT_LT(closed.summary.p95_response, 30.0);
+  EXPECT_LT(closed.summary.drop_rate(), 0.05);
+}
+
+TEST(ClosedLoop, MoreUsersMoreThroughputUntilSaturation) {
+  ClosedLoopSpec small;
+  small.num_clients = 2;
+  small.think_mean_s = 0.2;
+  small.duration_s = 15.0;
+  ClosedLoopSpec large = small;
+  large.num_clients = 16;
+  const auto few = run_closed_loop(base_spec(4, 64 * 1024), small);
+  const auto many = run_closed_loop(base_spec(4, 64 * 1024), large);
+  EXPECT_GT(many.throughput_rps, few.throughput_rps * 2.0);
+}
+
+TEST(ClosedLoop, DeadNodeStallsItsPinnedUsers) {
+  ExperimentSpec spec = base_spec(3, 64 * 1024);
+  spec.cluster.request_timeout_s = 3600.0;  // patient users: stalls visible
+  // Keep node 1's disk out of the docbase: otherwise its death hangs any
+  // server that NFS-reads its content, and *every* user stalls.
+  fs::Docbase no_node1;
+  for (fs::Document d : spec.docbase.documents()) {
+    if (d.owner == 1) d.owner = 0;
+    no_node1.add(std::move(d));
+  }
+  spec.docbase = no_node1;
+  spec.on_start = [](core::SwebServer& server, sim::Simulation& sim) {
+    // Kill node 1 after the users' DNS caches have pinned to nodes.
+    sim.schedule_at(5.0, [&server] { server.set_node_available(1, false); });
+  };
+  ClosedLoopSpec loop;
+  loop.num_clients = 6;
+  loop.think_mean_s = 0.5;
+  loop.duration_s = 30.0;
+  const auto r = run_closed_loop(spec, loop);
+  // The users whose domain cached node 1 issue a request into the void and
+  // never come back; the rest keep cycling.
+  EXPECT_GT(r.stalled_clients, 0u);
+  EXPECT_LT(r.stalled_clients, 6u);
+  EXPECT_GT(r.summary.completed, 0u);
+}
+
+TEST(ClosedLoop, HealthyClusterLeavesNoStalledUsers) {
+  ClosedLoopSpec loop;
+  loop.num_clients = 6;
+  loop.think_mean_s = 0.5;
+  loop.duration_s = 15.0;
+  const auto r = run_closed_loop(base_spec(3, 64 * 1024), loop);
+  EXPECT_EQ(r.stalled_clients, 0u);
+}
+
+}  // namespace
+}  // namespace sweb::workload

@@ -1,0 +1,203 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/config.h"
+#include "sim/simulation.h"
+#include "util/config.h"
+
+namespace sweb::cluster {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+};
+
+TEST_F(ClusterTest, MeikoPresetShape) {
+  const ClusterConfig cfg = meiko_config(6);
+  EXPECT_EQ(cfg.num_nodes(), 6);
+  EXPECT_EQ(cfg.network, NetworkKind::kPointToPoint);
+  EXPECT_DOUBLE_EQ(cfg.nfs_penalty, 0.10);
+  EXPECT_DOUBLE_EQ(cfg.nodes[0].disk_bytes_per_sec, 5.0e6);  // b1 = 5 MB/s
+}
+
+TEST_F(ClusterTest, NowPresetShape) {
+  const ClusterConfig cfg = now_config(4);
+  EXPECT_EQ(cfg.num_nodes(), 4);
+  EXPECT_EQ(cfg.network, NetworkKind::kSharedBus);
+  EXPECT_LT(cfg.bus_bytes_per_sec, 2e6);  // a shared 10 Mb/s Ethernet
+}
+
+TEST_F(ClusterTest, LocalReadRunsAtDiskBandwidth) {
+  Cluster clu(sim, meiko_config(2));
+  double done = -1.0;
+  clu.read_local(0, 5.0e6, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, RemoteReadPaysNfsPenalty) {
+  Cluster clu(sim, meiko_config(2));
+  double done = -1.0;
+  clu.read_remote(0, 1, 4.5e6, [&] { done = sim.now(); });
+  sim.run();
+  // Rate cap = 5 MB/s * 0.9 = 4.5 MB/s => exactly 1 s for 4.5 MB.
+  EXPECT_NEAR(done, 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, CpuBurstAccountsToCategory) {
+  Cluster clu(sim, meiko_config(1));
+  bool done = false;
+  clu.cpu_burst(0, CpuUse::kParse, 40e6, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(sim.now(), 1.0, 1e-9);  // 40e6 ops at 40 MIPS
+  EXPECT_DOUBLE_EQ(clu.cpu_accounting(0).of(CpuUse::kParse), 40e6);
+  EXPECT_DOUBLE_EQ(clu.cpu_accounting(0).of(CpuUse::kFulfill), 0.0);
+  EXPECT_DOUBLE_EQ(clu.cpu_accounting(0).total(), 40e6);
+}
+
+TEST_F(ClusterTest, SharedBusCouplesNfsAndClientTraffic) {
+  ClusterConfig cfg = now_config(2);
+  cfg.bus_bytes_per_sec = 1.0e6;
+  Cluster clu(sim, cfg);
+  const ClientLinkId link = clu.add_client_link("lan", 10e6, 1e-3);
+  double nfs_done = -1.0, send_done = -1.0;
+  // Both flows fight over the single 1 MB/s bus.
+  clu.read_remote(0, 1, 0.5e6, [&] { nfs_done = sim.now(); });
+  clu.send_external(0, link, 0.5e6, [&] { send_done = sim.now(); });
+  sim.run();
+  // Fair share 0.5 MB/s each -> both need ~1 s (not 0.5 s).
+  EXPECT_NEAR(nfs_done, 1.0, 0.01);
+  EXPECT_NEAR(send_done, 1.0, 0.01);
+}
+
+TEST_F(ClusterTest, FatTreeKeepsDisjointPairsIndependent) {
+  Cluster clu(sim, meiko_config(4));
+  double a = -1.0, b = -1.0;
+  clu.read_remote(0, 1, 4.5e6, [&] { a = sim.now(); });
+  clu.read_remote(2, 3, 4.5e6, [&] { b = sim.now(); });
+  sim.run();
+  // Disjoint node pairs: no shared resource, both take exactly 1 s.
+  EXPECT_NEAR(a, 1.0, 1e-9);
+  EXPECT_NEAR(b, 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, ClientLinkCapsDelivery) {
+  Cluster clu(sim, meiko_config(1));
+  const ClientLinkId slow = clu.add_client_link("modem", 1e5, 50e-3);
+  double done = -1.0;
+  clu.send_external(0, slow, 1e5, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(clu.client_latency(slow), 50e-3);
+  EXPECT_DOUBLE_EQ(clu.client_bandwidth(slow), 1e5);
+}
+
+TEST_F(ClusterTest, MemoryPressureThrashesCapacities) {
+  ClusterConfig cfg = meiko_config(1);
+  cfg.thrash_exponent = 1.0;
+  Cluster clu(sim, cfg);
+  const double ram = static_cast<double>(cfg.nodes[0].ram_bytes);
+  clu.reserve_memory(0, 2.0 * ram);  // 2x overcommit
+  EXPECT_NEAR(clu.memory_pressure(0), 2.0, 1e-9);
+  double done = -1.0;
+  clu.cpu_burst(0, CpuUse::kOther, 40e6, [&] { done = sim.now(); });
+  sim.run();
+  // Thrash factor 0.5 => the 1 s burst takes 2 s.
+  EXPECT_NEAR(done, 2.0, 1e-6);
+  clu.release_memory(0, 2.0 * ram);
+  EXPECT_DOUBLE_EQ(clu.committed_bytes(0), 0.0);
+}
+
+TEST_F(ClusterTest, ReleaseBelowZeroClamps) {
+  Cluster clu(sim, meiko_config(1));
+  clu.release_memory(0, 1e9);
+  EXPECT_DOUBLE_EQ(clu.committed_bytes(0), 0.0);
+}
+
+TEST_F(ClusterTest, UnavailableNodeStallsWorkUntilRejoin) {
+  Cluster clu(sim, meiko_config(2));
+  double done = -1.0;
+  clu.read_local(0, 5.0e6, [&] { done = sim.now(); });
+  sim.schedule_at(0.5, [&] { clu.set_available(0, false); });
+  sim.schedule_at(10.0, [&] { clu.set_available(0, true); });
+  sim.run();
+  EXPECT_NEAR(done, 10.5, 1e-6);
+  EXPECT_TRUE(clu.available(0));
+}
+
+TEST_F(ClusterTest, LoadObservationsReflectActivity) {
+  Cluster clu(sim, meiko_config(1));
+  EXPECT_DOUBLE_EQ(clu.cpu_run_queue(0), 0.0);
+  EXPECT_EQ(clu.disk_queue(0), 0);
+  clu.cpu_burst(0, CpuUse::kOther, 1e9, [] {});
+  clu.cpu_burst(0, CpuUse::kOther, 1e9, [] {});
+  clu.read_local(0, 1e9, [] {});
+  EXPECT_DOUBLE_EQ(clu.cpu_run_queue(0), 2.0);
+  EXPECT_EQ(clu.disk_queue(0), 1);
+  EXPECT_NEAR(clu.cpu_utilization(0), 1.0, 1e-9);
+  EXPECT_NEAR(clu.disk_utilization(0), 1.0, 1e-9);
+}
+
+TEST_F(ClusterTest, LoadAverageLagsInstantaneousQueue) {
+  Cluster clu(sim, meiko_config(1));
+  EXPECT_DOUBLE_EQ(clu.cpu_load_average(0), 0.0);
+  clu.cpu_burst(0, CpuUse::kOther, 40e6 * 100, [] {});  // 100 s of work
+  clu.cpu_burst(0, CpuUse::kOther, 40e6 * 100, [] {});
+  // Immediately after arrival the average is still near zero...
+  EXPECT_LT(clu.cpu_load_average(0), 0.5);
+  // ...but converges toward the instantaneous queue (2) over a few tau.
+  sim.schedule_at(30.0, [&] {
+    EXPECT_NEAR(clu.cpu_load_average(0), 2.0, 0.05);
+  });
+  sim.run_until(30.0);
+}
+
+TEST_F(ClusterTest, SendInternalIncursLatencyAndTransfer) {
+  Cluster clu(sim, meiko_config(2));
+  double done = -1.0;
+  clu.send_internal(0, 1, 6.0e6, [&] { done = sim.now(); });
+  sim.run();
+  // 0.3 ms latency + 6 MB over the 6 MB/s NICs = ~1.0003 s.
+  EXPECT_NEAR(done, 1.0 + 0.3e-3, 1e-6);
+}
+
+TEST_F(ClusterTest, ConfigFileRoundTrip) {
+  const util::Config file = util::Config::parse(R"(
+[cluster]
+name = test-cluster
+network = ethernet
+bus_mbps = 1.25
+nfs_penalty = 0.5
+[node]
+count = 3
+cpu_mops = 25
+ram_mb = 16
+disk_mbps = 2.5
+max_connections = 12
+)");
+  const ClusterConfig cfg = cluster_from_config(file);
+  EXPECT_EQ(cfg.name, "test-cluster");
+  EXPECT_EQ(cfg.network, NetworkKind::kSharedBus);
+  EXPECT_DOUBLE_EQ(cfg.bus_bytes_per_sec, 1.25e6);
+  EXPECT_EQ(cfg.num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(cfg.nodes[2].cpu_ops_per_sec, 25e6);
+  EXPECT_EQ(cfg.nodes[0].max_connections, 12);
+}
+
+TEST_F(ClusterTest, ConfigFileErrors) {
+  EXPECT_THROW(cluster_from_config(util::Config::parse(
+                   "[cluster]\nnetwork = token-ring\n[node]\n")),
+               util::ConfigError);
+  EXPECT_THROW(
+      cluster_from_config(util::Config::parse("[cluster]\nname = x\n")),
+      util::ConfigError);  // no nodes
+  EXPECT_THROW(cluster_from_config(util::Config::parse(
+                   "[cluster]\n[node]\ncount = 0\n")),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace sweb::cluster

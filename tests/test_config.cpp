@@ -1,0 +1,115 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::util {
+namespace {
+
+TEST(Config, ParsesSectionsAndTypedValues) {
+  const Config cfg = Config::parse(R"(
+# cluster description
+[cluster]
+name = "Meiko CS-2"
+network = fat-tree
+nfs_penalty = 0.10
+nodes = 6
+debug = true
+)");
+  const ConfigSection& c = cfg.section("cluster");
+  EXPECT_EQ(c.get_string("name"), "Meiko CS-2");
+  EXPECT_EQ(c.get_string("network"), "fat-tree");
+  EXPECT_DOUBLE_EQ(c.get_double("nfs_penalty"), 0.10);
+  EXPECT_EQ(c.get_int("nodes"), 6);
+  EXPECT_TRUE(c.get_bool("debug"));
+}
+
+TEST(Config, UnnamedLeadingSection) {
+  const Config cfg = Config::parse("top = 1\n[s]\nx = 2\n");
+  EXPECT_EQ(cfg.section("").get_int("top"), 1);
+  EXPECT_EQ(cfg.section("s").get_int("x"), 2);
+}
+
+TEST(Config, CommentsStripped) {
+  const Config cfg = Config::parse(
+      "[s]\n"
+      "a = 1   # trailing comment\n"
+      "; whole-line comment\n"
+      "b = \"quoted # not a comment\"\n");
+  EXPECT_EQ(cfg.section("s").get_int("a"), 1);
+  EXPECT_EQ(cfg.section("s").get_string("b"), "quoted # not a comment");
+}
+
+TEST(Config, GitStyleSubsectionNamesFold) {
+  const Config cfg = Config::parse("[oracle.class \"cgi\"]\nfixed_ops = 2e6\n");
+  EXPECT_TRUE(cfg.has_section("oracle.class.cgi"));
+  EXPECT_DOUBLE_EQ(cfg.section("oracle.class.cgi").get_double("fixed_ops"),
+                   2e6);
+}
+
+TEST(Config, RepeatedSectionsKeepOrder) {
+  const Config cfg = Config::parse("[node]\nid = 0\n[node]\nid = 1\n");
+  const auto nodes = cfg.sections("node");
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0]->get_int("id"), 0);
+  EXPECT_EQ(nodes[1]->get_int("id"), 1);
+}
+
+TEST(Config, LastDuplicateKeyWins) {
+  const Config cfg = Config::parse("[s]\nx = 1\nx = 2\n");
+  EXPECT_EQ(cfg.section("s").get_int("x"), 2);
+  EXPECT_EQ(cfg.section("s").keys().size(), 1u);
+}
+
+TEST(Config, FallbacksApplyOnlyWhenMissing) {
+  const Config cfg = Config::parse("[s]\npresent = 7\n");
+  const ConfigSection& s = cfg.section("s");
+  EXPECT_EQ(s.get_int_or("present", 99), 7);
+  EXPECT_EQ(s.get_int_or("absent", 99), 99);
+  EXPECT_DOUBLE_EQ(s.get_double_or("absent", 1.5), 1.5);
+  EXPECT_EQ(s.get_string_or("absent", "d"), "d");
+  EXPECT_TRUE(s.get_bool_or("absent", true));
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg = Config::parse(
+      "[s]\na=true\nb=Yes\nc=ON\nd=1\ne=false\nf=no\ng=off\nh=0\n");
+  const ConfigSection& s = cfg.section("s");
+  for (const char* k : {"a", "b", "c", "d"}) EXPECT_TRUE(s.get_bool(k)) << k;
+  for (const char* k : {"e", "f", "g", "h"}) EXPECT_FALSE(s.get_bool(k)) << k;
+}
+
+TEST(ConfigErrors, ThrowWithContext) {
+  EXPECT_THROW((void)Config::parse("[s]\nnot a pair\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("[unterminated\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("[]\n"), ConfigError);
+  EXPECT_THROW((void)Config::parse("[s]\n= novalue\n"), ConfigError);
+
+  const Config cfg = Config::parse("[s]\nx = abc\n");
+  EXPECT_THROW((void)cfg.section("missing"), ConfigError);
+  EXPECT_THROW((void)cfg.section("s").get_double("x"), ConfigError);
+  EXPECT_THROW((void)cfg.section("s").get_int("x"), ConfigError);
+  EXPECT_THROW((void)cfg.section("s").get_bool("x"), ConfigError);
+  EXPECT_THROW((void)cfg.section("s").get_string("missing"), ConfigError);
+}
+
+TEST(ConfigErrors, ReportsLineNumbers) {
+  try {
+    (void)Config::parse("[ok]\nx = 1\nbroken line\n");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Config, ScientificNotationDoubles) {
+  const Config cfg = Config::parse("[s]\nops = 2.8e6\nneg = -1.5e-3\n");
+  EXPECT_DOUBLE_EQ(cfg.section("s").get_double("ops"), 2.8e6);
+  EXPECT_DOUBLE_EQ(cfg.section("s").get_double("neg"), -1.5e-3);
+}
+
+TEST(Config, ParseFileMissingThrows) {
+  EXPECT_THROW(Config::parse_file("/no/such/sweb.conf"), ConfigError);
+}
+
+}  // namespace
+}  // namespace sweb::util

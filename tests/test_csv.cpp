@@ -1,0 +1,83 @@
+#include "metrics/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::metrics {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("123.45"), "123.45");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "x,y"});
+  csv.add_row({"2", "z"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,\"x,y\"\n2,z\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(RecordsCsv, OneRowPerRequestWithPhases) {
+  std::vector<RequestRecord> records;
+  RequestRecord r;
+  r.id = 7;
+  r.path = "/adl/scene.tiff";
+  r.size_bytes = 1536 * 1024;
+  r.outcome = Outcome::kCompleted;
+  r.status_code = 200;
+  r.first_node = 0;
+  r.final_node = 2;
+  r.redirected = true;
+  r.start = 1.0;
+  r.finish = 3.5;
+  r.t_data = 0.3;
+  records.push_back(r);
+  RequestRecord dropped;
+  dropped.id = 8;
+  dropped.path = "/x";
+  dropped.outcome = Outcome::kRefused;
+  records.push_back(dropped);
+
+  const std::string out = records_csv(records).to_string();
+  EXPECT_NE(out.find("id,path,size_bytes,outcome"), std::string::npos);
+  EXPECT_NE(out.find("7,/adl/scene.tiff"), std::string::npos);
+  EXPECT_NE(out.find("completed"), std::string::npos);
+  EXPECT_NE(out.find("refused"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);  // response time
+}
+
+TEST(RecordsCsv, IncompleteRequestsHaveEmptyFinish) {
+  std::vector<RequestRecord> records;
+  RequestRecord r;
+  r.id = 1;
+  r.path = "/p";
+  r.outcome = Outcome::kTimedOut;
+  records.push_back(r);
+  const std::string out = records_csv(records).to_string();
+  // "...,timed_out,...,0,,," — finish and response cells empty.
+  EXPECT_NE(out.find("timed_out"), std::string::npos);
+  EXPECT_NE(out.find(",,"), std::string::npos);
+}
+
+TEST(SummaryCsv, SingleRowWithRates) {
+  Summary s;
+  s.total = 100;
+  s.completed = 90;
+  s.refused = 10;
+  s.mean_response = 2.5;
+  const std::string out = summary_csv(s).to_string();
+  EXPECT_NE(out.find("total,completed"), std::string::npos);
+  EXPECT_NE(out.find("100,90,10"), std::string::npos);
+  EXPECT_NE(out.find("0.1"), std::string::npos);  // drop rate
+}
+
+}  // namespace
+}  // namespace sweb::metrics

@@ -1,0 +1,122 @@
+#include "dns/dns.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::dns {
+namespace {
+
+TEST(Authoritative, RoundRobinRotation) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1, 2}, 60.0);
+  EXPECT_EQ(dns.query("www")->address, 0);
+  EXPECT_EQ(dns.query("www")->address, 1);
+  EXPECT_EQ(dns.query("www")->address, 2);
+  EXPECT_EQ(dns.query("www")->address, 0);  // wraps
+}
+
+TEST(Authoritative, UnknownNameFails) {
+  AuthoritativeServer dns;
+  EXPECT_FALSE(dns.query("nope").has_value());
+}
+
+TEST(Authoritative, EmptyRecordSetFails) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {}, 60.0);
+  EXPECT_FALSE(dns.query("www").has_value());
+}
+
+TEST(Authoritative, AddAddressJoinsRotation) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0}, 60.0);
+  dns.add_address("www", 7);
+  EXPECT_EQ(dns.query("www")->address, 0);
+  EXPECT_EQ(dns.query("www")->address, 7);
+}
+
+TEST(Authoritative, RemoveAddressKeepsRotationConsistent) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1, 2, 3}, 60.0);
+  EXPECT_EQ(dns.query("www")->address, 0);  // cursor now at 1
+  EXPECT_TRUE(dns.remove_address("www", 1));
+  // Rotation continues over remaining {0, 2, 3} without skipping.
+  EXPECT_EQ(dns.query("www")->address, 2);
+  EXPECT_EQ(dns.query("www")->address, 3);
+  EXPECT_EQ(dns.query("www")->address, 0);
+}
+
+TEST(Authoritative, RemoveMissingReturnsFalse) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0}, 60.0);
+  EXPECT_FALSE(dns.remove_address("www", 9));
+  EXPECT_FALSE(dns.remove_address("other", 0));
+}
+
+TEST(Authoritative, RemoveAllThenQueryFails) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0}, 60.0);
+  EXPECT_TRUE(dns.remove_address("www", 0));
+  EXPECT_FALSE(dns.query("www").has_value());
+}
+
+TEST(Authoritative, QueryCountTracksLoad) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0}, 60.0);
+  for (int i = 0; i < 5; ++i) (void)dns.query("www");
+  EXPECT_EQ(dns.query_count(), 5u);
+}
+
+TEST(Resolver, CachePinsDomainUntilTtl) {
+  // "all requests for a period of time from a DNS server's domain will go
+  // to a particular IP address" — the paper's DNS-caching weakness.
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1, 2}, /*ttl=*/30.0);
+  CachingResolver resolver(dns);
+  const Address pinned = resolver.resolve("www", 0.0)->address;
+  for (double t : {1.0, 10.0, 29.9}) {
+    const auto r = resolver.resolve("www", t);
+    EXPECT_EQ(r->address, pinned);
+    EXPECT_TRUE(r->cache_hit);
+  }
+  // TTL expiry: next lookup consults the rotation again.
+  const auto after = resolver.resolve("www", 30.1);
+  EXPECT_FALSE(after->cache_hit);
+  EXPECT_NE(after->address, pinned);  // rotation moved on
+}
+
+TEST(Resolver, ZeroTtlNeverCaches) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1}, 0.0);
+  CachingResolver resolver(dns);
+  EXPECT_EQ(resolver.resolve("www", 0.0)->address, 0);
+  EXPECT_EQ(resolver.resolve("www", 0.0)->address, 1);
+  EXPECT_EQ(resolver.hit_count(), 0u);
+  EXPECT_EQ(resolver.miss_count(), 2u);
+}
+
+TEST(Resolver, SeparateResolversSeparateCaches) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1}, 300.0);
+  CachingResolver east(dns), west(dns);
+  const Address a = east.resolve("www", 0.0)->address;
+  const Address b = west.resolve("www", 0.0)->address;
+  EXPECT_NE(a, b);  // each miss advanced the rotation
+}
+
+TEST(Resolver, FlushDropsCache) {
+  AuthoritativeServer dns;
+  dns.set_records("www", {0, 1}, 300.0);
+  CachingResolver resolver(dns);
+  (void)resolver.resolve("www", 0.0);
+  resolver.flush();
+  const auto r = resolver.resolve("www", 1.0);
+  EXPECT_FALSE(r->cache_hit);
+}
+
+TEST(Resolver, UnknownNamePropagatesFailure) {
+  AuthoritativeServer dns;
+  CachingResolver resolver(dns);
+  EXPECT_FALSE(resolver.resolve("ghost", 0.0).has_value());
+}
+
+}  // namespace
+}  // namespace sweb::dns

@@ -1,0 +1,142 @@
+#include "fs/docbase.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace sweb::fs {
+namespace {
+
+TEST(Docbase, AddAndFind) {
+  Docbase base;
+  base.add(Document{"/a.html", 1024, 0, false});
+  ASSERT_NE(base.find("/a.html"), nullptr);
+  EXPECT_EQ(base.find("/a.html")->size, 1024u);
+  EXPECT_EQ(base.find("/missing"), nullptr);
+}
+
+TEST(Docbase, AddReplacesSamePath) {
+  Docbase base;
+  base.add(Document{"/a.html", 1024, 0, false});
+  base.add(Document{"/a.html", 2048, 1, false});
+  EXPECT_EQ(base.size(), 1u);
+  EXPECT_EQ(base.find("/a.html")->size, 2048u);
+  EXPECT_EQ(base.find("/a.html")->owner, 1);
+}
+
+TEST(Docbase, MeanSize) {
+  Docbase base;
+  EXPECT_DOUBLE_EQ(base.mean_size(), 0.0);
+  base.add(Document{"/a", 100, 0, false});
+  base.add(Document{"/b", 300, 0, false});
+  EXPECT_DOUBLE_EQ(base.mean_size(), 200.0);
+}
+
+TEST(MakeUniform, RoundRobinPlacementBalancesExactly) {
+  const Docbase base = make_uniform(60, 4096, 6, Placement::kRoundRobin);
+  EXPECT_EQ(base.size(), 60u);
+  const auto bytes = base.bytes_per_node(6);
+  for (const auto b : bytes) EXPECT_EQ(b, 10u * 4096u);
+}
+
+TEST(MakeUniform, SingleNodePlacement) {
+  const Docbase base = make_uniform(10, 1024, 4, Placement::kSingleNode);
+  const auto bytes = base.bytes_per_node(4);
+  EXPECT_EQ(bytes[0], 10u * 1024u);
+  EXPECT_EQ(bytes[1] + bytes[2] + bytes[3], 0u);
+}
+
+TEST(MakeUniform, RandomPlacementCoversNodes) {
+  util::Rng rng(5);
+  const Docbase base =
+      make_uniform(200, 1024, 4, Placement::kRandom, &rng);
+  const auto bytes = base.bytes_per_node(4);
+  for (const auto b : bytes) EXPECT_GT(b, 0u);
+}
+
+TEST(MakeUniform, ExtensionsTrackSize) {
+  const Docbase small = make_uniform(2, 1024, 1, Placement::kRoundRobin);
+  const Docbase large =
+      make_uniform(2, 1536 * 1024, 1, Placement::kRoundRobin);
+  EXPECT_NE(small.documents()[0].path.find(".html"), std::string::npos);
+  EXPECT_NE(large.documents()[0].path.find(".tiff"), std::string::npos);
+}
+
+TEST(MakeNonuniform, SizesWithinBounds) {
+  util::Rng rng(9);
+  for (const SizeDistribution dist :
+       {SizeDistribution::kLogUniform, SizeDistribution::kUniform,
+        SizeDistribution::kBimodal}) {
+    const Docbase base = make_nonuniform(300, 100, 1536 * 1024, 4,
+                                         Placement::kRoundRobin, rng, dist);
+    EXPECT_EQ(base.size(), 300u);
+    for (const Document& d : base.documents()) {
+      EXPECT_GE(d.size, 100u);
+      EXPECT_LE(d.size, 1536u * 1024u);
+    }
+  }
+}
+
+TEST(MakeNonuniform, LogUniformSkewsSmallerThanUniform) {
+  util::Rng rng1(9), rng2(9);
+  const Docbase log_base =
+      make_nonuniform(500, 100, 1536 * 1024, 4, Placement::kRoundRobin, rng1,
+                      SizeDistribution::kLogUniform);
+  const Docbase lin_base =
+      make_nonuniform(500, 100, 1536 * 1024, 4, Placement::kRoundRobin, rng2,
+                      SizeDistribution::kUniform);
+  EXPECT_LT(log_base.mean_size(), lin_base.mean_size() / 2.0);
+}
+
+TEST(MakeNonuniform, UniquePaths) {
+  util::Rng rng(3);
+  const Docbase base = make_nonuniform(200, 100, 1024 * 1024, 4,
+                                       Placement::kRoundRobin, rng);
+  std::set<std::string> paths;
+  for (const Document& d : base.documents()) paths.insert(d.path);
+  EXPECT_EQ(paths.size(), 200u);
+}
+
+TEST(MakeHotfile, SingleDocumentOnOwner) {
+  const Docbase base = make_hotfile(1536 * 1024, 3);
+  EXPECT_EQ(base.size(), 1u);
+  const Document* d = base.find("/hot/scene.tiff");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->owner, 3);
+  EXPECT_EQ(d->size, 1536u * 1024u);
+}
+
+TEST(MakeAdl, ContainsAllDocumentClasses) {
+  util::Rng rng(21);
+  const Docbase base = make_adl(8, 4, rng);
+  // 4 docs per scene + >= 1 CGI endpoint.
+  EXPECT_GE(base.size(), 8u * 4u + 1u);
+  int cgi = 0, tiff = 0, html = 0;
+  for (const Document& d : base.documents()) {
+    if (d.cgi) ++cgi;
+    if (d.path.ends_with(".tiff")) ++tiff;
+    if (d.path.ends_with(".html")) ++html;
+  }
+  EXPECT_GT(cgi, 0);
+  EXPECT_EQ(tiff, 8);
+  EXPECT_EQ(html, 8);
+}
+
+TEST(MakeAdl, PlacementStripesAcrossNodes) {
+  util::Rng rng(21);
+  const Docbase base = make_adl(12, 4, rng);
+  const auto bytes = base.bytes_per_node(4);
+  for (const auto b : bytes) EXPECT_GT(b, 0u);
+}
+
+TEST(BytesPerNode, IgnoresOutOfRangeOwners) {
+  Docbase base;
+  base.add(Document{"/a", 100, 7, false});
+  const auto bytes = base.bytes_per_node(2);
+  EXPECT_EQ(bytes[0] + bytes[1], 0u);
+}
+
+}  // namespace
+}  // namespace sweb::fs

@@ -1,0 +1,159 @@
+// Randomized-operation fuzzing of the FlowNetwork with invariants checked
+// at every probe point. Whatever sequence of flow starts, aborts, and
+// capacity changes occurs:
+//   * every flow's rate is non-negative and within its cap,
+//   * no resource's allocated rate exceeds its capacity,
+//   * a saturated resource with unfrozen demand is fully allocated
+//     (work conservation),
+//   * every flow eventually completes (given nonzero capacity),
+//   * completions arrive exactly once.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/flow_network.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sweb::sim {
+namespace {
+
+class FlowFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowFuzz, InvariantsHoldUnderRandomOperations) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Simulation sim;
+  FlowNetwork net(sim);
+
+  // A small random topology.
+  const int num_resources = static_cast<int>(rng.uniform_int(2, 6));
+  std::vector<ResourceId> resources;
+  for (int r = 0; r < num_resources; ++r) {
+    resources.push_back(net.add_resource("r" + std::to_string(r),
+                                         rng.uniform(10.0, 1000.0)));
+  }
+
+  std::unordered_map<FlowId, double> caps;
+  std::unordered_set<FlowId> live;
+  int completions = 0;
+  int expected_completions = 0;
+
+  const auto check_invariants = [&] {
+    for (ResourceId r : resources) {
+      EXPECT_LE(net.allocated_rate(r), net.capacity(r) * (1.0 + 1e-9));
+      EXPECT_GE(net.allocated_rate(r), 0.0);
+    }
+    for (const auto& [id, cap] : caps) {
+      if (live.find(id) == live.end()) continue;
+      EXPECT_GE(net.flow_rate(id), 0.0);
+      EXPECT_LE(net.flow_rate(id), cap * (1.0 + 1e-9));
+    }
+  };
+
+  // 60 random operations spread over simulated time.
+  double t = 0.0;
+  for (int op = 0; op < 60; ++op) {
+    t += rng.uniform(0.0, 0.5);
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind <= 5) {
+      // Start a flow over a random non-empty subset of resources.
+      std::vector<ResourceId> path;
+      for (ResourceId r : resources) {
+        if (rng.bernoulli(0.4)) path.push_back(r);
+      }
+      if (path.empty()) path.push_back(resources[rng.index(resources.size())]);
+      const double work = rng.uniform(1.0, 500.0);
+      const double cap = rng.bernoulli(0.3)
+                             ? rng.uniform(5.0, 200.0)
+                             : FlowNetwork::kUncapped;
+      sim.schedule_at(t, [&, path, work, cap] {
+        auto id_holder = std::make_shared<FlowId>(kNoFlow);
+        const FlowId id = net.start_flow(path, work, [&, id_holder] {
+          ++completions;
+          live.erase(*id_holder);
+        }, cap);
+        *id_holder = id;
+        caps[id] = cap;
+        live.insert(id);
+        check_invariants();
+      });
+      ++expected_completions;
+    } else if (kind <= 7) {
+      // Random capacity change on a random resource.
+      const ResourceId r = resources[rng.index(resources.size())];
+      const double new_cap = rng.uniform(10.0, 1000.0);
+      sim.schedule_at(t, [&, r, new_cap] {
+        net.set_capacity(r, new_cap);
+        check_invariants();
+      });
+    } else {
+      // Probe point.
+      sim.schedule_at(t, [&] { check_invariants(); });
+    }
+  }
+
+  sim.run();
+  // Every flow completed exactly once, nothing is left in flight.
+  EXPECT_EQ(completions, expected_completions);
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  for (ResourceId r : resources) {
+    EXPECT_EQ(net.active_flows(r), 0);
+    EXPECT_DOUBLE_EQ(net.allocated_rate(r), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzz, ::testing::Range(0, 24));
+
+class FlowFuzzWithAborts : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowFuzzWithAborts, AbortedFlowsNeverComplete) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  Simulation sim;
+  FlowNetwork net(sim);
+  const ResourceId r1 = net.add_resource("a", 100.0);
+  const ResourceId r2 = net.add_resource("b", 50.0);
+
+  std::unordered_set<FlowId> aborted;
+  std::vector<FlowId> started;
+  int completions = 0;
+
+  double t = 0.0;
+  for (int op = 0; op < 40; ++op) {
+    t += rng.uniform(0.0, 0.4);
+    if (rng.bernoulli(0.6) || started.empty()) {
+      const double work = rng.uniform(1.0, 300.0);
+      const bool both = rng.bernoulli(0.5);
+      sim.schedule_at(t, [&, work, both] {
+        auto id_holder = std::make_shared<FlowId>(kNoFlow);
+        std::vector<ResourceId> path =
+            both ? std::vector<ResourceId>{r1, r2}
+                 : std::vector<ResourceId>{r1};
+        const FlowId id = net.start_flow(path, work, [&, id_holder] {
+          ++completions;
+          // An aborted flow's callback must never fire.
+          EXPECT_EQ(aborted.count(*id_holder), 0u);
+        });
+        *id_holder = id;
+        started.push_back(id);
+      });
+    } else {
+      sim.schedule_at(t, [&] {
+        if (started.empty()) return;
+        const FlowId victim =
+            started[rng.index(started.size())];
+        if (net.abort_flow(victim)) aborted.insert(victim);
+      });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  EXPECT_GT(completions, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowFuzzWithAborts, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace sweb::sim

@@ -1,0 +1,249 @@
+// Unit and property tests for max-min fair flow allocation.
+#include "sim/flow_network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace sweb::sim {
+namespace {
+
+class FlowNetworkTest : public ::testing::Test {
+ protected:
+  Simulation sim;
+  FlowNetwork net{sim};
+};
+
+TEST_F(FlowNetworkTest, SingleFlowUsesFullCapacity) {
+  const ResourceId r = net.add_resource("disk", 100.0);
+  double done_at = -1.0;
+  net.start_flow({r}, 500.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, TwoFlowsShareEqually) {
+  const ResourceId r = net.add_resource("disk", 100.0);
+  double a = -1.0, b = -1.0;
+  net.start_flow({r}, 500.0, [&] { a = sim.now(); });
+  net.start_flow({r}, 500.0, [&] { b = sim.now(); });
+  sim.run();
+  // Both at 50 units/s -> both finish at t = 10.
+  EXPECT_NEAR(a, 10.0, 1e-9);
+  EXPECT_NEAR(b, 10.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, ShortFlowFinishesAndLongFlowSpeedsUp) {
+  const ResourceId r = net.add_resource("disk", 100.0);
+  double short_done = -1.0, long_done = -1.0;
+  net.start_flow({r}, 100.0, [&] { short_done = sim.now(); });
+  net.start_flow({r}, 500.0, [&] { long_done = sim.now(); });
+  sim.run();
+  // Shared at 50 each until the short one drains at t=2 (100/50); the long
+  // one then has 400 left at 100/s -> finishes at t=6.
+  EXPECT_NEAR(short_done, 2.0, 1e-9);
+  EXPECT_NEAR(long_done, 6.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, LateArrivalSlowsExistingFlow) {
+  const ResourceId r = net.add_resource("disk", 100.0);
+  double a = -1.0;
+  net.start_flow({r}, 1000.0, [&] { a = sim.now(); });
+  sim.schedule_at(5.0, [&] {
+    net.start_flow({r}, 250.0, [] {});
+  });
+  sim.run();
+  // First 5 s alone: 500 done. Then shared 50/50; the newcomer (250) drains
+  // at t=10, leaving 250 for the first flow at full rate: t = 12.5.
+  EXPECT_NEAR(a, 12.5, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, RateCapLimitsAnOtherwiseIdleResource) {
+  const ResourceId r = net.add_resource("nfs", 1000.0);
+  double done = -1.0;
+  net.start_flow({r}, 450.0, [&] { done = sim.now(); }, 45.0);
+  sim.run();
+  EXPECT_NEAR(done, 10.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, CappedFlowLeavesBandwidthToOthers) {
+  const ResourceId r = net.add_resource("link", 100.0);
+  double capped = -1.0, open = -1.0;
+  net.start_flow({r}, 100.0, [&] { capped = sim.now(); }, 20.0);
+  net.start_flow({r}, 400.0, [&] { open = sim.now(); });
+  sim.run();
+  // Capped at 20, the open flow gets the remaining 80: both end at t=5.
+  EXPECT_NEAR(capped, 5.0, 1e-9);
+  EXPECT_NEAR(open, 5.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, MultiResourcePathTakesBottleneck) {
+  const ResourceId disk = net.add_resource("disk", 50.0);
+  const ResourceId nic = net.add_resource("nic", 200.0);
+  double done = -1.0;
+  net.start_flow({disk, nic}, 100.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 2.0, 1e-9);  // bottleneck = 50
+}
+
+TEST_F(FlowNetworkTest, CrossTrafficOnOneSegmentOnly) {
+  // Flow A spans {r1, r2}; flow B only uses r2. Max-min: both get 50 on r2,
+  // A is further capped by r1=60 -> A gets 50 (r2 is its bottleneck).
+  const ResourceId r1 = net.add_resource("r1", 60.0);
+  const ResourceId r2 = net.add_resource("r2", 100.0);
+  net.start_flow({r1, r2}, 1e9, [] {});
+  net.start_flow({r2}, 1e9, [] {});
+  // Allocation is recomputed synchronously on every start_flow.
+  EXPECT_NEAR(net.allocated_rate(r2), 100.0, 1e-6);
+  // A gets min(60, fair share of r2)=50; B picks up the slack: 50.
+  EXPECT_NEAR(net.allocated_rate(r1), 50.0, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, MaxMinFairnessGivesSlackToUnconstrainedFlows) {
+  // r1 = 30 constrains flow A; flow B alone also on r2 takes the rest.
+  const ResourceId r1 = net.add_resource("r1", 30.0);
+  const ResourceId r2 = net.add_resource("r2", 100.0);
+  FlowId a = net.start_flow({r1, r2}, 1e9, [] {});
+  FlowId b = net.start_flow({r2}, 1e9, [] {});
+  EXPECT_NEAR(net.flow_rate(a), 30.0, 1e-6);
+  EXPECT_NEAR(net.flow_rate(b), 70.0, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, ZeroWorkFlowCompletesImmediately) {
+  const ResourceId r = net.add_resource("r", 10.0);
+  double done = -1.0;
+  sim.schedule_at(3.0, [&] {
+    net.start_flow({r}, 0.0, [&] { done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(done, 3.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, AbortPreventsCompletionAndFreesBandwidth) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  bool aborted_ran = false;
+  double other_done = -1.0;
+  const FlowId doomed = net.start_flow({r}, 1000.0, [&] { aborted_ran = true; });
+  net.start_flow({r}, 500.0, [&] { other_done = sim.now(); });
+  sim.schedule_at(2.0, [&] { EXPECT_TRUE(net.abort_flow(doomed)); });
+  sim.run();
+  EXPECT_FALSE(aborted_ran);
+  // 2 s shared (100 done of 500), then full rate: 400/100 -> t = 6.
+  EXPECT_NEAR(other_done, 6.0, 1e-9);
+  EXPECT_FALSE(net.abort_flow(doomed));  // already gone
+}
+
+TEST_F(FlowNetworkTest, ZeroCapacityStallsUntilCapacityReturns) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  double done = -1.0;
+  net.start_flow({r}, 100.0, [&] { done = sim.now(); });
+  sim.schedule_at(0.5, [&] { net.set_capacity(r, 0.0); });
+  sim.schedule_at(10.0, [&] { net.set_capacity(r, 100.0); });
+  sim.run();
+  // 50 done by t=0.5, stalled until t=10, remaining 50 -> t = 10.5.
+  EXPECT_NEAR(done, 10.5, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, CapacityChangeMidFlightRescales) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  double done = -1.0;
+  net.start_flow({r}, 1000.0, [&] { done = sim.now(); });
+  sim.schedule_at(5.0, [&] { net.set_capacity(r, 50.0); });
+  sim.run();
+  // 500 at rate 100 (5 s), 500 at rate 50 (10 s): t = 15.
+  EXPECT_NEAR(done, 15.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, ActiveFlowAndUtilizationBookkeeping) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  EXPECT_EQ(net.active_flows(r), 0);
+  EXPECT_DOUBLE_EQ(net.utilization(r), 0.0);
+  net.start_flow({r}, 1e6, [] {});
+  net.start_flow({r}, 1e6, [] {});
+  EXPECT_EQ(net.active_flows(r), 2);
+  EXPECT_NEAR(net.utilization(r), 1.0, 1e-9);
+  EXPECT_NEAR(net.allocated_rate(r), 100.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, CompletionCallbackCanStartNewFlows) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  double second_done = -1.0;
+  net.start_flow({r}, 100.0, [&] {
+    net.start_flow({r}, 200.0, [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_NEAR(second_done, 3.0, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, RemainingWorkProjectsBetweenEvents) {
+  const ResourceId r = net.add_resource("r", 100.0);
+  const FlowId f = net.start_flow({r}, 1000.0, [] {});
+  sim.schedule_at(3.0, [&] {
+    EXPECT_NEAR(net.remaining_work(f), 700.0, 1e-6);
+  });
+  sim.run_until(3.0);
+}
+
+// Property sweep: N identical flows through one resource all finish at
+// N * work / capacity, regardless of N.
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, NIdenticalFlowsFinishTogether) {
+  const int n = GetParam();
+  Simulation sim;
+  FlowNetwork net(sim);
+  const ResourceId r = net.add_resource("r", 250.0);
+  std::vector<double> done(static_cast<size_t>(n), -1.0);
+  for (int i = 0; i < n; ++i) {
+    net.start_flow({r}, 500.0, [&done, i, &sim] {
+      done[static_cast<size_t>(i)] = sim.now();
+    });
+  }
+  sim.run();
+  const double expected = static_cast<double>(n) * 500.0 / 250.0;
+  for (double d : done) EXPECT_NEAR(d, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FairShareProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64, 128));
+
+// Property: work conservation — total allocated rate on a saturated
+// resource equals capacity for any arrival pattern.
+class ConservationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConservationProperty, SaturatedResourceIsFullyAllocated) {
+  const int seed = GetParam();
+  Simulation sim;
+  FlowNetwork net(sim);
+  const ResourceId r = net.add_resource("r", 100.0);
+  // Deterministic pseudo-random arrivals from the seed.
+  unsigned state = static_cast<unsigned>(seed) * 2654435761u + 1u;
+  const auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % 1000;
+  };
+  for (int i = 0; i < 20; ++i) {
+    const double at = static_cast<double>(next()) / 100.0;
+    const double work = 10.0 + static_cast<double>(next());
+    sim.schedule_at(at, [&net, r, work] { net.start_flow({r}, work, [] {}); });
+  }
+  // At several probe instants, if flows are active the resource is full.
+  for (double probe : {1.0, 3.0, 5.0, 7.0}) {
+    sim.schedule_at(probe, [&net, r] {
+      if (net.active_flows(r) > 0) {
+        EXPECT_NEAR(net.allocated_rate(r), 100.0, 1e-6);
+      }
+    });
+  }
+  sim.run();
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationProperty,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sweb::sim

@@ -1,0 +1,117 @@
+// Hierarchical load dissemination (the follow-up work to the paper's flat
+// all-to-all loadd): group leaders, detail within groups, aggregates
+// between groups, and the message-count savings that motivate it.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "core/load.h"
+#include "core/server.h"
+#include "fs/docbase.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace sweb::core {
+namespace {
+
+LoaddParams hier_params(int group_size) {
+  LoaddParams params;
+  params.hierarchical = true;
+  params.group_size = group_size;
+  params.period_s = 2.0;
+  return params;
+}
+
+TEST(Hierarchy, LeaderAssignment) {
+  sim::Simulation sim;
+  util::Rng rng(1);
+  cluster::Cluster clu(sim, cluster::meiko_config(8));
+  LoadSystem loads(clu, hier_params(4), rng);
+  EXPECT_EQ(loads.leader_of(0), 0);
+  EXPECT_EQ(loads.leader_of(3), 0);
+  EXPECT_EQ(loads.leader_of(4), 4);
+  EXPECT_EQ(loads.leader_of(7), 4);
+}
+
+TEST(Hierarchy, FlatModeLeaderIsIdentity) {
+  sim::Simulation sim;
+  util::Rng rng(1);
+  cluster::Cluster clu(sim, cluster::meiko_config(4));
+  LoadSystem loads(clu, LoaddParams{}, rng);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(loads.leader_of(n), n);
+}
+
+TEST(Hierarchy, EveryNodeHearsAboutEveryNode) {
+  sim::Simulation sim;
+  util::Rng rng(2);
+  cluster::Cluster clu(sim, cluster::meiko_config(8));
+  LoadSystem loads(clu, hier_params(4), rng);
+  loads.start();
+  sim.run_until(3.0 * 2.0);  // a few periods: details + aggregates settle
+  for (int me = 0; me < 8; ++me) {
+    for (int peer = 0; peer < 8; ++peer) {
+      EXPECT_TRUE(loads.board(me).responsive(peer, sim.now()))
+          << me << " <- " << peer;
+    }
+  }
+}
+
+TEST(Hierarchy, IntraGroupDetailInterGroupAggregate) {
+  sim::Simulation sim;
+  util::Rng rng(3);
+  cluster::Cluster clu(sim, cluster::meiko_config(8));
+  // Load node 5 (group {4..7}) heavily so its detail differs from its
+  // group's mean.
+  for (int i = 0; i < 6; ++i) {
+    clu.cpu_burst(5, cluster::CpuUse::kOther, 40e6 * 1000, [] {});
+  }
+  LoadSystem loads(clu, hier_params(4), rng);
+  loads.start();
+  sim.run_until(30.0);
+
+  // A group-mate (node 6) sees node 5's real load (detail relay)...
+  const double seen_by_mate = loads.board(6).view(5).cpu_run_queue;
+  EXPECT_GT(seen_by_mate, 4.0);
+  // ...while an outsider (node 0) sees the group-4 mean smeared over all
+  // of {4..7}: node 5 looks like ~6/4 = 1.5, same as its siblings.
+  const double seen_by_outsider = loads.board(0).view(5).cpu_run_queue;
+  EXPECT_LT(seen_by_outsider, 4.0);
+  EXPECT_NEAR(loads.board(0).view(4).cpu_run_queue, seen_by_outsider, 0.5);
+}
+
+TEST(Hierarchy, MessageCountScalesFarBelowFlat) {
+  const auto count_messages = [](bool hierarchical) {
+    sim::Simulation sim;
+    util::Rng rng(4);
+    cluster::Cluster clu(sim, cluster::meiko_config(16));
+    LoaddParams params = hierarchical ? hier_params(4) : LoaddParams{};
+    LoadSystem loads(clu, params, rng);
+    loads.start();
+    sim.run_until(20.0);
+    return loads.broadcasts();
+  };
+  const auto flat = count_messages(false);
+  const auto hier = count_messages(true);
+  // Flat: p*(p-1) = 240 per period. Hierarchical: members-up (12) +
+  // intra-group relays + leader exchange (12) + relays down (36) ~ 100.
+  EXPECT_LT(hier, flat / 2);
+}
+
+TEST(Hierarchy, SchedulingStillWorksEndToEnd) {
+  workload::ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(8);
+  spec.docbase = fs::make_uniform(160, 256 * 1024, 8,
+                                  fs::Placement::kRoundRobin);
+  spec.policy = "sweb";
+  spec.clients = workload::ucsb_clients();
+  spec.burst.rps = 24.0;
+  spec.burst.duration_s = 20.0;
+  spec.server.loadd = hier_params(4);
+  const auto r = workload::run_experiment(spec);
+  EXPECT_EQ(r.summary.completed, r.summary.total);
+  EXPECT_GT(r.summary.redirect_rate(), 0.1);  // reassignment still happens
+}
+
+}  // namespace
+}  // namespace sweb::core

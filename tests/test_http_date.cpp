@@ -1,0 +1,42 @@
+#include "http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::http {
+namespace {
+
+TEST(HttpDate, FormatsRfc1123) {
+  // The RFC's own example instant.
+  EXPECT_EQ(format_http_date(784111777), "Sun, 06 Nov 1994 08:49:37 GMT");
+  EXPECT_EQ(format_http_date(820454400), "Mon, 01 Jan 1996 00:00:00 GMT");
+}
+
+TEST(HttpDate, ParsesRfc1123) {
+  const auto t = parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 784111777);
+}
+
+TEST(HttpDate, RoundTripsAcrossInstants) {
+  for (const std::time_t t : {0L, 820454400L, 1234567890L, 2000000000L}) {
+    const auto parsed = parse_http_date(format_http_date(t));
+    ASSERT_TRUE(parsed.has_value()) << t;
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(HttpDate, ToleratesSurroundingWhitespace) {
+  EXPECT_TRUE(parse_http_date("  Sun, 06 Nov 1994 08:49:37 GMT ").has_value());
+}
+
+TEST(HttpDate, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_http_date("").has_value());
+  EXPECT_FALSE(parse_http_date("yesterday").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 08:49:37").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 08:49:37 PST").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 99 Nov 1994 08:49:37 GMT").has_value());
+  EXPECT_FALSE(parse_http_date("Sun, 06 Foo 1994 08:49:37 GMT").has_value());
+}
+
+}  // namespace
+}  // namespace sweb::http

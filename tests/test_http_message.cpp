@@ -1,0 +1,98 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::http {
+namespace {
+
+TEST(Method, RoundTrips) {
+  EXPECT_EQ(parse_method("GET"), Method::kGet);
+  EXPECT_EQ(parse_method("HEAD"), Method::kHead);
+  EXPECT_EQ(parse_method("POST"), Method::kPost);
+  EXPECT_EQ(parse_method("BREW"), Method::kUnknown);
+  EXPECT_EQ(parse_method("get"), Method::kUnknown);  // methods are case-sensitive
+  EXPECT_EQ(to_string(Method::kGet), "GET");
+}
+
+TEST(Status, CodesAndPhrases) {
+  EXPECT_EQ(code(Status::kOk), 200);
+  EXPECT_EQ(code(Status::kFound), 302);
+  EXPECT_EQ(code(Status::kNotFound), 404);
+  EXPECT_EQ(reason_phrase(Status::kOk), "OK");
+  EXPECT_EQ(reason_phrase(Status::kFound), "Found");
+  EXPECT_EQ(reason_phrase(Status::kNotImplemented), "Not Implemented");
+}
+
+TEST(Headers, CaseInsensitiveLookupPreservesOrder) {
+  Headers h;
+  h.add("Host", "a");
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("host"), "a");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("Nope").has_value());
+  ASSERT_EQ(h.items().size(), 2u);
+  EXPECT_EQ(h.items()[0].first, "Host");  // insertion order kept
+}
+
+TEST(Headers, SetReplacesFirstMatchOrAppends) {
+  Headers h;
+  h.add("X", "1");
+  h.set("x", "2");
+  EXPECT_EQ(h.get("X"), "2");
+  EXPECT_EQ(h.size(), 1u);
+  h.set("Y", "3");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Request, SerializeWireFormat) {
+  Request r;
+  r.method = Method::kGet;
+  r.target = "/a/b.gif?x=1";
+  r.headers.add("Host", "www.alexandria.ucsb.edu");
+  const std::string wire = r.serialize();
+  EXPECT_EQ(wire,
+            "GET /a/b.gif?x=1 HTTP/1.0\r\n"
+            "Host: www.alexandria.ucsb.edu\r\n"
+            "\r\n");
+}
+
+TEST(Response, SerializeIncludesStatusLineAndBody) {
+  Response r = make_ok("hello", "text/plain");
+  const std::string wire = r.serialize();
+  EXPECT_NE(wire.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(Response, MakeRedirectCarriesLocation) {
+  const Response r = make_redirect("http://127.0.0.1:8080/doc.html");
+  EXPECT_EQ(r.status, Status::kFound);
+  EXPECT_TRUE(r.is_redirect());
+  EXPECT_EQ(r.headers.get("Location"), "http://127.0.0.1:8080/doc.html");
+  EXPECT_NE(r.body.find("http://127.0.0.1:8080/doc.html"), std::string::npos);
+}
+
+TEST(Response, RedirectWithoutLocationIsNotARedirect) {
+  Response r;
+  r.status = Status::kFound;
+  EXPECT_FALSE(r.is_redirect());
+}
+
+TEST(Response, MakeErrorBuildsHtmlBody) {
+  const Response r = make_error(Status::kNotFound, "/missing.gif");
+  EXPECT_EQ(r.status, Status::kNotFound);
+  EXPECT_NE(r.body.find("404"), std::string::npos);
+  EXPECT_NE(r.body.find("/missing.gif"), std::string::npos);
+  EXPECT_EQ(r.headers.get("Content-Length"),
+            std::to_string(r.body.size()));
+}
+
+TEST(Response, OkCarriesContentTypeAndLength) {
+  const Response r = make_ok(std::string(1024, 'x'), "image/gif");
+  EXPECT_EQ(r.headers.get("Content-Type"), "image/gif");
+  EXPECT_EQ(r.headers.get("Content-Length"), "1024");
+  EXPECT_EQ(r.body.size(), 1024u);
+}
+
+}  // namespace
+}  // namespace sweb::http

@@ -1,0 +1,141 @@
+// HTTP/1.0 keep-alive over real sockets: multiple requests per connection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "fs/docbase.h"
+#include "http/parser.h"
+#include "runtime/mini_cluster.h"
+#include "runtime/socket.h"
+
+namespace sweb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+class KeepAliveTest : public ::testing::Test {
+ protected:
+  KeepAliveTest()
+      : cluster(1, fs::make_uniform(6, 2048, 1, fs::Placement::kRoundRobin,
+                                    nullptr, "/docs")) {
+    cluster.start();
+  }
+
+  [[nodiscard]] TcpStream connect() {
+    auto stream = TcpStream::connect(
+        SocketAddress::loopback(cluster.port(0)), 2000ms);
+    EXPECT_TRUE(stream.has_value());
+    return std::move(*stream);
+  }
+
+  /// Sends one GET (optionally keep-alive) and parses the response off the
+  /// open stream. Returns the response; `eof` reports whether the server
+  /// closed afterwards.
+  [[nodiscard]] http::Response roundtrip(TcpStream& stream,
+                                         const std::string& path,
+                                         bool keep_alive, bool& closed) {
+    http::Request request;
+    request.target = path;
+    request.headers.add("Host", "sweb.test");
+    if (keep_alive) request.headers.add("Connection", "Keep-Alive");
+    EXPECT_TRUE(stream.write_all(request.serialize(), 2000ms));
+
+    http::ResponseParser parser;
+    http::ParseResult state = http::ParseResult::kNeedMore;
+    closed = false;
+    while (state == http::ParseResult::kNeedMore) {
+      const auto chunk = stream.read_some(16 * 1024, 2000ms);
+      EXPECT_TRUE(chunk.ok);
+      if (!chunk.ok) break;
+      if (chunk.eof) {
+        state = parser.finish_eof();
+        closed = true;
+        break;
+      }
+      std::size_t consumed = 0;
+      state = parser.feed(chunk.data, consumed);
+    }
+    EXPECT_EQ(state, http::ParseResult::kComplete);
+    return parser.message();
+  }
+
+  MiniCluster cluster;
+};
+
+TEST_F(KeepAliveTest, TwoRequestsOnOneConnection) {
+  TcpStream stream = connect();
+  bool closed = false;
+  const auto first = roundtrip(stream, "/docs/file0.html", true, closed);
+  EXPECT_EQ(http::code(first.status), 200);
+  EXPECT_EQ(first.headers.get("Connection"), "Keep-Alive");
+  EXPECT_FALSE(closed);
+
+  const auto second = roundtrip(stream, "/docs/file1.html", true, closed);
+  EXPECT_EQ(http::code(second.status), 200);
+  EXPECT_NE(second.body.find("/docs/file1.html"), std::string::npos);
+}
+
+TEST_F(KeepAliveTest, WithoutHeaderConnectionCloses) {
+  TcpStream stream = connect();
+  bool closed = false;
+  const auto response = roundtrip(stream, "/docs/file0.html", false, closed);
+  EXPECT_EQ(http::code(response.status), 200);
+  EXPECT_EQ(response.headers.get("Connection"), "close");
+  // The server half-closed; the next read must see EOF.
+  const auto chunk = stream.read_some(128, 2000ms);
+  EXPECT_TRUE(chunk.ok);
+  EXPECT_TRUE(chunk.eof);
+}
+
+TEST_F(KeepAliveTest, PipelinedRequestsBothAnswered) {
+  // Send both requests back to back before reading anything; the server's
+  // leftover-buffer handling must feed the second request.
+  TcpStream stream = connect();
+  http::Request r1, r2;
+  r1.target = "/docs/file2.html";
+  r1.headers.add("Connection", "Keep-Alive");
+  r2.target = "/docs/file3.html";
+  r2.headers.add("Connection", "Keep-Alive");
+  ASSERT_TRUE(stream.write_all(r1.serialize() + r2.serialize(), 2000ms));
+
+  std::string wire;
+  for (;;) {
+    const auto chunk = stream.read_some(64 * 1024, 2000ms);
+    if (!chunk.ok || chunk.eof) break;
+    wire += chunk.data;
+    if (wire.find("/docs/file3.html") != std::string::npos) break;
+  }
+  EXPECT_NE(wire.find("/docs/file2.html"), std::string::npos);
+  EXPECT_NE(wire.find("/docs/file3.html"), std::string::npos);
+}
+
+TEST_F(KeepAliveTest, ServerCapsRequestsPerConnection) {
+  // A server-side cap of N: request N+1 arrives on a closed socket.
+  NodeServer::Config cfg;
+  cfg.node_id = 0;
+  cfg.max_requests_per_connection = 2;
+  const fs::Docbase docs =
+      fs::make_uniform(6, 512, 1, fs::Placement::kRoundRobin, nullptr,
+                       "/docs");
+  const DocStore store(docs);
+  LoadBoard board(1);
+  NodeServer server(cfg, store, board);
+  server.set_peer_ports({server.port()});
+  server.start();
+
+  auto maybe = TcpStream::connect(SocketAddress::loopback(server.port()),
+                                  2000ms);
+  ASSERT_TRUE(maybe.has_value());
+  TcpStream stream = std::move(*maybe);
+  bool closed = false;
+  const auto a = roundtrip(stream, "/docs/file0.html", true, closed);
+  EXPECT_EQ(a.headers.get("Connection"), "Keep-Alive");
+  const auto b = roundtrip(stream, "/docs/file1.html", true, closed);
+  // Second (= cap) response announces the close.
+  EXPECT_EQ(b.headers.get("Connection"), "close");
+  server.stop();
+}
+
+}  // namespace
+}  // namespace sweb::runtime

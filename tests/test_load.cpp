@@ -1,0 +1,143 @@
+#include "core/load.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sweb::core {
+namespace {
+
+TEST(LoadBoard, UpdateAndView) {
+  LoadBoard board(3, 6.0);
+  LoadVector v;
+  v.cpu_run_queue = 2.5;
+  v.disk_queue = 4;
+  v.timestamp = 1.0;
+  board.update(1, v);
+  const LoadVector seen = board.view(1);
+  EXPECT_DOUBLE_EQ(seen.cpu_run_queue, 2.5);
+  EXPECT_EQ(seen.disk_queue, 4);
+}
+
+TEST(LoadBoard, ResponsivenessWindow) {
+  LoadBoard board(2, 6.0);
+  EXPECT_FALSE(board.responsive(0, 0.0));  // never heard from
+  LoadVector v;
+  v.timestamp = 10.0;
+  board.update(0, v);
+  EXPECT_TRUE(board.responsive(0, 12.0));
+  EXPECT_TRUE(board.responsive(0, 16.0));   // exactly at the window edge
+  EXPECT_FALSE(board.responsive(0, 16.1));  // stale: marked unavailable
+}
+
+TEST(LoadBoard, DeltaInflationAccumulatesAndResets) {
+  LoadBoard board(2, 6.0);
+  LoadVector v;
+  v.cpu_run_queue = 2.0;
+  v.timestamp = 0.0;
+  board.update(1, v);
+  board.note_redirect(1, 0.3);
+  const double once = board.view(1).cpu_run_queue;
+  EXPECT_GT(once, 2.0);
+  board.note_redirect(1, 0.3);
+  EXPECT_GT(board.view(1).cpu_run_queue, once);
+  // A fresh broadcast clears the conservative inflation.
+  board.update(1, v);
+  EXPECT_DOUBLE_EQ(board.view(1).cpu_run_queue, 2.0);
+}
+
+TEST(LoadBoard, InflationBumpsEvenIdleNodes) {
+  // A zero-load node must still look busier after a redirect is sent to it
+  // (otherwise every node would keep dumping on it until the next update).
+  LoadBoard board(2, 6.0);
+  LoadVector idle;
+  idle.cpu_run_queue = 0.0;
+  idle.timestamp = 0.0;
+  board.update(1, idle);
+  board.note_redirect(1, 0.3);
+  EXPECT_GT(board.view(1).cpu_run_queue, 0.0);
+}
+
+class LoadSystemTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  util::Rng rng{5};
+  cluster::Cluster clu{sim, cluster::meiko_config(3)};
+};
+
+TEST_F(LoadSystemTest, BroadcastsPropagateWithinOnePeriod) {
+  LoaddParams params;
+  params.period_s = 2.0;
+  LoadSystem loads(clu, params, rng);
+  loads.start();
+  sim.run_until(2.0 * 2.5);
+  // Every board heard from every node.
+  for (int me = 0; me < 3; ++me) {
+    for (int peer = 0; peer < 3; ++peer) {
+      EXPECT_TRUE(loads.board(me).responsive(peer, sim.now()))
+          << me << "<-" << peer;
+    }
+  }
+  EXPECT_GT(loads.broadcasts(), 0u);
+}
+
+TEST_F(LoadSystemTest, SilentNodeGoesStaleOnPeers) {
+  LoaddParams params;
+  params.period_s = 2.0;
+  params.staleness_timeout_s = 5.0;
+  LoadSystem loads(clu, params, rng);
+  loads.start();
+  sim.run_until(6.0);
+  ASSERT_TRUE(loads.board(1).responsive(0, sim.now()));
+  clu.set_available(0, false);  // node 0 falls silent
+  sim.run_until(20.0);
+  EXPECT_FALSE(loads.board(1).responsive(0, sim.now()));
+  EXPECT_FALSE(loads.board(2).responsive(0, sim.now()));
+  // Rejoin: broadcasts resume, peers see it again.
+  clu.set_available(0, true);
+  sim.run_until(30.0);
+  EXPECT_TRUE(loads.board(1).responsive(0, sim.now()));
+}
+
+TEST_F(LoadSystemTest, MonitoringCostsAreAccounted) {
+  LoaddParams params;
+  params.period_s = 2.0;
+  LoadSystem loads(clu, params, rng);
+  loads.start();
+  sim.run_until(20.0);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_GT(clu.cpu_accounting(n).of(cluster::CpuUse::kLoadd), 0.0);
+    // "Approximately 0.2% of the available CPU is used for load
+    // monitoring" — we must be in that ballpark, certainly under 1%.
+    const double share = clu.cpu_accounting(n).of(cluster::CpuUse::kLoadd) /
+                         clu.cpu_capacity_ops_elapsed(n);
+    EXPECT_LT(share, 0.01);
+    EXPECT_GT(share, 1e-5);
+  }
+}
+
+TEST_F(LoadSystemTest, StopSilencesDaemons) {
+  LoadSystem loads(clu, LoaddParams{}, rng);
+  loads.start();
+  sim.run_until(5.0);
+  const auto sent = loads.broadcasts();
+  loads.stop();
+  sim.run_until(60.0);
+  EXPECT_EQ(loads.broadcasts(), sent);
+}
+
+TEST_F(LoadSystemTest, SampleReflectsClusterState) {
+  LoadSystem loads(clu, LoaddParams{}, rng);
+  clu.cpu_burst(0, cluster::CpuUse::kOther, 1e9, [] {});
+  clu.read_local(0, 1e9, [] {});
+  const LoadVector v = loads.sample(0);
+  EXPECT_EQ(v.disk_queue, 1);
+  EXPECT_GE(v.cpu_utilization, 0.99);
+  EXPECT_DOUBLE_EQ(v.timestamp, 0.0);
+}
+
+}  // namespace
+}  // namespace sweb::core

@@ -1,0 +1,159 @@
+#include "metrics/collector.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::metrics {
+namespace {
+
+TEST(OnlineStats, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyAndSingle) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, PercentilesInterpolate) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+}
+
+TEST(Samples, UnsortedInputHandled) {
+  Samples s;
+  for (double v : {9.0, 1.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Adding after a percentile query must re-sort.
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.5);
+}
+
+TEST(Samples, EmptyReturnsZeroes) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Collector, LifecycleAndSummary) {
+  Collector c;
+  const auto a = c.open("/a", 100, 0.0);
+  const auto b = c.open("/b", 200, 1.0);
+  const auto d = c.open("/d", 300, 2.0);
+  c.record(a).outcome = Outcome::kCompleted;
+  c.record(a).finish = 2.0;
+  c.record(b).outcome = Outcome::kRefused;
+  c.record(d).outcome = Outcome::kCompleted;
+  c.record(d).finish = 8.0;
+  c.record(d).redirected = true;
+
+  const Summary s = c.summarize();
+  EXPECT_EQ(s.total, 3u);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.refused, 1u);
+  EXPECT_EQ(s.redirected, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_response, (2.0 + 6.0) / 2);
+  EXPECT_NEAR(s.drop_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.redirect_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Collector, ApplyTimeoutReclassifies) {
+  Collector c;
+  const auto slow = c.open("/slow", 1, 0.0);
+  c.record(slow).outcome = Outcome::kCompleted;
+  c.record(slow).finish = 100.0;  // 100 s response
+  const auto pending = c.open("/hung", 1, 0.0);
+  (void)pending;
+  const auto fine = c.open("/fine", 1, 0.0);
+  c.record(fine).outcome = Outcome::kCompleted;
+  c.record(fine).finish = 1.0;
+
+  c.apply_timeout(/*timeout=*/60.0, /*end=*/120.0);
+  EXPECT_EQ(c.records()[0].outcome, Outcome::kTimedOut);
+  EXPECT_EQ(c.records()[1].outcome, Outcome::kTimedOut);
+  EXPECT_EQ(c.records()[2].outcome, Outcome::kCompleted);
+}
+
+TEST(Collector, ApplyTimeoutKeepsRecentPending) {
+  Collector c;
+  (void)c.open("/inflight", 1, /*start=*/100.0);
+  c.apply_timeout(60.0, /*end=*/110.0);  // only 10 s old
+  EXPECT_EQ(c.records()[0].outcome, Outcome::kPending);
+}
+
+TEST(Collector, CompletedRpsWindow) {
+  Collector c;
+  for (int i = 0; i < 10; ++i) {
+    const auto id = c.open("/x", 1, 0.0);
+    c.record(id).outcome = Outcome::kCompleted;
+    c.record(id).finish = static_cast<double>(i);  // one per second
+  }
+  EXPECT_DOUBLE_EQ(c.completed_rps(0.0, 9.0), 10.0 / 9.0);
+  EXPECT_DOUBLE_EQ(c.completed_rps(5.0, 9.0), 5.0 / 4.0);
+  EXPECT_DOUBLE_EQ(c.completed_rps(5.0, 5.0), 0.0);
+}
+
+TEST(Collector, PhaseBreakdownAveragesCompletedOnly) {
+  Collector c;
+  const auto a = c.open("/a", 1, 0.0);
+  c.record(a).outcome = Outcome::kCompleted;
+  c.record(a).finish = 10.0;
+  c.record(a).t_preprocess = 2.0;
+  c.record(a).t_data = 4.0;
+  const auto b = c.open("/b", 1, 0.0);
+  c.record(b).outcome = Outcome::kRefused;  // excluded
+  c.record(b).t_preprocess = 100.0;
+
+  const PhaseBreakdown pb = c.phase_breakdown();
+  EXPECT_DOUBLE_EQ(pb.preprocess, 2.0);
+  EXPECT_DOUBLE_EQ(pb.data, 4.0);
+  EXPECT_DOUBLE_EQ(pb.total, 10.0);
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorAndShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});  // missing cells render empty
+  t.add_separator();
+  t.add_row({"y", "1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("+"), std::string::npos);
+  EXPECT_NE(out.find("| y |"), std::string::npos);
+}
+
+TEST(Fmt, NumberFormatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_pct(0.373), "37.3%");
+  EXPECT_EQ(fmt_pct(0.0, 0), "0%");
+}
+
+}  // namespace
+}  // namespace sweb::metrics

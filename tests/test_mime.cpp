@@ -1,0 +1,34 @@
+#include "http/mime.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::http {
+namespace {
+
+TEST(Mime, CommonExtensions) {
+  EXPECT_EQ(mime_type_for_extension("html"), "text/html");
+  EXPECT_EQ(mime_type_for_extension("gif"), "image/gif");
+  EXPECT_EQ(mime_type_for_extension("jpg"), "image/jpeg");
+  EXPECT_EQ(mime_type_for_extension("tiff"), "image/tiff");
+  EXPECT_EQ(mime_type_for_extension("pdf"), "application/pdf");
+}
+
+TEST(Mime, UnknownFallsBackToOctetStream) {
+  EXPECT_EQ(mime_type_for_extension("xyz"), "application/octet-stream");
+  EXPECT_EQ(mime_type_for_extension(""), "application/octet-stream");
+}
+
+TEST(Mime, ByPathUsesExtension) {
+  EXPECT_EQ(mime_type_for_path("/adl/scene3.TIFF"), "image/tiff");
+  EXPECT_EQ(mime_type_for_path("/adl/meta0.html"), "text/html");
+  EXPECT_EQ(mime_type_for_path("/noext"), "application/octet-stream");
+}
+
+TEST(Mime, TextDetection) {
+  EXPECT_TRUE(is_text_type("text/html"));
+  EXPECT_TRUE(is_text_type("TEXT/plain"));
+  EXPECT_FALSE(is_text_type("image/gif"));
+}
+
+}  // namespace
+}  // namespace sweb::http

@@ -1,0 +1,84 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+
+namespace sweb::core {
+namespace {
+
+TEST(Oracle, BuiltinClassifiesByExtension) {
+  const Oracle oracle = Oracle::builtin();
+  EXPECT_EQ(oracle.classify("/a/index.html").name, "html");
+  EXPECT_EQ(oracle.classify("/a/map.GIF").name, "image");
+  EXPECT_EQ(oracle.classify("/a/scene.tiff").name, "scene");
+  EXPECT_EQ(oracle.classify("/a/search.cgi").name, "cgi");
+  EXPECT_EQ(oracle.classify("/a/unknown.zzz").name, "default");
+  EXPECT_EQ(oracle.classify("/noext").name, "default");
+}
+
+TEST(Oracle, EstimateScalesWithSize) {
+  const Oracle oracle = Oracle::builtin();
+  const OracleEstimate small = oracle.estimate("/x.gif", 1024);
+  const OracleEstimate large = oracle.estimate("/x.gif", 1536 * 1024);
+  EXPECT_GT(large.cpu_ops, small.cpu_ops);
+  // fixed + per_byte * size structure:
+  EXPECT_NEAR(large.cpu_ops - small.cpu_ops,
+              0.5 * (1536.0 * 1024 - 1024), 1.0);
+}
+
+TEST(Oracle, CgiFlaggedAndCostly) {
+  const Oracle oracle = Oracle::builtin();
+  const OracleEstimate cgi = oracle.estimate("/q.cgi", 4096);
+  const OracleEstimate html = oracle.estimate("/q.html", 4096);
+  EXPECT_TRUE(cgi.is_cgi);
+  EXPECT_FALSE(html.is_cgi);
+  EXPECT_GT(cgi.cpu_ops, html.cpu_ops);
+}
+
+TEST(Oracle, EstimateNeverNullClass) {
+  const Oracle oracle = Oracle::builtin();
+  EXPECT_NE(oracle.estimate("/whatever", 0).cls, nullptr);
+}
+
+TEST(Oracle, FromConfigAddsClasses) {
+  const util::Config cfg = util::Config::parse(R"(
+[oracle]
+default_fixed_ops = 1e5
+default_per_byte_ops = 0.25
+[oracle.class "video"]
+extensions = mpg, avi
+fixed_ops = 9e5
+per_byte_ops = 2.0
+[oracle.class "search"]
+extensions = cgi
+fixed_ops = 5e6
+is_cgi = true
+)");
+  const Oracle oracle = Oracle::from_config(cfg);
+  EXPECT_EQ(oracle.classify("/x.avi").name, "video");
+  EXPECT_EQ(oracle.classify("/x.mpg").name, "video");
+  EXPECT_TRUE(oracle.estimate("/find.cgi", 0).is_cgi);
+  EXPECT_DOUBLE_EQ(oracle.estimate("/find.cgi", 0).cpu_ops, 5e6);
+  // Unknown extension falls to the configured default.
+  EXPECT_DOUBLE_EQ(oracle.estimate("/x.zzz", 1000).cpu_ops,
+                   1e5 + 0.25 * 1000);
+}
+
+TEST(Oracle, FromConfigWithoutSectionsYieldsDefaultsOnly) {
+  const Oracle oracle = Oracle::from_config(util::Config::parse(""));
+  EXPECT_TRUE(oracle.classes().empty());
+  EXPECT_EQ(oracle.classify("/x.gif").name, "default");
+}
+
+TEST(Oracle, ExtensionMatchingIsCaseInsensitiveViaPathExtension) {
+  const util::Config cfg = util::Config::parse(
+      "[oracle.class \"img\"]\nextensions = GIF\nfixed_ops = 7\n");
+  const Oracle oracle = Oracle::from_config(cfg);
+  // Config extensions are lower-cased at load; paths at classify time.
+  EXPECT_EQ(oracle.classify("/x.gif").name, "img");
+  EXPECT_EQ(oracle.classify("/x.GiF").name, "img");
+}
+
+}  // namespace
+}  // namespace sweb::core

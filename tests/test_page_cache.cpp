@@ -1,0 +1,130 @@
+#include "fs/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sweb::fs {
+namespace {
+
+TEST(PageCache, MissThenHit) {
+  PageCache cache(1024);
+  EXPECT_FALSE(cache.lookup("/a"));
+  cache.insert("/a", 100);
+  EXPECT_TRUE(cache.lookup("/a"));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PageCache, EvictsLeastRecentlyUsed) {
+  PageCache cache(300);
+  cache.insert("/a", 100);
+  cache.insert("/b", 100);
+  cache.insert("/c", 100);
+  EXPECT_TRUE(cache.lookup("/a"));  // refresh /a: now /b is LRU
+  cache.insert("/d", 100);          // evicts /b
+  EXPECT_TRUE(cache.lookup("/a"));
+  EXPECT_FALSE(cache.lookup("/b"));
+  EXPECT_TRUE(cache.lookup("/c"));
+  EXPECT_TRUE(cache.lookup("/d"));
+}
+
+TEST(PageCache, ObjectLargerThanCacheNotInserted) {
+  PageCache cache(100);
+  cache.insert("/big", 200);
+  EXPECT_FALSE(cache.lookup("/big"));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(PageCache, ReinsertUpdatesSizeAndBudget) {
+  PageCache cache(300);
+  cache.insert("/a", 100);
+  cache.insert("/a", 250);  // grows in place
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.used(), 250u);
+  cache.insert("/a", 50);
+  EXPECT_EQ(cache.used(), 50u);
+}
+
+TEST(PageCache, EraseFreesBudget) {
+  PageCache cache(200);
+  cache.insert("/a", 150);
+  EXPECT_TRUE(cache.erase("/a"));
+  EXPECT_FALSE(cache.erase("/a"));
+  EXPECT_EQ(cache.used(), 0u);
+  cache.insert("/b", 200);  // fits again
+  EXPECT_TRUE(cache.lookup("/b"));
+}
+
+TEST(PageCache, ClearResetsContentsButNotStats) {
+  PageCache cache(500);
+  cache.insert("/a", 100);
+  EXPECT_TRUE(cache.lookup("/a"));
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
+  EXPECT_FALSE(cache.lookup("/a"));
+  EXPECT_EQ(cache.hits(), 1u);  // history preserved for reporting
+}
+
+TEST(PageCache, UsedNeverExceedsCapacity) {
+  PageCache cache(1000);
+  for (int i = 0; i < 100; ++i) {
+    cache.insert("/f" + std::to_string(i), 90);
+    EXPECT_LE(cache.used(), cache.capacity());
+  }
+  EXPECT_LE(cache.entries(), 11u);
+}
+
+TEST(PageCache, MultipleEvictionsForOneLargeInsert) {
+  PageCache cache(300);
+  cache.insert("/a", 100);
+  cache.insert("/b", 100);
+  cache.insert("/c", 100);
+  cache.insert("/huge", 280);  // must evict all three
+  EXPECT_TRUE(cache.lookup("/huge"));
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(PageCache, ZeroCapacityNeverCaches) {
+  PageCache cache(0);
+  cache.insert("/a", 1);
+  EXPECT_FALSE(cache.lookup("/a"));
+}
+
+TEST(PageCache, ZeroByteObjectsAreCacheable) {
+  PageCache cache(100);
+  cache.insert("/empty", 0);
+  EXPECT_TRUE(cache.lookup("/empty"));
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+// Aggregate-memory property: the cluster-wide cache grows with node count —
+// the root of the paper's superlinear speedup.
+class AggregateCacheProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AggregateCacheProperty, MoreNodesHoldMoreWorkingSet) {
+  const int nodes = GetParam();
+  constexpr std::uint64_t kPerNode = 8 * 1536 * 1024;  // ~8 scenes per node
+  std::vector<PageCache> caches;
+  for (int n = 0; n < nodes; ++n) caches.emplace_back(kPerNode);
+  // 64 scenes striped round-robin.
+  int resident = 0;
+  for (int i = 0; i < 64; ++i) {
+    PageCache& c = caches[static_cast<std::size_t>(i % nodes)];
+    c.insert("/scene" + std::to_string(i), 1536 * 1024);
+  }
+  for (int i = 0; i < 64; ++i) {
+    PageCache& c = caches[static_cast<std::size_t>(i % nodes)];
+    if (c.lookup("/scene" + std::to_string(i))) ++resident;
+  }
+  // Residency grows with the node count, saturating at the full set.
+  EXPECT_EQ(resident, std::min(64, nodes * 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, AggregateCacheProperty,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+}  // namespace
+}  // namespace sweb::fs

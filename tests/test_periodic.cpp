@@ -1,0 +1,113 @@
+#include "sim/periodic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sweb::sim {
+namespace {
+
+TEST(PeriodicTask, FiresEveryPeriod) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(sim, 2.0, [&] { fired.push_back(sim.now()); });
+  task.start();
+  sim.run_until(7.0);
+  ASSERT_EQ(fired.size(), 4u);  // t = 0, 2, 4, 6
+  EXPECT_DOUBLE_EQ(fired[0], 0.0);
+  EXPECT_DOUBLE_EQ(fired[3], 6.0);
+}
+
+TEST(PeriodicTask, InitialDelayShiftsPhase) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(sim, 2.0, [&] { fired.push_back(sim.now()); });
+  task.start(1.5);
+  sim.run_until(6.0);
+  ASSERT_GE(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.5);
+  EXPECT_DOUBLE_EQ(fired[1], 3.5);
+}
+
+TEST(PeriodicTask, StopCancelsFutureFirings) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] { ++count; });
+  task.start();
+  sim.schedule_at(2.5, [&] { task.stop(); });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);  // t = 0, 1, 2
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopFromInsideCallbackSticks) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    if (++count == 2) task.stop();
+  });
+  task.start();
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, RestartFromInsideCallbackWorks) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(sim, 1.0, [&] {
+    fired.push_back(sim.now());
+    if (fired.size() == 1) task.start(5.0);  // re-phase
+  });
+  task.start();
+  sim.run_until(8.0);
+  ASSERT_GE(fired.size(), 3u);
+  EXPECT_DOUBLE_EQ(fired[0], 0.0);
+  EXPECT_DOUBLE_EQ(fired[1], 5.0);
+  EXPECT_DOUBLE_EQ(fired[2], 6.0);
+}
+
+TEST(PeriodicTask, JitterVariesPeriodsWithinBounds) {
+  Simulation sim;
+  util::Rng rng(77);
+  std::vector<double> fired;
+  PeriodicTask task(sim, 2.0, [&] { fired.push_back(sim.now()); });
+  task.set_jitter(&rng, 0.25);
+  task.start();
+  sim.run_until(40.0);
+  ASSERT_GE(fired.size(), 10u);
+  bool varied = false;
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    const double gap = fired[i] - fired[i - 1];
+    EXPECT_GE(gap, 2.0 * 0.75 - 1e-9);
+    EXPECT_LE(gap, 2.0 * 1.25 + 1e-9);
+    if (std::abs(gap - 2.0) > 1e-6) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(PeriodicTask, DestructorCancelsCleanly) {
+  Simulation sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 1.0, [&] { ++count; });
+    task.start();
+    sim.run_until(2.5);
+  }
+  sim.run_until(20.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, StartTwiceRearmsFromNow) {
+  Simulation sim;
+  std::vector<double> fired;
+  PeriodicTask task(sim, 4.0, [&] { fired.push_back(sim.now()); });
+  task.start(3.0);
+  sim.schedule_at(1.0, [&] { task.start(0.5); });  // restart before first fire
+  sim.run_until(6.0);
+  ASSERT_GE(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.5);
+  EXPECT_DOUBLE_EQ(fired[1], 5.5);
+}
+
+}  // namespace
+}  // namespace sweb::sim

@@ -1,0 +1,124 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "sim/simulation.h"
+
+namespace sweb::core {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest()
+      : clu(sim, cluster::meiko_config(4)),
+        broker(clu, BrokerParams{}),
+        board(4, 6.0) {
+    for (int n = 0; n < 4; ++n) {
+      LoadVector v;
+      v.timestamp = 0.0;
+      board.update(n, v);
+    }
+    facts.size_bytes = 1.5e6;
+    facts.owner = 2;
+    facts.cpu_ops = 1.2e6;
+    facts.client_latency_s = 1.5e-3;
+  }
+
+  /// Loads node 0 with long CPU bursts until its damped load average
+  /// reflects them (the broker consults live averages for `self`).
+  void make_self_busy(double jobs) {
+    for (int i = 0; i < static_cast<int>(jobs); ++i) {
+      clu.cpu_burst(0, cluster::CpuUse::kOther, 40e6 * 1000, [] {});
+    }
+    sim.run_until(sim.now() + 30.0);  // several EWMA time constants
+  }
+
+  sim::Simulation sim;
+  cluster::Cluster clu;
+  Broker broker;
+  LoadBoard board;
+  RequestFacts facts;
+};
+
+TEST_F(PolicyTest, RoundRobinStaysPut) {
+  RoundRobinPolicy policy;
+  for (int self = 0; self < 4; ++self) {
+    EXPECT_EQ(policy.choose(facts, self, board, broker), self);
+  }
+  EXPECT_DOUBLE_EQ(policy.analysis_ops(4), 0.0);  // deciding is free
+}
+
+TEST_F(PolicyTest, FileLocalityAlwaysPicksOwner) {
+  FileLocalityPolicy policy;
+  for (int self = 0; self < 4; ++self) {
+    EXPECT_EQ(policy.choose(facts, self, board, broker), 2);
+  }
+}
+
+TEST_F(PolicyTest, CpuOnlyPicksLightestQueue) {
+  CpuOnlyPolicy policy;
+  make_self_busy(5);
+  for (int n = 1; n < 4; ++n) {
+    LoadVector v;
+    v.timestamp = sim.now();
+    v.cpu_run_queue = static_cast<double>(5 - n);  // node 3 lightest
+    board.update(n, v);
+  }
+  EXPECT_EQ(policy.choose(facts, 0, board, broker), 3);
+}
+
+TEST_F(PolicyTest, CpuOnlyIsBlindToFileLocality) {
+  // The single-faceted pathology the paper argues against: the owner (node
+  // 1) has a *slightly* higher CPU load than node 2, so CPU-only ships the
+  // request to node 2 and pays an NFS read; SWEB weighs the data term and
+  // keeps the 1.5 MB fetch on the owner's local disk.
+  facts.owner = 1;
+  make_self_busy(4);
+  LoadVector owner_load;
+  owner_load.timestamp = sim.now();
+  owner_load.cpu_run_queue = 0.5;
+  board.update(1, owner_load);
+  for (int n = 2; n < 4; ++n) {
+    LoadVector v;
+    v.timestamp = sim.now();
+    v.cpu_run_queue = 0.2;
+    board.update(n, v);
+  }
+  CpuOnlyPolicy cpu_only;
+  EXPECT_EQ(cpu_only.choose(facts, 0, board, broker), 2);
+  SwebPolicy sweb;
+  EXPECT_EQ(sweb.choose(facts, 0, board, broker), 1);
+}
+
+TEST_F(PolicyTest, CpuOnlySkipsStalePeers) {
+  CpuOnlyPolicy policy;
+  for (int n = 1; n < 4; ++n) {
+    LoadVector ancient;
+    ancient.timestamp = -100.0;
+    board.update(n, ancient);
+  }
+  sim.run_until(20.0);
+  EXPECT_EQ(policy.choose(facts, 0, board, broker), 0);
+}
+
+TEST_F(PolicyTest, SwebDelegatesToBroker) {
+  SwebPolicy policy;
+  EXPECT_EQ(policy.choose(facts, 0, board, broker),
+            broker.choose(facts, 0, board));
+  EXPECT_GT(policy.analysis_ops(6), policy.analysis_ops(2));
+}
+
+TEST_F(PolicyTest, FactoryByName) {
+  EXPECT_EQ(make_policy("sweb")->name(), "sweb");
+  EXPECT_EQ(make_policy("round-robin")->name(), "round-robin");
+  EXPECT_EQ(make_policy("rr")->name(), "round-robin");
+  EXPECT_EQ(make_policy("file-locality")->name(), "file-locality");
+  EXPECT_EQ(make_policy("locality")->name(), "file-locality");
+  EXPECT_EQ(make_policy("cpu-only")->name(), "cpu-only");
+  EXPECT_THROW(make_policy("magic"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sweb::core

@@ -1,0 +1,237 @@
+// Tests for the two reassignment mechanisms (§3.1: URL redirection vs
+// request forwarding) and the rejected centralized-dispatcher design.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "core/server.h"
+#include "fs/docbase.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sweb::core {
+namespace {
+
+struct Rig {
+  sim::Simulation sim;
+  util::Rng rng{42};
+  cluster::Cluster clu;
+  fs::Docbase docs;
+  std::unique_ptr<SwebServer> server;
+  std::vector<cluster::ClientLinkId> links;
+
+  explicit Rig(const std::string& policy, ServerParams params = {},
+               int nodes = 4, double latency = 1.5e-3)
+      : clu(sim, cluster::meiko_config(nodes)),
+        docs(fs::make_uniform(64, 256 * 1024, nodes,
+                              fs::Placement::kRoundRobin)) {
+    for (int d = 0; d < 6; ++d) {
+      links.push_back(
+          clu.add_client_link("lan" + std::to_string(d), 3e6, latency));
+    }
+    server = std::make_unique<SwebServer>(clu, docs, Oracle::builtin(),
+                                          make_policy(policy), params, rng);
+    server->start();
+  }
+
+  metrics::Summary run(int requests, double horizon = 300.0) {
+    for (int i = 0; i < requests; ++i) {
+      const auto at = 0.1 * i;
+      const auto link = links[static_cast<size_t>(i) % links.size()];
+      const std::string path =
+          docs.documents()[static_cast<size_t>(i) % docs.size()].path;
+      sim.schedule_at(at, [this, link, path] {
+        server->client_request(link, path);
+      });
+    }
+    sim.run_until(horizon);
+    server->collector().apply_timeout(60.0, sim.now());
+    return server->collector().summarize();
+  }
+};
+
+ServerParams forwarding_params() {
+  ServerParams p;
+  p.reassignment = ServerParams::Reassignment::kForward;
+  return p;
+}
+
+TEST(Forwarding, CompletesRequestsWithReassignment) {
+  Rig rig("file-locality", forwarding_params());
+  const auto s = rig.run(48);
+  EXPECT_EQ(s.completed, 48u);
+  EXPECT_GT(s.redirected, 0u);  // reassignment happened, via forwarding
+  EXPECT_EQ(s.timed_out, 0u);
+}
+
+TEST(Forwarding, ServesOnOwnerButKeepsOriginBusy) {
+  Rig rig("file-locality", forwarding_params());
+  (void)rig.run(24);
+  for (const metrics::RequestRecord& rec :
+       rig.server->collector().records()) {
+    ASSERT_EQ(rec.outcome, metrics::Outcome::kCompleted);
+    const fs::Document* doc = rig.docs.find(rec.path);
+    EXPECT_EQ(rec.final_node, doc->owner);  // work done at the owner
+  }
+}
+
+TEST(Forwarding, AvoidsClientRoundTripUnderHighLatency) {
+  // With a 100 ms one-way WAN latency, a 302 costs the client ~200 ms extra;
+  // forwarding crosses only the fast interconnect.
+  ServerParams fwd = forwarding_params();
+  Rig forwarded("file-locality", fwd, 4, /*latency=*/100e-3);
+  Rig redirected("file-locality", ServerParams{}, 4, /*latency=*/100e-3);
+  const auto f = forwarded.run(24);
+  const auto r = redirected.run(24);
+  ASSERT_EQ(f.completed, 24u);
+  ASSERT_EQ(r.completed, 24u);
+  EXPECT_LT(f.mean_response, r.mean_response);
+}
+
+TEST(Forwarding, RedirectionWinsForLargeFilesOnSlowInterconnect) {
+  // On the NOW's shared Ethernet, relaying a 1.5 MB response doubles the
+  // bytes on the bus — the reason the paper chose redirection.
+  const auto build = [](ServerParams params) {
+    auto rig = std::make_unique<Rig>("file-locality", params, 2, 1.5e-3);
+    return rig;
+  };
+  (void)build;
+  sim::Simulation sim_f, sim_r;
+  util::Rng rng_f(1), rng_r(1);
+  fs::Docbase docs =
+      fs::make_uniform(16, 1536 * 1024, 2, fs::Placement::kRoundRobin);
+  cluster::Cluster clu_f(sim_f, cluster::now_config(2));
+  cluster::Cluster clu_r(sim_r, cluster::now_config(2));
+  const auto link_f = clu_f.add_client_link("lan", 3e6, 1.5e-3);
+  const auto link_r = clu_r.add_client_link("lan", 3e6, 1.5e-3);
+  SwebServer fwd(clu_f, docs, Oracle::builtin(),
+                 make_policy("file-locality"), forwarding_params(), rng_f);
+  SwebServer red(clu_r, docs, Oracle::builtin(),
+                 make_policy("file-locality"), ServerParams{}, rng_r);
+  fwd.start();
+  red.start();
+  for (int i = 0; i < 8; ++i) {
+    const std::string path = docs.documents()[static_cast<size_t>(i)].path;
+    sim_f.schedule_at(i, [&fwd, link_f, path] {
+      fwd.client_request(link_f, path);
+    });
+    sim_r.schedule_at(i, [&red, link_r, path] {
+      red.client_request(link_r, path);
+    });
+  }
+  sim_f.run_until(600.0);
+  sim_r.run_until(600.0);
+  const auto f = fwd.collector().summarize();
+  const auto r = red.collector().summarize();
+  ASSERT_GT(f.completed, 0u);
+  ASSERT_GT(r.completed, 0u);
+  EXPECT_GT(f.mean_response, r.mean_response);
+}
+
+TEST(Forwarding, DeadOwnersContentHangsLikeNfs) {
+  // Content owned by a dead node is unreachable — the remote read stalls
+  // exactly like a hung NFS mount, and the client eventually times out.
+  ServerParams params = forwarding_params();
+  Rig rig("file-locality", params);
+  rig.server->set_node_available(1, false);
+  rig.server->set_node_available(2, false);
+  rig.server->set_node_available(3, false);
+  const auto id = rig.server->client_request(rig.links[0],
+                                             rig.docs.documents()[1].path);
+  rig.sim.run_until(120.0);
+  rig.server->collector().apply_timeout(60.0, rig.sim.now());
+  const metrics::RequestRecord& rec = rig.server->collector().record(id);
+  EXPECT_EQ(rec.outcome, metrics::Outcome::kTimedOut);
+}
+
+TEST(Forwarding, FallsBackLocallyWhenTargetIsFull) {
+  // The forward target has one handler slot; while it's busy, a second
+  // forwarded request must be served by the origin instead of queueing
+  // into oblivion.
+  auto cfg = cluster::meiko_config(2);
+  cfg.nodes[1].max_connections = 1;
+  cfg.nodes[1].listen_backlog = 0;
+  sim::Simulation sim;
+  util::Rng rng(3);
+  cluster::Cluster clu(sim, cfg);
+  fs::Docbase docs =
+      fs::make_uniform(8, 1536 * 1024, 2, fs::Placement::kSingleNode);
+  // All docs owned by node 0 — flip ownership to node 1 for this test.
+  fs::Docbase owned_by_1;
+  for (fs::Document d : docs.documents()) {
+    d.owner = 1;
+    owned_by_1.add(std::move(d));
+  }
+  const auto link = clu.add_client_link("lan", 1e6, 1.5e-3);
+  SwebServer server(clu, owned_by_1, Oracle::builtin(),
+                    make_policy("file-locality"), forwarding_params(), rng);
+  server.start();
+  // DNS rotation: first request lands on node 0 and forwards to node 1,
+  // filling its only slot (slow 1 MB/s client keeps it busy for ~1.5 s).
+  const auto first =
+      server.client_request(link, owned_by_1.documents()[0].path);
+  sim.run_until(0.5);
+  const auto second =
+      server.client_request(link, owned_by_1.documents()[1].path);
+  sim.run_until(120.0);
+  const auto& rec1 = server.collector().record(first);
+  const auto& rec2 = server.collector().record(second);
+  EXPECT_EQ(rec1.outcome, metrics::Outcome::kCompleted);
+  EXPECT_EQ(rec1.final_node, 1);
+  EXPECT_EQ(rec2.outcome, metrics::Outcome::kCompleted);
+  EXPECT_EQ(rec2.final_node, 0);  // fallback: served at the origin
+}
+
+TEST(Centralized, DispatcherRoutesEverythingThroughNodeZero) {
+  ServerParams params;
+  params.centralized = true;
+  Rig rig("sweb", params);
+  (void)rig.run(32);
+  for (const metrics::RequestRecord& rec :
+       rig.server->collector().records()) {
+    EXPECT_EQ(rec.first_node, 0);  // DNS lists only the dispatcher
+  }
+}
+
+TEST(Centralized, DispatcherDeathTakesDownTheService) {
+  // "the single central distributor becomes a single point of failure,
+  // making the entire system more vulnerable."
+  ServerParams params;
+  params.centralized = true;
+  Rig rig("sweb", params);
+  rig.server->set_node_available(0, false);
+  const auto s = rig.run(16, /*horizon=*/200.0);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.timed_out + s.pending + s.refused + s.errors, s.total);
+}
+
+TEST(Centralized, WithForwardingActsAsReverseProxy) {
+  // Centralized dispatcher + request forwarding = the modern L7 load
+  // balancer: clients only ever talk to node 0; workers never face the
+  // Internet; no 302s reach the browser.
+  ServerParams params;
+  params.centralized = true;
+  params.reassignment = ServerParams::Reassignment::kForward;
+  Rig rig("sweb", params);
+  const auto s = rig.run(32);
+  EXPECT_EQ(s.completed, 32u);
+  int proxied = 0;
+  for (const metrics::RequestRecord& rec :
+       rig.server->collector().records()) {
+    EXPECT_EQ(rec.first_node, 0);
+    if (rec.final_node > 0) ++proxied;  // work done behind the dispatcher
+  }
+  EXPECT_GT(proxied, 0);
+}
+
+TEST(Centralized, DistributedSurvivesAnySingleNodeDeath) {
+  // The contrast: the distributed scheduler keeps most requests alive when
+  // any one node dies (only DNS-pinned clients of that node suffer).
+  Rig rig("sweb", ServerParams{});
+  rig.server->set_node_available(2, false);
+  const auto s = rig.run(32, 200.0);
+  EXPECT_GT(s.completed, 0u);
+}
+
+}  // namespace
+}  // namespace sweb::core

@@ -1,0 +1,129 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace sweb::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += rng.exponential(2.5);
+  EXPECT_NEAR(total / kN, 2.5, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.bounded_pareto(100.0, 1.5e6, 1.1);
+    EXPECT_GE(v, 100.0 * 0.999);
+    EXPECT_LE(v, 1.5e6 * 1.001);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailedTowardSmall) {
+  Rng rng(13);
+  int small = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.bounded_pareto(100.0, 1.5e6, 1.1) < 10000.0) ++small;
+  }
+  // With alpha=1.1 the bulk of samples should be near the minimum.
+  EXPECT_GT(small, kN / 2);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(17);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 2000; ++i) ++seen[rng.index(5)];
+  for (int count : seen) EXPECT_GT(count, 200);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  const std::array<double, 3> weights{0.0, 1.0, 3.0};
+  std::array<int, 3> seen{};
+  constexpr int kN = 8000;
+  for (int i = 0; i < kN; ++i) ++seen[rng.weighted_index(weights)];
+  EXPECT_EQ(seen[0], 0);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / seen[1], 3.0, 0.5);
+}
+
+TEST(Rng, ZipfZeroExponentIsUniform) {
+  Rng rng(23);
+  std::array<int, 4> seen{};
+  constexpr int kN = 8000;
+  for (int i = 0; i < kN; ++i) ++seen[rng.zipf(4, 0.0)];
+  for (int count : seen) EXPECT_NEAR(count, kN / 4, kN / 10);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(29);
+  std::array<int, 8> seen{};
+  constexpr int kN = 8000;
+  for (int i = 0; i < kN; ++i) ++seen[rng.zipf(8, 1.4)];
+  EXPECT_GT(seen[0], seen[3]);
+  EXPECT_GT(seen[0], kN / 3);  // rank 0 dominates at s=1.4
+}
+
+TEST(Rng, ZipfCacheSurvivesParameterChange) {
+  Rng rng(31);
+  (void)rng.zipf(8, 1.4);
+  // Switch n and s: must not crash or emit out-of-range ranks.
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.zipf(3, 0.5), 3u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.zipf(16, 2.0), 16u);
+}
+
+}  // namespace
+}  // namespace sweb::util

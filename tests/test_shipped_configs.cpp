@@ -1,0 +1,68 @@
+// The config files shipped in configs/ must stay loadable and equivalent
+// to the presets they document.
+#include <gtest/gtest.h>
+
+#include "cluster/config.h"
+#include "core/oracle.h"
+#include "util/config.h"
+
+namespace sweb {
+namespace {
+
+std::string config_path(const char* name) {
+  return std::string(SWEB_SOURCE_DIR) + "/configs/" + name;
+}
+
+TEST(ShippedConfigs, MeikoMatchesPreset) {
+  const cluster::ClusterConfig file = cluster::cluster_from_config(
+      util::Config::parse_file(config_path("meiko.conf")));
+  const cluster::ClusterConfig preset = cluster::meiko_config(6);
+  EXPECT_EQ(file.num_nodes(), preset.num_nodes());
+  EXPECT_EQ(file.network, preset.network);
+  EXPECT_DOUBLE_EQ(file.nfs_penalty, preset.nfs_penalty);
+  for (int n = 0; n < 6; ++n) {
+    const auto& a = file.nodes[static_cast<std::size_t>(n)];
+    const auto& b = preset.nodes[static_cast<std::size_t>(n)];
+    EXPECT_DOUBLE_EQ(a.cpu_ops_per_sec, b.cpu_ops_per_sec);
+    EXPECT_DOUBLE_EQ(a.disk_bytes_per_sec, b.disk_bytes_per_sec);
+    EXPECT_EQ(a.ram_bytes, b.ram_bytes);
+    EXPECT_EQ(a.max_connections, b.max_connections);
+    EXPECT_EQ(a.listen_backlog, b.listen_backlog);
+  }
+}
+
+TEST(ShippedConfigs, NowMatchesPreset) {
+  const cluster::ClusterConfig file = cluster::cluster_from_config(
+      util::Config::parse_file(config_path("now.conf")));
+  const cluster::ClusterConfig preset = cluster::now_config(4);
+  EXPECT_EQ(file.num_nodes(), preset.num_nodes());
+  EXPECT_EQ(file.network, cluster::NetworkKind::kSharedBus);
+  EXPECT_DOUBLE_EQ(file.bus_bytes_per_sec, preset.bus_bytes_per_sec);
+  EXPECT_DOUBLE_EQ(file.request_timeout_s, preset.request_timeout_s);
+}
+
+TEST(ShippedConfigs, HeterogeneousHasThreeTiers) {
+  const cluster::ClusterConfig cfg = cluster::cluster_from_config(
+      util::Config::parse_file(config_path("heterogeneous.conf")));
+  ASSERT_EQ(cfg.num_nodes(), 5);
+  EXPECT_GT(cfg.nodes[0].cpu_ops_per_sec, cfg.nodes[2].cpu_ops_per_sec);
+  EXPECT_GT(cfg.nodes[4].ram_bytes, cfg.nodes[0].ram_bytes);  // file server
+}
+
+TEST(ShippedConfigs, OracleTableMatchesBuiltin) {
+  const core::Oracle file = core::Oracle::from_config(
+      util::Config::parse_file(config_path("oracle.conf")));
+  const core::Oracle builtin = core::Oracle::builtin();
+  for (const char* path : {"/a.html", "/b.gif", "/c.tiff", "/d.cgi",
+                           "/e.unknown"}) {
+    EXPECT_EQ(file.classify(path).name, builtin.classify(path).name) << path;
+    EXPECT_DOUBLE_EQ(file.estimate(path, 100000).cpu_ops,
+                     builtin.estimate(path, 100000).cpu_ops)
+        << path;
+    EXPECT_EQ(file.estimate(path, 0).is_cgi, builtin.estimate(path, 0).is_cgi)
+        << path;
+  }
+}
+
+}  // namespace
+}  // namespace sweb

@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event core.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sweb::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, RunsEventsInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, EqualTimestampsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(4.0, [&] {
+    sim.schedule_in(-10.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulation, PastAbsoluteTimeClampsToNow) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(4.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 4.0);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(Simulation, CancelReturnsFalseForUnknownOrExecuted) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(99999));
+}
+
+TEST(Simulation, CancelFromInsideAnEvent) {
+  Simulation sim;
+  bool second_ran = false;
+  const EventId id = sim.schedule_at(2.0, [&] { second_ran = true; });
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(id)); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.schedule_at(10.0, [&] { ++count; });
+  sim.run_until(5.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulation, RunUntilIncludesEventsExactlyAtBoundary) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule_at(5.0, [&] { ran = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EventsCanScheduleChains) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(0.1, chain);
+  };
+  sim.schedule_in(0.1, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(sim.now(), 10.0, 1e-9);
+}
+
+TEST(Simulation, ExecutedCountsOnlyRunEvents) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  const EventId id = sim.schedule_at(2.0, [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulation, PendingExcludesCancelled) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  const EventId id = sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace sweb::sim

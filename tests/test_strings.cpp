@@ -1,0 +1,94 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::util {
+namespace {
+
+TEST(Trim, StripsAsciiWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");  // interior whitespace preserved
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparatorYieldsTrailingEmpty) {
+  const auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(SplitNonempty, DropsBlanksAndTrims) {
+  const auto parts = split_nonempty(" gif , jpg ,, png ", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "gif");
+  EXPECT_EQ(parts[1], "jpg");
+  EXPECT_EQ(parts[2], "png");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("Content-TYPE"), "content-type");
+  EXPECT_EQ(to_lower("already lower 123"), "already lower 123");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+}
+
+TEST(IStartsWith, PrefixMatching) {
+  EXPECT_TRUE(istarts_with("HTTP/1.0", "http/"));
+  EXPECT_TRUE(istarts_with("x", ""));
+  EXPECT_FALSE(istarts_with("", "x"));
+  EXPECT_FALSE(istarts_with("htt", "http"));
+}
+
+TEST(ParseU64, AcceptsPlainDecimal) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));  // UINT64_MAX
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsJunk) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("+1", v));
+  EXPECT_FALSE(parse_u64(" 1", v));
+  EXPECT_FALSE(parse_u64("1x", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.50 MB");
+}
+
+TEST(FormatSeconds, PicksScale) {
+  EXPECT_EQ(format_seconds(0.5e-3), "500.0 us");
+  EXPECT_EQ(format_seconds(0.070), "70.00 ms");
+  EXPECT_EQ(format_seconds(5.4), "5.40 s");
+}
+
+}  // namespace
+}  // namespace sweb::util

@@ -1,0 +1,74 @@
+#include "metrics/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::metrics {
+namespace {
+
+RequestRecord rec(double start, double finish, Outcome outcome) {
+  RequestRecord r;
+  r.start = start;
+  r.finish = finish;
+  r.outcome = outcome;
+  return r;
+}
+
+TEST(Timeline, BucketsLaunchAndCompletionSeparately) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(0.5, 2.5, Outcome::kCompleted));  // launch b0, done b2
+  records.push_back(rec(0.9, 1.1, Outcome::kCompleted));  // launch b0, done b1
+  const auto buckets = build_timeline(records, 1.0, 4.0);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].launched, 2);
+  EXPECT_EQ(buckets[0].completed, 0);
+  EXPECT_EQ(buckets[1].completed, 1);
+  EXPECT_EQ(buckets[2].completed, 1);
+}
+
+TEST(Timeline, ResponseStatsPerBucket) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(0.0, 1.2, Outcome::kCompleted));  // 1.2 s, done in b1
+  records.push_back(rec(0.5, 1.3, Outcome::kCompleted));  // 0.8 s, done in b1
+  const auto buckets = build_timeline(records, 1.0, 2.0);
+  EXPECT_NEAR(buckets[1].mean_response, 1.0, 1e-9);
+  EXPECT_NEAR(buckets[1].max_response, 1.2, 1e-9);
+  EXPECT_DOUBLE_EQ(buckets[0].mean_response, 0.0);  // empty bucket
+}
+
+TEST(Timeline, FailuresStampedAtStart) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(2.5, 0.0, Outcome::kRefused));
+  records.push_back(rec(2.7, 0.0, Outcome::kTimedOut));
+  const auto buckets = build_timeline(records, 1.0, 4.0);
+  EXPECT_EQ(buckets[2].failed, 2);
+  EXPECT_EQ(buckets[2].launched, 2);
+}
+
+TEST(Timeline, HorizonDerivedFromRecords) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(0.0, 7.5, Outcome::kCompleted));
+  const auto buckets = build_timeline(records, 1.0);
+  ASSERT_GE(buckets.size(), 8u);
+  EXPECT_EQ(buckets[7].completed, 1);
+}
+
+TEST(Timeline, EventsBeyondHorizonDropped) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(10.0, 12.0, Outcome::kCompleted));
+  const auto buckets = build_timeline(records, 1.0, 5.0);
+  int total = 0;
+  for (const auto& b : buckets) total += b.launched + b.completed;
+  EXPECT_EQ(total, 0);
+}
+
+TEST(Timeline, CsvHasOneRowPerBucket) {
+  std::vector<RequestRecord> records;
+  records.push_back(rec(0.0, 1.0, Outcome::kCompleted));
+  const auto buckets = build_timeline(records, 0.5, 2.0);
+  const auto csv = timeline_csv(buckets);
+  EXPECT_EQ(csv.rows(), buckets.size());
+  EXPECT_NE(csv.to_string().find("t,launched,completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweb::metrics

@@ -1,0 +1,149 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "workload/scenario.h"
+
+namespace sweb::workload {
+namespace {
+
+TEST(Trace, AddAndDuration) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+  trace.add(1.0, 0, "/a");
+  trace.add(4.5, 1, "/b");
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration(), 4.5);
+}
+
+TEST(Trace, SortIsStableByTime) {
+  Trace trace;
+  trace.add(2.0, 0, "/late");
+  trace.add(1.0, 0, "/first");
+  trace.add(1.0, 1, "/second");  // same time: original order kept
+  trace.sort_by_time();
+  EXPECT_EQ(trace.entries()[0].path, "/first");
+  EXPECT_EQ(trace.entries()[1].path, "/second");
+  EXPECT_EQ(trace.entries()[2].path, "/late");
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace trace;
+  trace.add(0.25, 3, "/adl/scene0.tiff");
+  trace.add(1.75, 0, "/adl/meta1.html");
+  std::stringstream buffer;
+  trace.save_csv(buffer);
+  const Trace loaded = Trace::load_csv(buffer);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.entries()[0].time, 0.25);
+  EXPECT_EQ(loaded.entries()[0].client, 3);
+  EXPECT_EQ(loaded.entries()[0].path, "/adl/scene0.tiff");
+  EXPECT_EQ(loaded.entries()[1].path, "/adl/meta1.html");
+}
+
+TEST(Trace, LoadSkipsHeaderCommentsAndBlanks) {
+  std::stringstream in(
+      "time,client,path\n"
+      "# a comment\n"
+      "\n"
+      "0.5,1,/x\n");
+  const Trace trace = Trace::load_csv(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.entries()[0].path, "/x");
+}
+
+TEST(Trace, LoadSortsOutOfOrderInput) {
+  std::stringstream in("5,0,/late\n1,0,/early\n");
+  const Trace trace = Trace::load_csv(in);
+  EXPECT_EQ(trace.entries()[0].path, "/early");
+}
+
+TEST(Trace, LoadRejectsMalformedLines) {
+  {
+    std::stringstream in("not-a-number,0,/x\n");
+    EXPECT_THROW(Trace::load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("1,0\n");
+    EXPECT_THROW(Trace::load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("1,-2,/x\n");
+    EXPECT_THROW(Trace::load_csv(in), std::runtime_error);
+  }
+}
+
+TEST(GenerateTrace, ShapeAndDeterminism) {
+  const fs::Docbase docs =
+      fs::make_uniform(32, 4096, 4, fs::Placement::kRoundRobin);
+  util::Rng rng1(9), rng2(9);
+  const Trace a = generate_trace(docs, 10.0, 5.0, 4, rng1);
+  const Trace b = generate_trace(docs, 10.0, 5.0, 4, rng2);
+  EXPECT_EQ(a.size(), 50u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].path, b.entries()[i].path);
+    EXPECT_DOUBLE_EQ(a.entries()[i].time, b.entries()[i].time);
+  }
+  for (const TraceEntry& e : a.entries()) {
+    EXPECT_GE(e.client, 0);
+    EXPECT_LT(e.client, 4);
+    EXPECT_NE(docs.find(e.path), nullptr);
+  }
+}
+
+TEST(GenerateTrace, ZipfSkewsPopularity) {
+  const fs::Docbase docs =
+      fs::make_uniform(64, 4096, 4, fs::Placement::kRoundRobin);
+  util::Rng rng(11);
+  const Trace trace = generate_trace(docs, 50.0, 10.0, 4, rng, 1.4);
+  std::map<std::string, int> counts;
+  for (const TraceEntry& e : trace.entries()) ++counts[e.path];
+  int max_count = 0;
+  for (const auto& [path, count] : counts) max_count = std::max(max_count, count);
+  // At s=1.4, the hottest document dominates well beyond uniform share.
+  EXPECT_GT(max_count, static_cast<int>(trace.size()) / 16);
+}
+
+TEST(TraceReplay, DrivesAnExperimentExactly) {
+  const fs::Docbase docs =
+      fs::make_uniform(24, 64 * 1024, 4, fs::Placement::kRoundRobin);
+  util::Rng rng(21);
+  const Trace trace = generate_trace(docs, 8.0, 10.0, 6, rng);
+
+  ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(4);
+  spec.docbase = docs;
+  spec.policy = "sweb";
+  spec.trace = trace;
+  spec.clients = ucsb_clients();
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_EQ(result.summary.total, trace.size());
+  EXPECT_EQ(result.summary.completed, trace.size());
+  EXPECT_NEAR(result.offered_rps, 8.0, 1.0);
+}
+
+TEST(TraceReplay, SameTraceDifferentPoliciesSameOfferedLoad) {
+  const fs::Docbase docs =
+      fs::make_uniform(24, 64 * 1024, 4, fs::Placement::kRoundRobin);
+  util::Rng rng(22);
+  const Trace trace = generate_trace(docs, 6.0, 8.0, 4, rng);
+  std::size_t totals[2];
+  int i = 0;
+  for (const char* policy : {"round-robin", "sweb"}) {
+    ExperimentSpec spec;
+    spec.cluster = cluster::meiko_config(4);
+    spec.docbase = docs;
+    spec.policy = policy;
+    spec.trace = trace;
+    totals[i++] = run_experiment(spec).summary.total;
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+}
+
+}  // namespace
+}  // namespace sweb::workload

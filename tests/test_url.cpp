@@ -1,0 +1,147 @@
+#include "http/url.h"
+
+#include <gtest/gtest.h>
+
+namespace sweb::http {
+namespace {
+
+TEST(ParseUrl, FullForm) {
+  const auto url = parse_url("http://www.alexandria.ucsb.edu:8080/maps/goleta.gif?zoom=2");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "www.alexandria.ucsb.edu");
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->path, "/maps/goleta.gif");
+  EXPECT_EQ(url->query, "zoom=2");
+}
+
+TEST(ParseUrl, DefaultPorts) {
+  EXPECT_EQ(parse_url("http://h/")->port, 80);
+  EXPECT_EQ(parse_url("https://h/")->port, 443);
+}
+
+TEST(ParseUrl, HostOnlyGetsRootPath) {
+  const auto url = parse_url("http://host.edu");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_TRUE(url->query.empty());
+}
+
+TEST(ParseUrl, QueryWithoutPath) {
+  const auto url = parse_url("http://h?x=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->query, "x=1");
+}
+
+TEST(ParseUrl, HostCaseFolded) {
+  EXPECT_EQ(parse_url("http://WWW.UCSB.EDU/")->host, "www.ucsb.edu");
+}
+
+TEST(ParseUrl, Rejections) {
+  EXPECT_FALSE(parse_url("").has_value());
+  EXPECT_FALSE(parse_url("no-scheme.com/x").has_value());
+  EXPECT_FALSE(parse_url("http://").has_value());
+  EXPECT_FALSE(parse_url("http://host:0/").has_value());
+  EXPECT_FALSE(parse_url("http://host:70000/").has_value());
+  EXPECT_FALSE(parse_url("http://host:abc/").has_value());
+  EXPECT_FALSE(parse_url("://host/").has_value());
+}
+
+TEST(UrlToString, OmitsDefaultPort) {
+  Url url;
+  url.scheme = "http";
+  url.host = "h";
+  url.port = 80;
+  url.path = "/p";
+  EXPECT_EQ(url.to_string(), "http://h/p");
+  url.port = 8080;
+  EXPECT_EQ(url.to_string(), "http://h:8080/p");
+  url.query = "a=1";
+  EXPECT_EQ(url.to_string(), "http://h:8080/p?a=1");
+}
+
+TEST(UrlRoundTrip, ParseThenToString) {
+  for (const char* s : {"http://h/p", "http://h:81/p?q=1",
+                        "http://a.b.c/deep/path.gif"}) {
+    const auto url = parse_url(s);
+    ASSERT_TRUE(url.has_value()) << s;
+    EXPECT_EQ(url->to_string(), s);
+  }
+}
+
+TEST(SplitTarget, SeparatesQuery) {
+  std::string path, query;
+  ASSERT_TRUE(split_target("/a/b?x=1&y=2", path, query));
+  EXPECT_EQ(path, "/a/b");
+  EXPECT_EQ(query, "x=1&y=2");
+  ASSERT_TRUE(split_target("/plain", path, query));
+  EXPECT_EQ(path, "/plain");
+  EXPECT_TRUE(query.empty());
+}
+
+TEST(SplitTarget, RejectsRelative) {
+  std::string path, query;
+  EXPECT_FALSE(split_target("relative/path", path, query));
+  EXPECT_FALSE(split_target("", path, query));
+}
+
+TEST(PercentDecode, BasicEscapes) {
+  EXPECT_EQ(percent_decode("a%20b"), "a b");
+  EXPECT_EQ(percent_decode("%2F%2e%2E"), "/..");
+  EXPECT_EQ(percent_decode("plain"), "plain");
+  EXPECT_EQ(percent_decode("a+b"), "a b");  // form-encoding plus
+}
+
+TEST(PercentDecode, RejectsBadEscapes) {
+  EXPECT_FALSE(percent_decode("%").has_value());
+  EXPECT_FALSE(percent_decode("%2").has_value());
+  EXPECT_FALSE(percent_decode("%zz").has_value());
+}
+
+TEST(NormalizePath, DotSegments) {
+  EXPECT_EQ(normalize_path("/a/./b"), "/a/b");
+  EXPECT_EQ(normalize_path("/a/b/../c"), "/a/c");
+  EXPECT_EQ(normalize_path("/a//b"), "/a/b");
+  EXPECT_EQ(normalize_path("/"), "/");
+  EXPECT_EQ(normalize_path("/a/b/"), "/a/b/");  // trailing slash kept
+  EXPECT_EQ(normalize_path("/a/.."), "/");
+}
+
+TEST(NormalizePath, RefusesDocrootEscape) {
+  EXPECT_FALSE(normalize_path("/..").has_value());
+  EXPECT_FALSE(normalize_path("/../etc/passwd").has_value());
+  EXPECT_FALSE(normalize_path("/a/../../b").has_value());
+  EXPECT_FALSE(normalize_path("relative").has_value());
+  EXPECT_FALSE(normalize_path("").has_value());
+}
+
+TEST(CanonicalizeTarget, DecodesAndNormalizes) {
+  const auto url = canonicalize_target("/a/%2e%2e/b%20c.gif?q=1");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->path, "/b c.gif");
+  EXPECT_EQ(url->query, "q=1");
+}
+
+TEST(CanonicalizeTarget, CatchesEncodedTraversal) {
+  // "%2e%2e" decodes to ".." and must still be caught by normalization.
+  EXPECT_FALSE(canonicalize_target("/%2e%2e/etc/passwd").has_value());
+  EXPECT_FALSE(canonicalize_target("/a/%2E%2E/%2E%2E/x").has_value());
+}
+
+TEST(CanonicalizeTarget, RejectsControlBytes) {
+  EXPECT_FALSE(canonicalize_target("/a%00b").has_value());
+  EXPECT_FALSE(canonicalize_target("/a%0ab").has_value());
+}
+
+TEST(PathExtension, ExtractsAndLowercases) {
+  EXPECT_EQ(path_extension("/a/b.GIF"), "gif");
+  EXPECT_EQ(path_extension("/a/b.tar.gz"), "gz");
+  EXPECT_EQ(path_extension("/a/noext"), "");
+  EXPECT_EQ(path_extension("/a/.hidden"), "");   // leading dot is not an ext
+  EXPECT_EQ(path_extension("/a/trailing."), ""); // empty ext
+  EXPECT_EQ(path_extension("/dir.v2/file"), ""); // dot in dir, not file
+}
+
+}  // namespace
+}  // namespace sweb::http

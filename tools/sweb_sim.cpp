@@ -1,0 +1,251 @@
+// sweb-sim: command-line experiment driver.
+//
+// Runs one SWEB experiment on the simulated multicomputer and prints the
+// summary; optionally dumps per-request records as CSV for plotting.
+//
+//   sweb-sim --cluster meiko --nodes 6 --policy sweb
+//            --docs uniform:240:1572864 --rps 16 --duration 30
+//   sweb-sim --cluster configs/now.conf --policy round-robin
+//            --docs nonuniform:480:100:1572864 --mix zipf:1.4
+//            --rps 24 --csv out.csv
+// (each invocation is one command line; wrapped here for readability)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "metrics/access_log.h"
+#include "metrics/csv.h"
+#include "metrics/table.h"
+#include "metrics/timeline.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+using namespace sweb;
+
+namespace {
+
+[[nodiscard]] cluster::ClusterConfig parse_cluster(const std::string& kind,
+                                                   int nodes) {
+  if (kind == "meiko") return cluster::meiko_config(nodes);
+  if (kind == "now") return cluster::now_config(nodes);
+  // Anything else is a config-file path.
+  return cluster::cluster_from_config(util::Config::parse_file(kind));
+}
+
+[[nodiscard]] fs::Docbase parse_docs(const std::string& spec, int nodes,
+                                     util::Rng& rng) {
+  const auto parts = util::split(spec, ':');
+  const std::string kind(parts.empty() ? "" : parts[0]);
+  const auto num = [&](std::size_t i, double fallback) {
+    if (parts.size() <= i) return fallback;
+    return std::strtod(std::string(parts[i]).c_str(), nullptr);
+  };
+  if (kind == "uniform") {
+    return fs::make_uniform(static_cast<std::size_t>(num(1, 240)),
+                            static_cast<std::uint64_t>(num(2, 1536 * 1024)),
+                            nodes, fs::Placement::kRoundRobin);
+  }
+  if (kind == "nonuniform") {
+    return fs::make_nonuniform(static_cast<std::size_t>(num(1, 480)),
+                               static_cast<std::uint64_t>(num(2, 100)),
+                               static_cast<std::uint64_t>(num(3, 1536 * 1024)),
+                               nodes, fs::Placement::kRoundRobin, rng,
+                               fs::SizeDistribution::kUniform);
+  }
+  if (kind == "adl") {
+    return fs::make_adl(static_cast<std::size_t>(num(1, 48)), nodes, rng);
+  }
+  if (kind == "hotfile") {
+    return fs::make_hotfile(static_cast<std::uint64_t>(num(1, 1536 * 1024)),
+                            static_cast<fs::NodeId>(num(2, 0)));
+  }
+  throw util::CliError("unknown --docs spec: " + spec);
+}
+
+[[nodiscard]] workload::MixSpec parse_mix(const std::string& spec) {
+  workload::MixSpec mix;
+  const auto parts = util::split(spec, ':');
+  const std::string kind(parts.empty() ? "" : parts[0]);
+  if (kind == "uniform" || kind.empty()) {
+    mix.kind = workload::MixSpec::Kind::kUniformOverDocs;
+  } else if (kind == "zipf") {
+    mix.kind = workload::MixSpec::Kind::kZipf;
+    if (parts.size() > 1) {
+      mix.zipf_exponent = std::strtod(std::string(parts[1]).c_str(), nullptr);
+    }
+  } else if (kind == "single") {
+    mix.kind = workload::MixSpec::Kind::kSinglePath;
+    if (parts.size() > 1) mix.fixed_path = std::string(parts[1]);
+  } else {
+    throw util::CliError("unknown --mix spec: " + spec);
+  }
+  return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.option("cluster", "meiko", "testbed: meiko, now, or a config file path")
+      .option("nodes", "6", "node count for the meiko/now presets")
+      .option("policy", "sweb",
+              "scheduling: sweb, round-robin, file-locality, cpu-only")
+      .option("rps", "16", "requests launched per second")
+      .option("duration", "30", "burst duration in seconds")
+      .option("docs", "uniform:240:1572864",
+              "docbase: uniform:COUNT:BYTES | nonuniform:COUNT:MIN:MAX | "
+              "adl:SCENES | hotfile:BYTES:OWNER")
+      .option("mix", "uniform",
+              "request mix: uniform | zipf:EXPONENT | single:PATH")
+      .option("clients", "ucsb", "client profile: ucsb or rutgers")
+      .option("oracle", "", "oracle table config file (optional)")
+      .option("seed", "1599513694", "random seed")
+      .option("csv", "", "write per-request records to this CSV file")
+      .option("trace-in", "",
+              "replay a request trace (CSV: time,client,path) instead of "
+              "generating the burst")
+      .option("trace-out", "",
+              "save the generated burst as a trace CSV (for replays)")
+      .option("access-log", "",
+              "write an NCSA Common Log Format access log here")
+      .option("timeline", "",
+              "write per-second throughput/latency series to this CSV")
+      .flag("forward", "reassign by request forwarding instead of 302s")
+      .flag("centralized", "route everything through a node-0 dispatcher")
+      .flag("poisson", "Poisson arrivals instead of paced seconds");
+
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::fputs(cli.help_text("sweb-sim").c_str(), stdout);
+      return 0;
+    }
+
+    workload::ExperimentSpec spec;
+    const int nodes = static_cast<int>(cli.get_int("nodes"));
+    spec.cluster = parse_cluster(cli.get("cluster"), nodes);
+    util::Rng doc_rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+    spec.docbase = parse_docs(cli.get("docs"), spec.cluster.num_nodes(),
+                              doc_rng);
+    spec.policy = cli.get("policy");
+    spec.burst.rps = cli.get_double("rps");
+    spec.burst.duration_s = cli.get_double("duration");
+    spec.burst.poisson = cli.get_flag("poisson");
+    spec.mix = parse_mix(cli.get("mix"));
+    spec.clients = cli.get("clients") == "rutgers"
+                       ? workload::rutgers_clients()
+                       : workload::ucsb_clients();
+    spec.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_flag("forward")) {
+      spec.server.reassignment = core::ServerParams::Reassignment::kForward;
+    }
+    spec.server.centralized = cli.get_flag("centralized");
+    spec.keep_records = !cli.get("csv").empty() ||
+                        !cli.get("access-log").empty() ||
+                        !cli.get("timeline").empty();
+
+    if (const std::string trace_in = cli.get("trace-in"); !trace_in.empty()) {
+      std::ifstream in(trace_in);
+      if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", trace_in.c_str());
+        return 1;
+      }
+      spec.trace = workload::Trace::load_csv(in);
+      std::printf("replaying %zu-request trace from %s\n",
+                  spec.trace.size(), trace_in.c_str());
+    } else if (const std::string trace_out = cli.get("trace-out");
+               !trace_out.empty()) {
+      // Generate the burst as an explicit trace so it can be saved and
+      // replayed bit-identically against other policies.
+      util::Rng trace_rng(spec.seed);
+      const double zipf =
+          spec.mix.kind == workload::MixSpec::Kind::kZipf
+              ? spec.mix.zipf_exponent
+              : 0.0;
+      spec.trace = workload::generate_trace(
+          spec.docbase, spec.burst.rps, spec.burst.duration_s,
+          spec.clients.domains, trace_rng, zipf);
+      std::ofstream out(trace_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+        return 1;
+      }
+      spec.trace.save_csv(out);
+      std::printf("saved %zu-request trace to %s\n", spec.trace.size(),
+                  trace_out.c_str());
+    }
+
+    if (spec.trace.empty()) {
+      std::printf("sweb-sim: %s, %d nodes, policy=%s, %.0f rps x %.0f s, "
+                  "%zu documents (mean %s)\n",
+                  spec.cluster.name.c_str(), spec.cluster.num_nodes(),
+                  spec.policy.c_str(), spec.burst.rps, spec.burst.duration_s,
+                  spec.docbase.size(),
+                  util::format_bytes(spec.docbase.mean_size()).c_str());
+    } else {
+      std::printf("sweb-sim: %s, %d nodes, policy=%s, trace of %zu requests "
+                  "over %.0f s, %zu documents (mean %s)\n",
+                  spec.cluster.name.c_str(), spec.cluster.num_nodes(),
+                  spec.policy.c_str(), spec.trace.size(),
+                  spec.trace.duration(), spec.docbase.size(),
+                  util::format_bytes(spec.docbase.mean_size()).c_str());
+    }
+
+    const workload::ExperimentResult r = workload::run_experiment(spec);
+
+    metrics::Table table({"metric", "value"});
+    table.add_row({"offered requests", std::to_string(r.summary.total)});
+    table.add_row({"completed", std::to_string(r.summary.completed)});
+    table.add_row({"refused", std::to_string(r.summary.refused)});
+    table.add_row({"timed out", std::to_string(r.summary.timed_out)});
+    table.add_row({"mean response",
+                   util::format_seconds(r.summary.mean_response)});
+    table.add_row({"p95 response",
+                   util::format_seconds(r.summary.p95_response)});
+    table.add_row({"drop rate", metrics::fmt_pct(r.summary.drop_rate())});
+    table.add_row({"redirect rate",
+                   metrics::fmt_pct(r.summary.redirect_rate())});
+    table.add_row({"achieved rps", metrics::fmt(r.achieved_rps, 1)});
+    table.add_row({"page-cache hit rate", metrics::fmt_pct(r.cache_hit_rate)});
+    table.add_row({"remote (NFS) reads", metrics::fmt_pct(r.remote_read_rate)});
+    table.add_row({"loadd broadcasts", std::to_string(r.loadd_broadcasts)});
+    std::fputs(table.render().c_str(), stdout);
+
+    if (const std::string csv_path = cli.get("csv"); !csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      metrics::records_csv(r.records).write(out);
+      std::printf("wrote %zu records to %s\n", r.records.size(),
+                  csv_path.c_str());
+    }
+    if (const std::string log_path = cli.get("access-log");
+        !log_path.empty()) {
+      std::ofstream out(log_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", log_path.c_str());
+        return 1;
+      }
+      metrics::write_access_log(out, r.records);
+      std::printf("wrote access log to %s\n", log_path.c_str());
+    }
+    if (const std::string timeline_path = cli.get("timeline");
+        !timeline_path.empty()) {
+      std::ofstream out(timeline_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", timeline_path.c_str());
+        return 1;
+      }
+      metrics::timeline_csv(metrics::build_timeline(r.records, 1.0))
+          .write(out);
+      std::printf("wrote timeline to %s\n", timeline_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweb-sim: %s\n", e.what());
+    return 1;
+  }
+}
