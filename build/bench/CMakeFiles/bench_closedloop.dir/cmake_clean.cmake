@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closedloop.dir/bench_closedloop.cpp.o"
+  "CMakeFiles/bench_closedloop.dir/bench_closedloop.cpp.o.d"
+  "bench_closedloop"
+  "bench_closedloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closedloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

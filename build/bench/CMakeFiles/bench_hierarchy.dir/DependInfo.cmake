@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_hierarchy.cpp" "bench/CMakeFiles/bench_hierarchy.dir/bench_hierarchy.cpp.o" "gcc" "bench/CMakeFiles/bench_hierarchy.dir/bench_hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sweb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sweb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sweb_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sweb_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sweb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

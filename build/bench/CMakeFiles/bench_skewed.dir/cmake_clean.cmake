@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_skewed.dir/bench_skewed.cpp.o"
+  "CMakeFiles/bench_skewed.dir/bench_skewed.cpp.o.d"
+  "bench_skewed"
+  "bench_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_now.dir/heterogeneous_now.cpp.o"
+  "CMakeFiles/heterogeneous_now.dir/heterogeneous_now.cpp.o.d"
+  "heterogeneous_now"
+  "heterogeneous_now.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_now.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

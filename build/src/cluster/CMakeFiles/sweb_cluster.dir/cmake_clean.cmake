@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/sweb_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/sweb_cluster.dir/config.cpp.o"
+  "CMakeFiles/sweb_cluster.dir/config.cpp.o.d"
+  "libsweb_cluster.a"
+  "libsweb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

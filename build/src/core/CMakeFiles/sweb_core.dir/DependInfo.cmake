@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/sweb_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/sweb_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/load.cpp" "src/core/CMakeFiles/sweb_core.dir/load.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/load.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/core/CMakeFiles/sweb_core.dir/oracle.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/sweb_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/core/CMakeFiles/sweb_core.dir/server.cpp.o" "gcc" "src/core/CMakeFiles/sweb_core.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sweb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/sweb_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sweb_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sweb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sweb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_core.dir/analytic.cpp.o"
+  "CMakeFiles/sweb_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/sweb_core.dir/broker.cpp.o"
+  "CMakeFiles/sweb_core.dir/broker.cpp.o.d"
+  "CMakeFiles/sweb_core.dir/load.cpp.o"
+  "CMakeFiles/sweb_core.dir/load.cpp.o.d"
+  "CMakeFiles/sweb_core.dir/oracle.cpp.o"
+  "CMakeFiles/sweb_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/sweb_core.dir/policy.cpp.o"
+  "CMakeFiles/sweb_core.dir/policy.cpp.o.d"
+  "CMakeFiles/sweb_core.dir/server.cpp.o"
+  "CMakeFiles/sweb_core.dir/server.cpp.o.d"
+  "libsweb_core.a"
+  "libsweb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_dns.dir/dns.cpp.o"
+  "CMakeFiles/sweb_dns.dir/dns.cpp.o.d"
+  "libsweb_dns.a"
+  "libsweb_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

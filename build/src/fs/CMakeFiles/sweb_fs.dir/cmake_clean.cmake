@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_fs.dir/docbase.cpp.o"
+  "CMakeFiles/sweb_fs.dir/docbase.cpp.o.d"
+  "CMakeFiles/sweb_fs.dir/page_cache.cpp.o"
+  "CMakeFiles/sweb_fs.dir/page_cache.cpp.o.d"
+  "libsweb_fs.a"
+  "libsweb_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_http.dir/date.cpp.o"
+  "CMakeFiles/sweb_http.dir/date.cpp.o.d"
+  "CMakeFiles/sweb_http.dir/message.cpp.o"
+  "CMakeFiles/sweb_http.dir/message.cpp.o.d"
+  "CMakeFiles/sweb_http.dir/mime.cpp.o"
+  "CMakeFiles/sweb_http.dir/mime.cpp.o.d"
+  "CMakeFiles/sweb_http.dir/parser.cpp.o"
+  "CMakeFiles/sweb_http.dir/parser.cpp.o.d"
+  "CMakeFiles/sweb_http.dir/url.cpp.o"
+  "CMakeFiles/sweb_http.dir/url.cpp.o.d"
+  "libsweb_http.a"
+  "libsweb_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

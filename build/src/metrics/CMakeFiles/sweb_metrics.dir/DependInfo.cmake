@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/access_log.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/access_log.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/access_log.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/csv.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/csv.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/csv.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/stats.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/table.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/sweb_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/sweb_metrics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_metrics.dir/access_log.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/access_log.cpp.o.d"
+  "CMakeFiles/sweb_metrics.dir/collector.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/sweb_metrics.dir/csv.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/csv.cpp.o.d"
+  "CMakeFiles/sweb_metrics.dir/stats.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/sweb_metrics.dir/table.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/sweb_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/sweb_metrics.dir/timeline.cpp.o.d"
+  "libsweb_metrics.a"
+  "libsweb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

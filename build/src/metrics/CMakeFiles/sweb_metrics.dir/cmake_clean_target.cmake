@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsweb_metrics.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/client.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/client.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/client.cpp.o.d"
+  "/root/repo/src/runtime/doc_store.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/doc_store.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/doc_store.cpp.o.d"
+  "/root/repo/src/runtime/load_board.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/load_board.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/load_board.cpp.o.d"
+  "/root/repo/src/runtime/mini_cluster.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/mini_cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/mini_cluster.cpp.o.d"
+  "/root/repo/src/runtime/node_server.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/node_server.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/node_server.cpp.o.d"
+  "/root/repo/src/runtime/socket.cpp" "src/runtime/CMakeFiles/sweb_runtime.dir/socket.cpp.o" "gcc" "src/runtime/CMakeFiles/sweb_runtime.dir/socket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/sweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/sweb_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_runtime.dir/client.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/client.cpp.o.d"
+  "CMakeFiles/sweb_runtime.dir/doc_store.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/doc_store.cpp.o.d"
+  "CMakeFiles/sweb_runtime.dir/load_board.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/load_board.cpp.o.d"
+  "CMakeFiles/sweb_runtime.dir/mini_cluster.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/mini_cluster.cpp.o.d"
+  "CMakeFiles/sweb_runtime.dir/node_server.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/node_server.cpp.o.d"
+  "CMakeFiles/sweb_runtime.dir/socket.cpp.o"
+  "CMakeFiles/sweb_runtime.dir/socket.cpp.o.d"
+  "libsweb_runtime.a"
+  "libsweb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_sim.dir/flow_network.cpp.o"
+  "CMakeFiles/sweb_sim.dir/flow_network.cpp.o.d"
+  "CMakeFiles/sweb_sim.dir/periodic.cpp.o"
+  "CMakeFiles/sweb_sim.dir/periodic.cpp.o.d"
+  "CMakeFiles/sweb_sim.dir/simulation.cpp.o"
+  "CMakeFiles/sweb_sim.dir/simulation.cpp.o.d"
+  "libsweb_sim.a"
+  "libsweb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_util.dir/cli.cpp.o"
+  "CMakeFiles/sweb_util.dir/cli.cpp.o.d"
+  "CMakeFiles/sweb_util.dir/config.cpp.o"
+  "CMakeFiles/sweb_util.dir/config.cpp.o.d"
+  "CMakeFiles/sweb_util.dir/logging.cpp.o"
+  "CMakeFiles/sweb_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sweb_util.dir/rng.cpp.o"
+  "CMakeFiles/sweb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sweb_util.dir/strings.cpp.o"
+  "CMakeFiles/sweb_util.dir/strings.cpp.o.d"
+  "libsweb_util.a"
+  "libsweb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

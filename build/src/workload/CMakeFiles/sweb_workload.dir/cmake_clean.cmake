@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb_workload.dir/closed_loop.cpp.o"
+  "CMakeFiles/sweb_workload.dir/closed_loop.cpp.o.d"
+  "CMakeFiles/sweb_workload.dir/scenario.cpp.o"
+  "CMakeFiles/sweb_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/sweb_workload.dir/trace.cpp.o"
+  "CMakeFiles/sweb_workload.dir/trace.cpp.o.d"
+  "libsweb_workload.a"
+  "libsweb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

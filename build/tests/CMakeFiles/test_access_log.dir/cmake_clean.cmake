@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_log.dir/test_access_log.cpp.o"
+  "CMakeFiles/test_access_log.dir/test_access_log.cpp.o.d"
+  "test_access_log"
+  "test_access_log.pdb"
+  "test_access_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgi.dir/test_cgi.cpp.o"
+  "CMakeFiles/test_cgi.dir/test_cgi.cpp.o.d"
+  "test_cgi"
+  "test_cgi.pdb"
+  "test_cgi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

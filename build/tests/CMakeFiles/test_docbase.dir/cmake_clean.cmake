@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docbase.dir/test_docbase.cpp.o"
+  "CMakeFiles/test_docbase.dir/test_docbase.cpp.o.d"
+  "test_docbase"
+  "test_docbase.pdb"
+  "test_docbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_date.dir/test_http_date.cpp.o"
+  "CMakeFiles/test_http_date.dir/test_http_date.cpp.o.d"
+  "test_http_date"
+  "test_http_date.pdb"
+  "test_http_date[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_date.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keepalive.dir/test_keepalive.cpp.o"
+  "CMakeFiles/test_keepalive.dir/test_keepalive.cpp.o.d"
+  "test_keepalive"
+  "test_keepalive.pdb"
+  "test_keepalive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mime.dir/test_mime.cpp.o"
+  "CMakeFiles/test_mime.dir/test_mime.cpp.o.d"
+  "test_mime"
+  "test_mime.pdb"
+  "test_mime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_integration.dir/test_server_integration.cpp.o"
+  "CMakeFiles/test_server_integration.dir/test_server_integration.cpp.o.d"
+  "test_server_integration"
+  "test_server_integration.pdb"
+  "test_server_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

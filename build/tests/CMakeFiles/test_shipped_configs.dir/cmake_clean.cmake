@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shipped_configs.dir/test_shipped_configs.cpp.o"
+  "CMakeFiles/test_shipped_configs.dir/test_shipped_configs.cpp.o.d"
+  "test_shipped_configs"
+  "test_shipped_configs.pdb"
+  "test_shipped_configs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shipped_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweb-sim.dir/sweb_sim.cpp.o"
+  "CMakeFiles/sweb-sim.dir/sweb_sim.cpp.o.d"
+  "sweb-sim"
+  "sweb-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweb-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
