@@ -1,30 +1,67 @@
 // A live SWEB cluster on real sockets.
 //
-// Starts four HTTP server nodes on loopback ports (each a thread with its
-// own listener, sharing the load board), then acts as a browser: resolves
-// via the round-robin rotation, follows 302 re-assignments, and prints what
+// Starts HTTP server nodes on loopback ports (each a thread with its own
+// listener, sharing the load board), then acts as a browser: resolves via
+// the round-robin rotation, follows 302 re-assignments, and prints what
 // happened on the wire. Run it, or point curl at the printed ports while it
-// sleeps.
+// lingers.
+//
+// Observability:
+//   live_server --status                 serve, print GET /sweb/status JSON
+//   live_server --serve                  linger so curl can poke the nodes
+//   live_server --metrics-out run.jsonl  append registry snapshots (JSONL)
+//   live_server --trace-out run.json     Chrome trace_event of every request
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "fs/docbase.h"
+#include "obs/snapshot.h"
 #include "runtime/client.h"
 #include "runtime/mini_cluster.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 using namespace sweb;
 
 int main(int argc, char** argv) {
-  const bool linger = argc > 1 && std::string_view(argv[1]) == "--serve";
+  util::Cli cli;
+  cli.option("nodes", "4", "number of server nodes")
+      .option("serve-seconds", "60", "how long --serve/--status linger")
+      .option("metrics-out", "",
+              "append registry snapshots to this JSONL file (1 Hz)")
+      .option("trace-out", "",
+              "write a Chrome trace_event JSON of every request served")
+      .flag("serve", "keep serving after the demo session")
+      .flag("status", "fetch and print GET /sweb/status, then linger");
+  try {
+    if (!cli.parse(argc, argv)) {
+      std::fputs(cli.help_text("live_server").c_str(), stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "live_server: %s\n", e.what());
+    return 1;
+  }
+  const bool linger = cli.get_flag("serve") || cli.get_flag("status");
+  const int nodes = static_cast<int>(cli.get_int("nodes"));
 
   util::Rng rng(3);
-  fs::Docbase docs = fs::make_adl(12, 4, rng);
-  runtime::MiniCluster cluster(4, docs);
+  fs::Docbase docs = fs::make_adl(12, nodes, rng);
+  runtime::MiniCluster cluster(nodes, docs);
+  if (!cli.get("trace-out").empty()) cluster.tracer().set_enabled(true);
   cluster.start();
 
-  std::printf("SWEB mini-cluster up: 4 nodes on loopback\n");
+  // Live metrics tail: one registry snapshot per second, JSON lines.
+  std::unique_ptr<obs::SnapshotWriter> snapshots;
+  if (const std::string path = cli.get("metrics-out"); !path.empty()) {
+    snapshots = std::make_unique<obs::SnapshotWriter>(
+        cluster.registry(), path, std::chrono::milliseconds(1000));
+    std::printf("metrics snapshots -> %s (tail -f it)\n", path.c_str());
+  }
+
+  std::printf("SWEB mini-cluster up: %d nodes on loopback\n", nodes);
   for (int n = 0; n < cluster.num_nodes(); ++n) {
     std::printf("  node %d: http://127.0.0.1:%u\n", n, cluster.port(n));
   }
@@ -59,11 +96,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(l.redirected));
   }
 
+  if (cli.get_flag("status")) {
+    // The introspection endpoint, as any monitoring agent would see it.
+    const std::string url =
+        "http://127.0.0.1:" + std::to_string(cluster.port(0)) +
+        "/sweb/status";
+    const auto status = runtime::fetch(url);
+    if (status) {
+      std::printf("\nGET /sweb/status (node 0):\n%s\n",
+                  status->response.body.c_str());
+    } else {
+      std::printf("\nGET /sweb/status FAILED\n");
+    }
+  }
+
   if (linger) {
-    std::printf("\nserving for 60 s — try: curl -i "
-                "http://127.0.0.1:%u/adl/meta0.html\n",
-                cluster.port(0));
-    std::this_thread::sleep_for(std::chrono::seconds(60));
+    const int seconds = static_cast<int>(cli.get_int("serve-seconds"));
+    std::printf("\nserving for %d s — try:\n"
+                "  curl -i http://127.0.0.1:%u/adl/meta0.html\n"
+                "  curl -s http://127.0.0.1:%u/sweb/status\n",
+                seconds, cluster.port(0), cluster.port(0));
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  }
+
+  snapshots.reset();  // final snapshot line before the cluster stops
+  if (const std::string path = cli.get("trace-out"); !path.empty()) {
+    if (cluster.tracer().write_file(path)) {
+      std::printf("wrote %zu trace spans to %s (open in chrome://tracing "
+                  "or https://ui.perfetto.dev)\n",
+                  cluster.tracer().size(), path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
   }
   cluster.stop();
   std::printf("\ncluster stopped.\n");

@@ -52,6 +52,25 @@ SwebServer::SwebServer(cluster::Cluster& cluster, const fs::Docbase& docbase,
   }
 }
 
+void SwebServer::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  instruments_.offered = &registry->counter("requests.offered");
+  instruments_.completed = &registry->counter("requests.completed");
+  instruments_.errors = &registry->counter("requests.errors");
+  instruments_.refused = &registry->counter("requests.refused");
+  instruments_.redirects = &registry->counter("broker.redirects");
+  instruments_.forwards = &registry->counter("broker.forwards");
+  instruments_.remote_reads = &registry->counter("fs.remote_reads");
+  instruments_.response_seconds =
+      &registry->histogram("http.response_seconds");
+  for (int n = 0; n < cluster_.num_nodes(); ++n) {
+    cluster_.page_cache(n).bind_registry(*registry);
+  }
+}
+
 void SwebServer::start() {
   // Seed every board so nodes are schedulable before the first broadcast.
   for (int n = 0; n < cluster_.num_nodes(); ++n) {
@@ -85,6 +104,7 @@ std::uint64_t SwebServer::client_request(cluster::ClientLinkId link,
 
   auto p = std::make_shared<Pending>();
   p->rec = collector_.open(path, size, sim.now());
+  if (instruments_.offered != nullptr) instruments_.offered->inc();
   p->link = link;
   p->path = path;
 
@@ -140,6 +160,7 @@ void SwebServer::arrive(const std::shared_ptr<Pending>& p, int node) {
   rec.outcome = metrics::Outcome::kRefused;
   rec.status_code = 0;
   rec.finish = sim.now() + cluster_.client_latency(p->link);  // RST back
+  if (instruments_.refused != nullptr) instruments_.refused->inc();
   if (completion_hook_) {
     sim.schedule_at(rec.finish,
                     [this, id = p->rec] { completion_hook_(id); });
@@ -223,6 +244,7 @@ void SwebServer::redirect(const std::shared_ptr<Pending>& p, int target) {
   metrics::RequestRecord& rec = collector_.record(p->rec);
   rec.redirected = true;
   ++p->redirects;
+  if (instruments_.redirects != nullptr) instruments_.redirects->inc();
   // Guard against the unsynchronized herd: remember we just sent work there.
   loads_.board(p->node).note_redirect(target, params_.delta);
 
@@ -251,7 +273,9 @@ void SwebServer::redirect(const std::shared_ptr<Pending>& p, int target) {
 void SwebServer::forward(const std::shared_ptr<Pending>& p, int target) {
   metrics::RequestRecord& rec = collector_.record(p->rec);
   rec.redirected = true;  // reassigned, by the forwarding mechanism
+  rec.forwarded = true;
   ++p->redirects;
+  if (instruments_.forwards != nullptr) instruments_.forwards->inc();
   loads_.board(p->node).note_redirect(target, params_.delta);
 
   p->phase_start = cluster_.sim().now();
@@ -336,6 +360,7 @@ void SwebServer::fetch_data(const std::shared_ptr<Pending>& p) {
     cluster_.read_local(p->node, size, insert_and_go);
   } else {
     rec.remote_read = true;
+    if (instruments_.remote_reads != nullptr) instruments_.remote_reads->inc();
     cluster_.read_remote(p->facts.owner, p->node, size, insert_and_go);
   }
 }
@@ -431,6 +456,14 @@ void SwebServer::finish(const std::shared_ptr<Pending>& p,
   rec.status_code = status;
   // The last byte still rides one propagation leg to the client.
   rec.finish = cluster_.sim().now() + cluster_.client_latency(p->link);
+  if (outcome == metrics::Outcome::kCompleted) {
+    if (instruments_.completed != nullptr) instruments_.completed->inc();
+    if (instruments_.response_seconds != nullptr) {
+      instruments_.response_seconds->observe(rec.response_time());
+    }
+  } else if (outcome == metrics::Outcome::kError) {
+    if (instruments_.errors != nullptr) instruments_.errors->inc();
+  }
   if (completion_hook_) {
     // Fire when the client actually has the response.
     cluster_.sim().schedule_at(rec.finish,

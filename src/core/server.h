@@ -27,6 +27,7 @@
 #include "dns/dns.h"
 #include "fs/docbase.h"
 #include "metrics/collector.h"
+#include "obs/registry.h"
 #include "util/rng.h"
 
 namespace sweb::core {
@@ -98,6 +99,12 @@ class SwebServer {
   /// DNS rotation. loadd staleness handles the peers' views.
   void set_node_available(int node, bool available);
 
+  /// Attaches live telemetry: the broker, page caches, and request
+  /// lifecycle bump named counters (`broker.redirects`, `cache.hits`,
+  /// `requests.completed`, ...) and the `http.response_seconds` histogram
+  /// as the simulation runs. nullptr detaches. Safe to call before start().
+  void set_registry(obs::Registry* registry);
+
   [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
   [[nodiscard]] const LoadSystem& loads() const noexcept { return loads_; }
   [[nodiscard]] LoadSystem& loads() noexcept { return loads_; }
@@ -146,6 +153,18 @@ class SwebServer {
   // Kernel-style listen queues: accepted connections waiting for a handler.
   std::vector<std::deque<std::shared_ptr<Pending>>> backlog_;
   std::function<void(std::uint64_t)> completion_hook_;
+
+  // Live telemetry (optional; all nullptr when no registry is attached).
+  struct Instruments {
+    obs::Counter* offered = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* refused = nullptr;
+    obs::Counter* redirects = nullptr;
+    obs::Counter* forwards = nullptr;
+    obs::Counter* remote_reads = nullptr;
+    obs::Histogram* response_seconds = nullptr;
+  } instruments_;
 };
 
 }  // namespace sweb::core

@@ -12,11 +12,19 @@ bool PageCache::lookup(std::string_view path) {
   const auto it = index_.find(std::string(path));
   if (it == index_.end()) {
     ++misses_;
+    if (miss_counter_ != nullptr) miss_counter_->inc();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   ++hits_;
+  if (hit_counter_ != nullptr) hit_counter_->inc();
   return true;
+}
+
+void PageCache::bind_registry(obs::Registry& registry,
+                              const std::string& prefix) {
+  hit_counter_ = &registry.counter(prefix + ".hits");
+  miss_counter_ = &registry.counter(prefix + ".misses");
 }
 
 void PageCache::evict_to_fit(std::uint64_t incoming) {

@@ -14,6 +14,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/registry.h"
+
 namespace sweb::fs {
 
 class PageCache {
@@ -40,6 +42,12 @@ class PageCache {
   /// Drops everything (e.g. node restart).
   void clear();
 
+  /// Mirrors hit/miss statistics into live telemetry counters
+  /// (`prefix`.hits / `prefix`.misses). Several caches may share the same
+  /// names — the counters then aggregate cluster-wide.
+  void bind_registry(obs::Registry& registry,
+                     const std::string& prefix = "cache");
+
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t used() const noexcept { return used_; }
   [[nodiscard]] std::size_t entries() const noexcept { return lru_.size(); }
@@ -65,6 +73,8 @@ class PageCache {
   std::unordered_map<std::string, LruList::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  obs::Counter* hit_counter_ = nullptr;    // optional telemetry mirrors
+  obs::Counter* miss_counter_ = nullptr;
 };
 
 }  // namespace sweb::fs

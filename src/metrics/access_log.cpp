@@ -24,10 +24,14 @@ namespace {
 
 std::string clf_line(const RequestRecord& record,
                      const AccessLogOptions& options) {
-  const bool completed = record.outcome == Outcome::kCompleted ||
-                         record.outcome == Outcome::kError;
+  // The real status when the server produced one — a request that timed
+  // out after its response was generated keeps that code (e.g. 200); 0
+  // appears only when no response ever existed (refused, dead node).
   const int status = record.status_code;
-  const double stamp_time = completed ? record.finish : record.start;
+  // Stamp at the response time when the request got far enough to have
+  // one; connection-level failures only have their start.
+  const double stamp_time =
+      record.finish > record.start ? record.finish : record.start;
   const long long bytes =
       record.outcome == Outcome::kCompleted
           ? static_cast<long long>(std::llround(record.size_bytes))
@@ -44,6 +48,19 @@ std::string clf_line(const RequestRecord& record,
   return line;
 }
 
+std::string clf_redirect_hop_line(const RequestRecord& record,
+                                  const AccessLogOptions& options) {
+  // The 302 left the origin after parse + analysis; t_redirect itself is
+  // the client's round trip back in.
+  const double hop_time = record.start + record.t_dns + record.t_connect +
+                          record.t_queue + record.t_preprocess +
+                          record.t_analysis;
+  return options.host_prefix +
+         std::to_string(record.first_node >= 0 ? record.first_node : 0) +
+         " - - " + clf_timestamp(options.epoch_base, hop_time) + " \"GET " +
+         record.path + " HTTP/1.0\" 302 -";
+}
+
 void write_access_log(std::ostream& out,
                       const std::vector<RequestRecord>& records,
                       const AccessLogOptions& options) {
@@ -51,6 +68,10 @@ void write_access_log(std::ostream& out,
     const bool ok = record.outcome == Outcome::kCompleted ||
                     record.outcome == Outcome::kError;
     if (!ok && !options.include_failures) continue;
+    if (options.log_redirect_hops && record.redirected &&
+        !record.forwarded) {
+      out << clf_redirect_hop_line(record, options) << '\n';
+    }
     out << clf_line(record, options) << '\n';
   }
 }

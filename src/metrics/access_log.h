@@ -24,13 +24,26 @@ struct AccessLogOptions {
   std::int64_t epoch_base = 820454400;  // 1996-01-01 00:00:00 UTC
   /// Client host names are synthesized as "<prefix><first_node>".
   std::string host_prefix = "client";
-  /// Include refused/timed-out requests (status 0 lines) or skip them.
+  /// Include refused/timed-out requests or skip them. A failed request's
+  /// line carries its real status code when one is known (a request that
+  /// completed processing but timed out in transit keeps its 200); status
+  /// 0 appears only when the server never produced a response.
   bool include_failures = false;
+  /// Emit a URL-redirected request's 302 hop as its own CLF line (what a
+  /// real server's log would show: the origin node logs the 302, the
+  /// target logs the fulfilled GET). Forwarded requests have no
+  /// client-visible hop and never get one.
+  bool log_redirect_hops = true;
 };
 
 /// Formats one record as a CLF line (no trailing newline).
 [[nodiscard]] std::string clf_line(const RequestRecord& record,
                                    const AccessLogOptions& options = {});
+
+/// The 302 hop line for a URL-redirected record: logged by the origin node
+/// at the moment the redirect left it.
+[[nodiscard]] std::string clf_redirect_hop_line(
+    const RequestRecord& record, const AccessLogOptions& options = {});
 
 /// Writes the whole log, completed requests only unless include_failures.
 void write_access_log(std::ostream& out,

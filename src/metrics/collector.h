@@ -35,6 +35,9 @@ struct RequestRecord {
   int first_node = -1;      // DNS-assigned node
   int final_node = -1;      // node that fulfilled the request
   bool redirected = false;
+  /// Reassigned by request forwarding (no client-visible 302) rather than
+  /// URL redirection. Only meaningful when `redirected` is set.
+  bool forwarded = false;
   bool cache_hit = false;
   bool remote_read = false; // document fetched over NFS
 

@@ -1,0 +1,103 @@
+#include "metrics/trace_export.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sweb::metrics {
+
+namespace {
+
+[[nodiscard]] const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kPending: return "pending";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRefused: return "refused";
+    case Outcome::kTimedOut: return "timed_out";
+    case Outcome::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void append_request_spans(obs::SpanTracer& tracer,
+                          const RequestRecord& record) {
+  if (!tracer.enabled()) return;
+  const std::int64_t tid = static_cast<std::int64_t>(record.id);
+  // Early phases run at (or toward) the DNS-assigned node; data/send at the
+  // node that fulfilled the request (they differ when the 302 moved it).
+  const std::int64_t first =
+      record.first_node >= 0 ? record.first_node : 0;
+  const std::int64_t final_node =
+      record.final_node >= 0 ? record.final_node : first;
+
+  struct Phase {
+    const char* name;
+    double duration;
+    std::int64_t pid;
+  };
+  const Phase phases[] = {
+      {"dns", record.t_dns, first},
+      {"connect", record.t_connect, first},
+      {"queue", record.t_queue, first},
+      {"preprocess", record.t_preprocess, first},
+      {"analysis", record.t_analysis, first},
+      {"redirect", record.t_redirect, first},
+      {"data", record.t_data, final_node},
+      {"send", record.t_send, final_node},
+  };
+
+  double total = 0.0;
+  for (const Phase& p : phases) total += std::max(0.0, p.duration);
+  if (total <= 0.0 && record.finish > record.start) {
+    total = record.finish - record.start;
+  }
+
+  {
+    obs::TraceSpan umbrella;
+    umbrella.name = "request " + record.path;
+    umbrella.category = "request";
+    umbrella.ts_s = record.start;
+    umbrella.dur_s = std::max(total, 0.0);
+    umbrella.pid = first;
+    umbrella.tid = tid;
+    umbrella.args = {
+        {"path", record.path},
+        {"outcome", outcome_name(record.outcome)},
+        {"status", std::to_string(record.status_code)},
+        {"redirected", record.redirected ? "true" : "false"},
+        {"cache_hit", record.cache_hit ? "true" : "false"},
+    };
+    tracer.add_span(std::move(umbrella));
+  }
+
+  double cursor = record.start;
+  for (const Phase& p : phases) {
+    if (p.duration <= 0.0) continue;  // phase skipped for this request
+    obs::TraceSpan span;
+    span.name = p.name;
+    span.category = "phase";
+    span.ts_s = cursor;
+    span.dur_s = p.duration;
+    span.pid = p.pid;
+    span.tid = tid;
+    tracer.add_span(std::move(span));
+    cursor += p.duration;
+  }
+}
+
+void export_request_trace(obs::SpanTracer& tracer,
+                          const std::vector<RequestRecord>& records) {
+  if (!tracer.enabled()) return;
+  std::int64_t max_node = 0;
+  for (const RequestRecord& r : records) {
+    max_node = std::max<std::int64_t>(max_node,
+                                      std::max(r.first_node, r.final_node));
+  }
+  for (std::int64_t n = 0; n <= max_node; ++n) {
+    tracer.set_process_name(n, "node " + std::to_string(n));
+  }
+  for (const RequestRecord& r : records) append_request_spans(tracer, r);
+}
+
+}  // namespace sweb::metrics

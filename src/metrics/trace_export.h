@@ -1,0 +1,25 @@
+// RequestRecord -> Chrome trace_event spans.
+//
+// The simulator already measures every request's Table-5 phase durations
+// (t_dns .. t_send) in virtual time; this exporter lays them out as
+// consecutive spans on the tracer so a whole experiment opens in
+// chrome://tracing / Perfetto: one process lane per node, one thread row
+// per request, one span per phase.
+#pragma once
+
+#include <vector>
+
+#include "metrics/collector.h"
+#include "obs/trace.h"
+
+namespace sweb::metrics {
+
+/// Appends one request's phase spans (plus an umbrella "request" span) to
+/// the tracer, using the record's own virtual timestamps.
+void append_request_spans(obs::SpanTracer& tracer, const RequestRecord& record);
+
+/// Whole experiment: every record in `records`, plus node lane names.
+void export_request_trace(obs::SpanTracer& tracer,
+                          const std::vector<RequestRecord>& records);
+
+}  // namespace sweb::metrics

@@ -1,0 +1,68 @@
+// Minimal JSON emission (and validation) for the telemetry layer.
+//
+// The observability outputs — /sweb/status bodies, Chrome trace_event files,
+// metrics snapshots — are all JSON, and the repo deliberately has no
+// third-party dependencies. JsonWriter covers exactly the subset we emit
+// (objects, arrays, strings, numbers, booleans) with correct string escaping;
+// json_is_valid() is a strict syntax checker used by tests to round-trip
+// every producer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sweb::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Formats a double the way JSON requires: no NaN/Inf (clamped to 0),
+/// round-trippable precision, no trailing-zero noise.
+[[nodiscard]] std::string json_number(double v);
+
+/// Streaming writer for nested objects/arrays. Commas and quoting are
+/// handled; the caller supplies structure:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("node").value(3);
+///   w.key("loads").begin_array();
+///   ...
+///   w.end_array();
+///   w.end_object();
+///   std::string body = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool b);
+  /// Splices a pre-rendered JSON fragment in value position.
+  JsonWriter& raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void separate();  // emits "," between siblings
+
+  std::string out_;
+  // One flag per open container: true once the first element was written.
+  std::string stack_;  // 'o' = object, 'a' = array (element seen tracked below)
+  std::string seen_;   // parallel to stack_: '1' after the first element
+  bool expecting_value_ = false;  // a key() was just written
+};
+
+/// Strict JSON syntax check (RFC 8259 grammar; no extensions, no trailing
+/// garbage). Used by tests to validate everything the layer emits.
+[[nodiscard]] bool json_is_valid(std::string_view text);
+
+}  // namespace sweb::obs

@@ -1,0 +1,103 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.h"
+
+namespace sweb::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bucket whose upper bound admits v; the extra slot is +inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+std::vector<double> Registry::default_latency_buckets() {
+  return {0.00025, 0.001, 0.004, 0.016, 0.0625, 0.25, 1.0, 4.0, 16.0, 64.0};
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::HistogramValue v;
+    v.upper_bounds = h->upper_bounds();
+    v.bucket_counts = h->bucket_counts();
+    v.count = h->count();
+    v.sum = h->sum();
+    snap.histograms[name] = std::move(v);
+  }
+  return snap;
+}
+
+std::string Registry::to_json() const { return snapshot_json(snapshot()); }
+
+std::string snapshot_json(const RegistrySnapshot& snap) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : snap.counters) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : snap.gauges) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("upper_bounds").begin_array();
+    for (const double b : h.upper_bounds) w.value(b);
+    w.end_array();
+    w.key("bucket_counts").begin_array();
+    for (const std::uint64_t c : h.bucket_counts) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sweb::obs

@@ -1,0 +1,133 @@
+// Named metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The paper's scheduling loop is driven by observed state (loadd broadcasts,
+// broker cost terms); this registry is the live counterpart for our own
+// implementation. Components register named instruments once (mutex-guarded)
+// and then update them lock-free on the hot path — every instrument is a
+// stable-address object backed by std::atomic, so a NodeServer thread
+// bumping `node.2.requests` never contends with a snapshot reader beyond
+// cache-line traffic.
+//
+// Naming convention: dotted lowercase paths, subsystem first —
+//   broker.redirects, cache.hits, node.0.inflight, http.response_seconds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sweb::obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (in-flight requests, queue depth). Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram (Prometheus-style cumulative-le semantics:
+/// a sample lands in the first bucket whose upper bound is >= the value;
+/// the final implicit bucket is +inf). Observation is lock-free.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit +inf bucket is
+  /// appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
+    return bounds_;
+  }
+  /// Per-bucket counts (bounds.size() + 1 entries; last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every instrument, safe to serialize or diff.
+struct RegistrySnapshot {
+  struct HistogramValue {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument named `name`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime — cache it and
+  /// update without further lookups.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  /// An existing histogram's boundaries win over `upper_bounds`.
+  [[nodiscard]] Histogram& histogram(
+      const std::string& name,
+      std::vector<double> upper_bounds = default_latency_buckets());
+
+  /// Power-of-~4 seconds ladder spanning 250 µs .. 64 s — the range of both
+  /// the real loopback runtime and the simulated WAN clients.
+  [[nodiscard]] static std::vector<double> default_latency_buckets();
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Renders a snapshot as the same JSON shape Registry::to_json emits.
+[[nodiscard]] std::string snapshot_json(const RegistrySnapshot& snap);
+
+}  // namespace sweb::obs

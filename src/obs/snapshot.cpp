@@ -1,0 +1,78 @@
+#include "obs/snapshot.h"
+
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace sweb::obs {
+
+SnapshotWriter::SnapshotWriter(const Registry& registry, std::string path,
+                               std::chrono::milliseconds period)
+    : registry_(registry),
+      path_(std::move(path)),
+      period_(period),
+      start_(std::chrono::steady_clock::now()) {
+  thread_ = std::jthread(
+      [this](const std::stop_token& token) { run(token); });
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::stop() {
+  if (!thread_.joinable()) return;
+  thread_.request_stop();
+  thread_.join();
+  append_line();  // final state, so even sub-period runs leave a record
+}
+
+void SnapshotWriter::run(const std::stop_token& token) {
+  std::mutex m;
+  std::condition_variable_any cv;
+  std::unique_lock<std::mutex> lock(m);
+  while (!token.stop_requested()) {
+    // Interruptible sleep: request_stop() wakes us immediately.
+    if (cv.wait_for(lock, token, period_, [] { return false; })) break;
+    if (token.stop_requested()) break;
+    append_line();
+  }
+}
+
+void SnapshotWriter::append_line() {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  const RegistrySnapshot now = registry_.snapshot();
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  out << format_line(now, previous_, uptime) << '\n';
+  previous_ = now;
+  ++lines_;
+}
+
+std::string SnapshotWriter::format_line(const RegistrySnapshot& now,
+                                        const RegistrySnapshot& previous,
+                                        double uptime_seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("uptime_seconds").value(uptime_seconds);
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : now.counters) w.key(name).value(v);
+  w.end_object();
+  // Deltas since the previous line: what happened this period.
+  w.key("deltas").begin_object();
+  for (const auto& [name, v] : now.counters) {
+    const auto it = previous.counters.find(name);
+    const std::uint64_t before = it == previous.counters.end() ? 0 : it->second;
+    w.key(name).value(v >= before ? v - before : 0);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : now.gauges) w.key(name).value(v);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace sweb::obs

@@ -1,0 +1,56 @@
+// Periodic registry snapshots to a JSONL file, for live tailing.
+//
+// The paper's loadd broadcasts load every 2-3 s so peers can *watch* each
+// other; the SnapshotWriter is the operator-facing analogue — every period
+// it appends one JSON line with the registry's counters (absolute and delta
+// since the previous line), gauges, and uptime, so
+//
+//   tail -f run.metrics.jsonl | jq .
+//
+// shows a live view of a running server or a long experiment.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace sweb::obs {
+
+class SnapshotWriter {
+ public:
+  /// Starts the background writer immediately; appends to `path`.
+  SnapshotWriter(const Registry& registry, std::string path,
+                 std::chrono::milliseconds period);
+  /// Stops the thread and writes one final snapshot line.
+  ~SnapshotWriter();
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void stop();
+
+  [[nodiscard]] std::uint64_t lines_written() const noexcept {
+    return lines_;
+  }
+
+  /// One snapshot line (no trailing newline):
+  /// {"uptime_seconds":..,"counters":{..},"deltas":{..},"gauges":{..}}.
+  [[nodiscard]] static std::string format_line(
+      const RegistrySnapshot& now, const RegistrySnapshot& previous,
+      double uptime_seconds);
+
+ private:
+  void run(const std::stop_token& token);
+  void append_line();
+
+  const Registry& registry_;
+  std::string path_;
+  std::chrono::milliseconds period_;
+  std::chrono::steady_clock::time_point start_;
+  RegistrySnapshot previous_;
+  std::uint64_t lines_ = 0;
+  std::jthread thread_;  // last member: joins before the rest tears down
+};
+
+}  // namespace sweb::obs

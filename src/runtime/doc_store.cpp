@@ -29,8 +29,19 @@ DocStore::DocStore(const fs::Docbase& docbase,
 }
 
 const DocStore::Entry* DocStore::find(std::string_view path) const {
+  if (lookups_ != nullptr) lookups_->inc();
   const auto it = entries_.find(std::string(path));
-  return it == entries_.end() ? nullptr : &it->second;
+  if (it == entries_.end()) {
+    if (misses_ != nullptr) misses_->inc();
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void DocStore::bind_registry(obs::Registry& registry,
+                             const std::string& prefix) {
+  lookups_ = &registry.counter(prefix + ".lookups");
+  misses_ = &registry.counter(prefix + ".misses");
 }
 
 void DocStore::register_cgi(std::string path, fs::NodeId owner,

@@ -17,6 +17,7 @@
 
 #include "fs/docbase.h"
 #include "http/message.h"
+#include "obs/registry.h"
 
 namespace sweb::runtime {
 
@@ -48,6 +49,11 @@ class DocStore {
   [[nodiscard]] const Entry* find(std::string_view path) const;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Registers `<prefix>.lookups` / `<prefix>.misses` counters, bumped on
+  /// every find(). Call before the store is shared across threads.
+  void bind_registry(obs::Registry& registry,
+                     const std::string& prefix = "docs");
+
   /// Registers a dynamic handler for `path` (GET with query, or POST).
   /// Handlers are invoked by the NodeServer on whichever node serves the
   /// request; they must be thread-safe.
@@ -59,6 +65,8 @@ class DocStore {
  private:
   std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<std::string, CgiHandler> handlers_;
+  obs::Counter* lookups_ = nullptr;
+  obs::Counter* misses_ = nullptr;
 };
 
 }  // namespace sweb::runtime

@@ -5,11 +5,46 @@
 
 namespace sweb::runtime {
 
+double LoadBoard::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void LoadBoard::touch(int node) {
+  loads_[static_cast<std::size_t>(node)].last_update_s = now_seconds();
+}
+
+void LoadBoard::publish() {
+  if (active_gauge_ == nullptr) return;
+  std::int64_t active = 0;
+  std::int64_t inflation = 0;
+  for (const NodeLoad& l : loads_) {
+    active += l.active_connections;
+    inflation += l.redirect_inflation;
+  }
+  active_gauge_->set(active);
+  inflation_gauge_->set(inflation);
+}
+
+void LoadBoard::bind_registry(obs::Registry& registry,
+                              const std::string& prefix) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  active_gauge_ = &registry.gauge(prefix + ".active_connections");
+  inflation_gauge_ = &registry.gauge(prefix + ".redirect_inflation");
+  publish();
+}
+
 void LoadBoard::connection_opened(int node, std::uint64_t expected_bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
   NodeLoad& l = loads_[static_cast<std::size_t>(node)];
   ++l.active_connections;
   l.bytes_in_flight += expected_bytes;
+  // A redirect aimed here has landed (or organic traffic outpaced it);
+  // either way one phantom connection becomes a real one.
+  if (l.redirect_inflation > 0) --l.redirect_inflation;
+  touch(node);
+  publish();
 }
 
 void LoadBoard::connection_closed(int node, std::uint64_t expected_bytes) {
@@ -18,21 +53,31 @@ void LoadBoard::connection_closed(int node, std::uint64_t expected_bytes) {
   assert(l.active_connections > 0);
   --l.active_connections;
   l.bytes_in_flight -= std::min(l.bytes_in_flight, expected_bytes);
+  touch(node);
+  publish();
 }
 
 void LoadBoard::note_served(int node) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++loads_[static_cast<std::size_t>(node)].served;
+  touch(node);
 }
 
-void LoadBoard::note_redirected(int node) {
+void LoadBoard::note_redirected(int node, int target) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++loads_[static_cast<std::size_t>(node)].redirected;
+  touch(node);
+  if (target >= 0 && target < static_cast<int>(loads_.size())) {
+    ++loads_[static_cast<std::size_t>(target)].redirect_inflation;
+    touch(target);
+  }
+  publish();
 }
 
 void LoadBoard::set_available(int node, bool available) {
   const std::lock_guard<std::mutex> lock(mutex_);
   loads_[static_cast<std::size_t>(node)].available = available;
+  touch(node);
 }
 
 NodeLoad LoadBoard::snapshot(int node) const {

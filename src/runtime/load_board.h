@@ -3,12 +3,20 @@
 // The simulator's loadd exchanges UDP-style broadcasts; on one machine the
 // node threads can share a mutex-guarded board instead — same information
 // (per-node active connections, bytes in flight, served counts), same
-// consumer (the per-node broker deciding whether to redirect).
+// consumer (the per-node broker deciding whether to redirect). Two pieces
+// of the paper's protocol are mirrored explicitly: every entry carries the
+// timestamp of its last update (the "broadcast age" a peer would see), and
+// redirects sent toward a node inflate its apparent load (the Δ-inflation
+// guard against the unsynchronized herd) until a connection actually lands
+// there.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace sweb::runtime {
 
@@ -18,17 +26,32 @@ struct NodeLoad {
   std::uint64_t served = 0;
   std::uint64_t redirected = 0;
   bool available = true;
+  /// Redirects recently sent toward this node that have not yet shown up as
+  /// connections — each counts as one phantom connection for scheduling
+  /// (the runtime's Δ-inflation).
+  int redirect_inflation = 0;
+  /// Seconds (board clock) of the last update to this entry; < 0 = never.
+  double last_update_s = -1.0;
+
+  /// What the redirect logic compares: real connections plus in-flight Δ.
+  [[nodiscard]] int effective_connections() const noexcept {
+    return active_connections + redirect_inflation;
+  }
 };
 
 class LoadBoard {
  public:
   explicit LoadBoard(int num_nodes)
-      : loads_(static_cast<std::size_t>(num_nodes)) {}
+      : loads_(static_cast<std::size_t>(num_nodes)),
+        epoch_(std::chrono::steady_clock::now()) {}
 
   void connection_opened(int node, std::uint64_t expected_bytes);
   void connection_closed(int node, std::uint64_t expected_bytes);
   void note_served(int node);
-  void note_redirected(int node);
+  /// `node` answered with a 302 pointing at `target`; the target's apparent
+  /// load is inflated until a connection arrives there. Pass target = -1
+  /// when unknown (counts the redirect without inflating anyone).
+  void note_redirected(int node, int target = -1);
   void set_available(int node, bool available);
 
   [[nodiscard]] NodeLoad snapshot(int node) const;
@@ -37,9 +60,23 @@ class LoadBoard {
     return static_cast<int>(loads_.size());
   }
 
+  /// Seconds since the board was created — the clock last_update_s uses.
+  [[nodiscard]] double now_seconds() const;
+
+  /// Registers cluster-wide gauges (`<prefix>.active_connections`,
+  /// `<prefix>.redirect_inflation`) kept current on every mutation.
+  void bind_registry(obs::Registry& registry,
+                     const std::string& prefix = "board");
+
  private:
+  void touch(int node);  // stamps last_update_s; caller holds mutex_
+  void publish();        // refreshes bound gauges; caller holds mutex_
+
   mutable std::mutex mutex_;
   std::vector<NodeLoad> loads_;
+  std::chrono::steady_clock::time_point epoch_;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* inflation_gauge_ = nullptr;
 };
 
 }  // namespace sweb::runtime

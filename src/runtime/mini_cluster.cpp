@@ -8,11 +8,15 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
                          RuntimeBrokerParams broker)
     : docs_(docbase), board_(num_nodes) {
   assert(num_nodes > 0);
+  docs_.bind_registry(registry_);
+  board_.bind_registry(registry_);
   std::vector<std::uint16_t> ports;
   for (int n = 0; n < num_nodes; ++n) {
     NodeServer::Config cfg;
     cfg.node_id = n;
     cfg.broker = broker;
+    cfg.registry = &registry_;
+    cfg.tracer = &tracer_;
     servers_.push_back(std::make_unique<NodeServer>(cfg, docs_, board_));
     ports.push_back(servers_.back()->port());
   }

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "fs/docbase.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
 #include "runtime/node_server.h"
@@ -41,9 +43,20 @@ class MiniCluster {
   /// the store concurrently once running).
   [[nodiscard]] DocStore& docs_mutable() noexcept { return docs_; }
 
+  /// Live metrics shared by every node (node.N.requests, cache.hits, ...).
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const noexcept {
+    return registry_;
+  }
+  /// Request tracer, disabled by default; call
+  /// `tracer().set_enabled(true)` before start() to record phase spans.
+  [[nodiscard]] obs::SpanTracer& tracer() noexcept { return tracer_; }
+
  private:
   DocStore docs_;
   LoadBoard board_;
+  obs::Registry registry_;
+  obs::SpanTracer tracer_{/*enabled=*/false};
   std::vector<std::unique_ptr<NodeServer>> servers_;
   std::size_t rotation_ = 0;
 };

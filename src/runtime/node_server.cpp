@@ -7,6 +7,7 @@
 #include "http/mime.h"
 #include "http/parser.h"
 #include "http/url.h"
+#include "obs/json.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -15,12 +16,27 @@ namespace sweb::runtime {
 using namespace std::chrono_literals;
 
 NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
-    : config_(std::move(config)), docs_(docs), board_(board), listener_(0) {}
+    : config_(std::move(config)), docs_(docs), board_(board), listener_(0) {
+  if (config_.registry != nullptr) {
+    const std::string prefix = "node." + std::to_string(config_.node_id);
+    requests_counter_ = &config_.registry->counter(prefix + ".requests");
+    redirects_counter_ = &config_.registry->counter(prefix + ".redirects");
+    errors_counter_ = &config_.registry->counter(prefix + ".errors");
+    inflight_gauge_ = &config_.registry->gauge(prefix + ".inflight");
+    response_histogram_ =
+        &config_.registry->histogram("http.response_seconds");
+  }
+}
 
 NodeServer::~NodeServer() { stop(); }
 
 void NodeServer::start() {
   if (thread_.joinable()) return;
+  started_at_ = std::chrono::steady_clock::now();
+  if (config_.tracer != nullptr) {
+    config_.tracer->set_process_name(
+        config_.node_id, "node " + std::to_string(config_.node_id));
+  }
   thread_ = std::jthread(
       [this](const std::stop_token& token) { serve_loop(token); });
 }
@@ -32,7 +48,20 @@ void NodeServer::stop() {
   }
 }
 
+void NodeServer::trace_span(const char* name, std::uint64_t trace_id,
+                            double ts_s, double dur_s) const {
+  obs::TraceSpan span;
+  span.name = name;
+  span.category = "phase";
+  span.ts_s = ts_s;
+  span.dur_s = dur_s;
+  span.pid = config_.node_id;
+  span.tid = static_cast<std::int64_t>(trace_id);
+  config_.tracer->add_span(std::move(span));
+}
+
 void NodeServer::serve_loop(const std::stop_token& token) {
+  util::set_thread_log_context("node " + std::to_string(config_.node_id));
   board_.set_available(config_.node_id, true);
   while (!token.stop_requested()) {
     auto stream = listener_.accept(100ms);
@@ -40,14 +69,17 @@ void NodeServer::serve_loop(const std::stop_token& token) {
     handle_connection(std::move(*stream));
   }
   board_.set_available(config_.node_id, false);
+  util::set_thread_log_context({});
 }
 
 int NodeServer::choose_node(int owner) const {
   const int self = config_.node_id;
   if (!config_.broker.enable_redirects) return self;
   const std::vector<NodeLoad> loads = board_.snapshot_all();
+  // Δ-inflation included: redirects already aimed at a node count as load
+  // even before their connections arrive (the unsynchronized-herd guard).
   const auto load_of = [&](int n) {
-    return loads[static_cast<std::size_t>(n)].active_connections;
+    return loads[static_cast<std::size_t>(n)].effective_connections();
   };
   // File locality first: the owner serves from its "local disk" unless it
   // is clearly busier than we are.
@@ -78,6 +110,13 @@ void NodeServer::handle_connection(TcpStream stream) {
   std::string leftover;
   for (int served = 0; served < config_.max_requests_per_connection;
        ++served) {
+    const bool tracing_on = tracing();
+    const std::uint64_t trace_id =
+        tracing_on ? config_.tracer->next_request_id() : 0;
+    const double t_parse_start =
+        tracing_on ? config_.tracer->now_seconds() : 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
+
     // --- Preprocess: read and parse one request -------------------------
     http::RequestParser parser;
     http::ParseResult state = http::ParseResult::kNeedMore;
@@ -97,6 +136,18 @@ void NodeServer::handle_connection(TcpStream stream) {
                         chunk.data.size() - consumed);
       }
     }
+    if (tracing_on) {
+      trace_span("preprocess", trace_id, t_parse_start,
+                 config_.tracer->now_seconds() - t_parse_start);
+    }
+    if (requests_counter_ != nullptr) requests_counter_->inc();
+    if (inflight_gauge_ != nullptr) inflight_gauge_->add(1);
+    struct InflightGuard {
+      obs::Gauge* gauge;
+      ~InflightGuard() {
+        if (gauge != nullptr) gauge->add(-1);
+      }
+    } inflight_guard{inflight_gauge_};
 
     if (state == http::ParseResult::kError) {
       http::Response bad =
@@ -105,6 +156,7 @@ void NodeServer::handle_connection(TcpStream stream) {
       (void)stream.write_all(bad.serialize(), config_.io_timeout);
       stream.shutdown_write();
       ++handled_;
+      if (errors_counter_ != nullptr) errors_counter_->inc();
       return;
     }
 
@@ -119,11 +171,24 @@ void NodeServer::handle_connection(TcpStream stream) {
         client_keep_alive &&
         served + 1 < config_.max_requests_per_connection;
 
-    http::Response response = process_request(request);
+    http::Response response = process_request(request, trace_id);
     response.headers.set("Connection", keep_alive ? "Keep-Alive" : "close");
-    if (!stream.write_all(response.serialize(), config_.io_timeout)) {
-      return;
+
+    const double t_send_start =
+        tracing_on ? config_.tracer->now_seconds() : 0.0;
+    const bool wrote =
+        stream.write_all(response.serialize(), config_.io_timeout);
+    if (tracing_on) {
+      trace_span("send", trace_id, t_send_start,
+                 config_.tracer->now_seconds() - t_send_start);
     }
+    if (response_histogram_ != nullptr) {
+      response_histogram_->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count());
+    }
+    if (!wrote) return;
     ++handled_;
     if (!keep_alive) {
       stream.shutdown_write();
@@ -132,7 +197,8 @@ void NodeServer::handle_connection(TcpStream stream) {
   }
 }
 
-http::Response NodeServer::process_request(const http::Request& request) {
+http::Response NodeServer::process_request(const http::Request& request,
+                                           std::uint64_t trace_id) {
   const int self = config_.node_id;
   const auto finish = [&](http::Response response) {
     response.headers.add("Server", config_.server_name);
@@ -148,8 +214,15 @@ http::Response NodeServer::process_request(const http::Request& request) {
   if (!canonical) {
     return finish(http::make_error(http::Status::kBadRequest, "bad target"));
   }
+
+  // --- Introspection: every node answers for itself ---------------------
+  if (canonical->path == "/sweb/status") {
+    return finish(status_response());
+  }
+
   const DocStore::Entry* doc = docs_.find(canonical->path);
   if (doc == nullptr) {
+    if (errors_counter_ != nullptr) errors_counter_->inc();
     return finish(http::make_error(http::Status::kNotFound, canonical->path));
   }
   const CgiHandler* cgi = docs_.cgi_for(canonical->path);
@@ -176,10 +249,24 @@ http::Response NodeServer::process_request(const http::Request& request) {
   } guard{board_, self, expected};
 
   if (!already_redirected) {
+    const bool tracing_on = tracing();
+    const double t_analysis =
+        tracing_on ? config_.tracer->now_seconds() : 0.0;
     const int target = choose_node(doc->owner);
+    if (tracing_on) {
+      trace_span("analysis", trace_id, t_analysis,
+                 config_.tracer->now_seconds() - t_analysis);
+    }
     if (target != self &&
         static_cast<std::size_t>(target) < peer_ports_.size()) {
-      board_.note_redirected(self);
+      board_.note_redirected(self, target);
+      if (redirects_counter_ != nullptr) redirects_counter_->inc();
+      if (tracing_on) {
+        config_.tracer->add_instant(
+            "redirect to node " + std::to_string(target), "phase",
+            config_.tracer->now_seconds(), self,
+            static_cast<std::int64_t>(trace_id));
+      }
       const std::string query = canonical->query.empty()
                                     ? "sweb-hop=1"
                                     : canonical->query + "&sweb-hop=1";
@@ -192,6 +279,8 @@ http::Response NodeServer::process_request(const http::Request& request) {
   }
 
   // --- Fulfill -------------------------------------------------------------
+  const bool tracing_on = tracing();
+  const double t_data = tracing_on ? config_.tracer->now_seconds() : 0.0;
   http::Response ok;
   if (cgi != nullptr) {
     // Dynamic content: execute the registered handler with the query (GET)
@@ -221,9 +310,64 @@ http::Response NodeServer::process_request(const http::Request& request) {
     ok.headers.add("Last-Modified",
                    http::format_http_date(doc->last_modified));
   }
+  if (tracing_on) {
+    trace_span("data", trace_id, t_data,
+               config_.tracer->now_seconds() - t_data);
+  }
   ok.headers.add("X-Sweb-Node", std::to_string(self));
   board_.note_served(self);
   return finish(ok);
+}
+
+http::Response NodeServer::status_response() const {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  const double board_now = board_.now_seconds();
+  const std::vector<NodeLoad> loads = board_.snapshot_all();
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("node").value(config_.node_id);
+  w.key("server").value(config_.server_name);
+  w.key("uptime_seconds").value(uptime);
+  w.key("requests_handled").value(handled_.load());
+  w.key("inflight")
+      .value(inflight_gauge_ != nullptr ? inflight_gauge_->value()
+                                        : std::int64_t{0});
+  w.key("board").begin_array();
+  for (std::size_t n = 0; n < loads.size(); ++n) {
+    const NodeLoad& l = loads[n];
+    w.begin_object();
+    w.key("node").value(static_cast<std::int64_t>(n));
+    w.key("self").value(static_cast<int>(n) == config_.node_id);
+    w.key("active_connections").value(l.active_connections);
+    w.key("bytes_in_flight").value(l.bytes_in_flight);
+    w.key("served").value(l.served);
+    w.key("redirected").value(l.redirected);
+    w.key("available").value(l.available);
+    w.key("redirect_inflation").value(l.redirect_inflation);
+    // Age of the last board update for this peer — the runtime analogue of
+    // "how stale is this loadd broadcast".
+    if (l.last_update_s >= 0.0) {
+      w.key("age_seconds").value(board_now - l.last_update_s);
+    } else {
+      w.key("age_seconds").raw("null");
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (config_.registry != nullptr) {
+    w.key("metrics").raw(config_.registry->to_json());
+  } else {
+    w.key("metrics").raw("null");
+  }
+  w.end_object();
+
+  http::Response response = http::make_ok(w.str(), "application/json");
+  response.headers.set("Cache-Control", "no-store");
+  return response;
 }
 
 }  // namespace sweb::runtime

@@ -5,9 +5,15 @@
 // better node, or serve the document. The X-Sweb-Redirected request header
 // marks a request that already bounced once, enforcing the at-most-once
 // rule across real connections.
+//
+// Observability: every node serves GET /sweb/status — a JSON snapshot of
+// its loadd view (each peer's last update and age, Δ-inflation), its own
+// counters, and the attached registry. With a SpanTracer attached, each
+// request leaves preprocess/analysis/redirect/data/send spans in real time.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -15,6 +21,8 @@
 #include <vector>
 
 #include "http/message.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
 #include "runtime/socket.h"
@@ -41,6 +49,9 @@ class NodeServer {
     /// HTTP/1.0 keep-alive: requests served on one connection before the
     /// server closes it anyway (a fairness/robustness cap).
     int max_requests_per_connection = 32;
+    /// Optional telemetry sinks (typically the MiniCluster's; may be null).
+    obs::Registry* registry = nullptr;
+    obs::SpanTracer* tracer = nullptr;
   };
 
   /// Binds an ephemeral loopback port immediately; serving starts at
@@ -71,10 +82,21 @@ class NodeServer {
   void serve_loop(const std::stop_token& token);
   void handle_connection(TcpStream stream);
   /// Parses/serves one request; Connection header is set by the caller.
-  [[nodiscard]] http::Response process_request(const http::Request& request);
+  /// `trace_id` labels this request's spans (0 when tracing is off).
+  [[nodiscard]] http::Response process_request(const http::Request& request,
+                                               std::uint64_t trace_id);
+
+  /// The /sweb/status introspection body: this node's view of the world.
+  [[nodiscard]] http::Response status_response() const;
 
   /// Chooses the serving node for `path` owned by `owner`; may be self.
   [[nodiscard]] int choose_node(int owner) const;
+
+  [[nodiscard]] bool tracing() const noexcept {
+    return config_.tracer != nullptr && config_.tracer->enabled();
+  }
+  void trace_span(const char* name, std::uint64_t trace_id, double ts_s,
+                  double dur_s) const;
 
   Config config_;
   const DocStore& docs_;
@@ -83,6 +105,14 @@ class NodeServer {
   std::vector<std::uint16_t> peer_ports_;
   std::jthread thread_;
   std::atomic<std::uint64_t> handled_{0};
+  std::chrono::steady_clock::time_point started_at_{};
+
+  // Cached registry instruments (null when no registry attached).
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* redirects_counter_ = nullptr;
+  obs::Counter* errors_counter_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* response_histogram_ = nullptr;
 };
 
 }  // namespace sweb::runtime

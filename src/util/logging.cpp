@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 
@@ -10,6 +11,15 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_emit_mutex;
+thread_local std::string t_context;
+
+// Process-wide monotonic epoch, fixed the first time anything logs (or asks
+// for the uptime) so all threads share one time base.
+[[nodiscard]] std::chrono::steady_clock::time_point log_epoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
 
 [[nodiscard]] const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -29,10 +39,29 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_thread_log_context(std::string context) {
+  t_context = std::move(context);
+}
+
+const std::string& thread_log_context() noexcept { return t_context; }
+
+double log_uptime_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       log_epoch())
+      .count();
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (log_level() > level) return;
+  const double uptime = log_uptime_seconds();
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (t_context.empty()) {
+    std::fprintf(stderr, "[%12.6f] [%s] %s\n", uptime, level_name(level),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%12.6f] [%s] (%s) %s\n", uptime,
+                 level_name(level), t_context.c_str(), message.c_str());
+  }
 }
 
 }  // namespace sweb::util

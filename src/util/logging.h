@@ -16,7 +16,18 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits one line to stderr: "[level] message". Thread-safe.
+/// Attaches a context label to the calling thread (e.g. "node 3"); every
+/// line this thread logs is prefixed with it, so interleaved NodeServer
+/// output stays attributable. Empty string clears the label.
+void set_thread_log_context(std::string context);
+[[nodiscard]] const std::string& thread_log_context() noexcept;
+
+/// Seconds since the process's logging clock started (monotonic) — the
+/// timestamp every log line carries.
+[[nodiscard]] double log_uptime_seconds() noexcept;
+
+/// Emits one line to stderr:
+/// "[<monotonic seconds>] [level] (context) message". Thread-safe.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -89,6 +89,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   core::SwebServer server(cluster, spec.docbase, core::Oracle::builtin(),
                           core::make_policy(spec.policy), spec.server, rng);
+  if (spec.registry != nullptr) server.set_registry(spec.registry);
   server.start();
   if (spec.on_start) spec.on_start(server, sim);
 

@@ -75,6 +75,9 @@ struct ExperimentSpec {
   double measure_slack_s = 30.0;
   /// Copy the per-request records into the result (CSV export).
   bool keep_records = false;
+  /// Optional live telemetry: the server, broker, and page caches register
+  /// and update named instruments here while the experiment runs.
+  obs::Registry* registry = nullptr;
   /// Hook called right before the simulation runs (fault injection etc.).
   std::function<void(core::SwebServer&, sim::Simulation&)> on_start;
 };

@@ -68,6 +68,68 @@ TEST(AccessLog, FailuresSkippedUnlessRequested) {
   EXPECT_EQ(std::count(everything.begin(), everything.end(), '\n'), 2);
 }
 
+TEST(AccessLog, TimedOutAfterResponseKeepsRealStatus) {
+  // The server produced a 200 but the client gave up in transit: the log
+  // keeps the real code (and the response timestamp), not a blanket 0.
+  RequestRecord r = completed_record();
+  r.outcome = Outcome::kTimedOut;
+  const std::string line = clf_line(r);
+  EXPECT_NE(line.find("\"GET /adl/map7.gif HTTP/1.0\" 200"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("[01/Jan/1996:00:00:05 +0000]"), std::string::npos)
+      << line;
+}
+
+TEST(AccessLog, NeverAnsweredRequestLogsStatusZero) {
+  RequestRecord r;
+  r.path = "/x";
+  r.outcome = Outcome::kRefused;
+  r.start = 1.0;  // no finish: stamped at start
+  const std::string line = clf_line(r);
+  EXPECT_NE(line.find("\" 0 -"), std::string::npos) << line;
+  EXPECT_NE(line.find("[01/Jan/1996:00:00:01 +0000]"), std::string::npos)
+      << line;
+}
+
+TEST(AccessLog, RedirectedRequestGetsA302HopLine) {
+  RequestRecord r = completed_record();
+  r.redirected = true;
+  r.t_preprocess = 1.0;  // hop leaves the origin at start + 1 s
+  std::vector<RequestRecord> records{r};
+
+  std::ostringstream out;
+  write_access_log(out, records);
+  const std::string log = out.str();
+  EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 2) << log;
+  const std::string hop = log.substr(0, log.find('\n'));
+  EXPECT_NE(hop.find("\"GET /adl/map7.gif HTTP/1.0\" 302 -"),
+            std::string::npos)
+      << hop;
+  EXPECT_NE(hop.find("[01/Jan/1996:00:00:04 +0000]"), std::string::npos)
+      << hop;
+  // The fulfilled GET follows with its real status.
+  EXPECT_NE(log.find("\" 200 16384"), std::string::npos) << log;
+
+  AccessLogOptions no_hops;
+  no_hops.log_redirect_hops = false;
+  std::ostringstream plain;
+  write_access_log(plain, records, no_hops);
+  const std::string plain_log = plain.str();
+  EXPECT_EQ(std::count(plain_log.begin(), plain_log.end(), '\n'), 1);
+}
+
+TEST(AccessLog, ForwardedRequestsHaveNoClientVisibleHop) {
+  RequestRecord r = completed_record();
+  r.redirected = true;
+  r.forwarded = true;  // internal reassignment: no 302 went to the client
+  std::ostringstream out;
+  write_access_log(out, {r});
+  const std::string log = out.str();
+  EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 1) << log;
+  EXPECT_EQ(log.find(" 302 "), std::string::npos) << log;
+}
+
 TEST(AccessLog, HostPrefixConfigurable) {
   AccessLogOptions options;
   options.host_prefix = "subnet-";

@@ -1,0 +1,143 @@
+// SpanTracer + trace export: Chrome trace_event JSON well-formedness and
+// the RequestRecord → phase-span mapping.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+#include "metrics/trace_export.h"
+#include "obs/json.h"
+
+namespace sweb::obs {
+namespace {
+
+TEST(SpanTracer, EmitsValidChromeJson) {
+  SpanTracer tracer;
+  tracer.set_process_name(0, "node 0");
+  TraceSpan span;
+  span.name = "data";
+  span.category = "phase";
+  span.ts_s = 1.5;
+  span.dur_s = 0.25;
+  span.pid = 0;
+  span.tid = 7;
+  span.args = {{"path", "/adl/scene3.tiff"}};
+  tracer.add_span(span);
+  tracer.add_instant("redirect to node 2", "redirect", 1.75, 0, 7);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  // Chrome JSON object format, with times converted to microseconds.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // process_name
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path\":\"/adl/scene3.tiff\""), std::string::npos);
+}
+
+TEST(SpanTracer, DisabledTracerDropsSpans) {
+  SpanTracer tracer(/*enabled=*/false);
+  tracer.add_instant("x", "c", 0.0, 0, 1);
+  EXPECT_EQ(tracer.size(), 0u);
+  tracer.set_enabled(true);
+  tracer.add_instant("x", "c", 0.0, 0, 1);
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(SpanTracer, RequestIdsAreUnique) {
+  SpanTracer tracer;
+  const std::uint64_t a = tracer.next_request_id();
+  const std::uint64_t b = tracer.next_request_id();
+  EXPECT_NE(a, b);
+}
+
+metrics::RequestRecord redirected_record() {
+  metrics::RequestRecord r;
+  r.id = 3;
+  r.path = "/adl/scene3.tiff";
+  r.size_bytes = 1 << 20;
+  r.start = 10.0;
+  r.outcome = metrics::Outcome::kCompleted;
+  r.status_code = 200;
+  r.first_node = 0;
+  r.final_node = 2;
+  r.redirected = true;
+  r.t_dns = 0.1;
+  r.t_connect = 0.02;
+  r.t_queue = 0.0;  // never queued — must NOT produce a zero-width span
+  r.t_preprocess = 0.005;
+  r.t_analysis = 0.001;
+  r.t_redirect = 0.06;
+  r.t_data = 0.2;
+  r.t_send = 0.5;
+  r.finish = r.start + r.t_dns + r.t_connect + r.t_preprocess + r.t_analysis +
+             r.t_redirect + r.t_data + r.t_send;
+  return r;
+}
+
+TEST(TraceExport, OneSpanPerNonEmptyPhase) {
+  SpanTracer tracer;
+  metrics::append_request_spans(tracer, redirected_record());
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  for (const char* phase :
+       {"\"dns\"", "\"connect\"", "\"preprocess\"", "\"analysis\"",
+        "\"redirect\"", "\"data\"", "\"send\""}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase << " missing";
+  }
+  EXPECT_EQ(json.find("\"queue\""), std::string::npos)
+      << "zero-duration phase should be skipped";
+  // Umbrella span carries the request detail.
+  EXPECT_NE(json.find("request /adl/scene3.tiff"), std::string::npos);
+  EXPECT_NE(json.find("\"redirected\":\"true\""), std::string::npos) << json;
+}
+
+TEST(TraceExport, PhasesSplitAcrossOriginAndFinalNode) {
+  SpanTracer tracer;
+  metrics::append_request_spans(tracer, redirected_record());
+  // dns..redirect happen on first_node (pid 0); data/send on final (pid 2).
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  const auto pid_of = [&json](const std::string& name) {
+    const std::size_t at = json.find("\"name\":\"" + name + "\"");
+    EXPECT_NE(at, std::string::npos) << name;
+    const std::size_t pid = json.find("\"pid\":", at);
+    return json.substr(pid + 6, 1);
+  };
+  EXPECT_EQ(pid_of("preprocess"), "0");
+  EXPECT_EQ(pid_of("analysis"), "0");
+  EXPECT_EQ(pid_of("data"), "2");
+  EXPECT_EQ(pid_of("send"), "2");
+}
+
+TEST(TraceExport, WholeExperimentNamesNodeLanes) {
+  SpanTracer tracer;
+  std::vector<metrics::RequestRecord> records(2, redirected_record());
+  records[1].id = 4;
+  records[1].redirected = false;
+  records[1].final_node = 0;
+  metrics::export_request_trace(tracer, records);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"node 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"node 2\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sweb::obs

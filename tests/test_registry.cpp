@@ -1,0 +1,205 @@
+// Metrics registry: instrument semantics, thread-safety under contention,
+// histogram bucket boundaries, and JSON snapshot validity.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/snapshot.h"
+
+namespace sweb::obs {
+namespace {
+
+TEST(Registry, CounterGaugeBasics) {
+  Registry registry;
+  Counter& c = registry.counter("requests.offered");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge& g = registry.gauge("node.0.inflight");
+  g.add(3);
+  g.add(-1);
+  EXPECT_EQ(g.value(), 2);
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST(Registry, InstrumentsAreStableAndDeduplicated) {
+  Registry registry;
+  Counter& a = registry.counter("broker.redirects");
+  Counter& b = registry.counter("broker.redirects");
+  EXPECT_EQ(&a, &b);  // same name → same instrument, address stays valid
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+
+  Histogram& h1 = registry.histogram("lat", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("lat", {5.0});  // boundaries ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Registry, CountersSurviveConcurrentUpdates) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread looks the instruments up itself: registration races
+      // must also be safe, not just the atomic bumps.
+      Counter& c = registry.counter("contended.counter");
+      Gauge& g = registry.gauge("contended.gauge");
+      Histogram& h = registry.histogram("contended.hist", {0.5});
+      for (int i = 0; i < kIncrements; ++i) {
+        c.inc();
+        g.add(1);
+        h.observe(i % 2 == 0 ? 0.25 : 1.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(registry.counter("contended.counter").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.gauge("contended.gauge").value(),
+            static_cast<std::int64_t>(kThreads) * kIncrements);
+  Histogram& h = registry.histogram("contended.hist");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], h.count() / 2);  // the 0.25 observations
+  EXPECT_EQ(buckets[1], h.count() / 2);  // the 1.0 overflows
+}
+
+TEST(Histogram, BucketBoundariesAreCumulativeLe) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // ≤ 1
+  h.observe(1.0);   // boundary value lands in its own bucket (le semantics)
+  h.observe(1.5);   // ≤ 2
+  h.observe(4.0);   // ≤ 4
+  h.observe(100.0); // +inf overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, DefaultLatencyBucketsStrictlyIncrease) {
+  const std::vector<double> bounds = Registry::default_latency_buckets();
+  ASSERT_GE(bounds.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_EQ(std::adjacent_find(bounds.begin(), bounds.end()), bounds.end());
+}
+
+TEST(Registry, JsonSnapshotIsValidAndComplete) {
+  Registry registry;
+  registry.counter("cache.hits").inc(7);
+  registry.gauge("node.1.inflight").set(3);
+  registry.histogram("http.response_seconds", {0.1, 1.0}).observe(0.05);
+
+  const std::string json = registry.to_json();
+  EXPECT_TRUE(json_is_valid(json)) << json;
+  EXPECT_NE(json.find("\"cache.hits\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node.1.inflight\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"http.response_seconds\""), std::string::npos);
+
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("cache.hits"), 7u);
+  EXPECT_EQ(snap.gauges.at("node.1.inflight"), 3);
+  EXPECT_EQ(snap.histograms.at("http.response_seconds").count, 1u);
+  // Rendering the snapshot gives the same document as to_json().
+  EXPECT_EQ(snapshot_json(snap), json);
+}
+
+TEST(SnapshotWriter, FormatLineReportsDeltas) {
+  Registry registry;
+  registry.counter("requests.completed").inc(10);
+  const RegistrySnapshot before = registry.snapshot();
+  registry.counter("requests.completed").inc(5);
+  const RegistrySnapshot after = registry.snapshot();
+
+  const std::string line = SnapshotWriter::format_line(after, before, 2.5);
+  EXPECT_TRUE(json_is_valid(line)) << line;
+  EXPECT_NE(line.find("\"uptime_seconds\":2.5"), std::string::npos) << line;
+  // Absolute value and the delta since the previous snapshot.
+  EXPECT_NE(line.find("\"counters\":{\"requests.completed\":15}"),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"deltas\":{\"requests.completed\":5}"),
+            std::string::npos)
+      << line;
+}
+
+TEST(SnapshotWriter, AppendsValidJsonLines) {
+  Registry registry;
+  registry.counter("requests.offered").inc(3);
+  const std::string path =
+      testing::TempDir() + "sweb_snapshot_writer_test.jsonl";
+  std::remove(path.c_str());
+  {
+    SnapshotWriter writer(registry, path, std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(std::chrono::milliseconds(90));
+    registry.counter("requests.offered").inc(2);
+    writer.stop();  // writes the final line
+    EXPECT_GE(writer.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::string last;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(json_is_valid(line)) << line;
+    last = line;
+  }
+  EXPECT_GE(lines, 2u);
+  // The final (stop-time) line carries the up-to-date counter.
+  EXPECT_NE(last.find("\"requests.offered\":5"), std::string::npos) << last;
+  std::remove(path.c_str());
+}
+
+TEST(Json, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("tab\there \"quoted\"");
+  w.key("values").begin_array();
+  w.value(1.5).value(std::int64_t{-2}).value(true);
+  w.end_array();
+  w.end_object();
+  const std::string out = w.str();
+  EXPECT_EQ(out,
+            "{\"name\":\"tab\\there \\\"quoted\\\"\","
+            "\"values\":[1.5,-2,true]}");
+  EXPECT_TRUE(json_is_valid(out));
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(json_is_valid("{\"a\":[1,2,{\"b\":null}]}"));
+  EXPECT_TRUE(json_is_valid("  [1, 2.5e3, \"x\\u00e9\"] "));
+  EXPECT_FALSE(json_is_valid(""));
+  EXPECT_FALSE(json_is_valid("{"));
+  EXPECT_FALSE(json_is_valid("{\"a\":1,}"));
+  EXPECT_FALSE(json_is_valid("{\"a\":1} trailing"));
+  EXPECT_FALSE(json_is_valid("{'a':1}"));
+  EXPECT_FALSE(json_is_valid("[01]"));
+  EXPECT_FALSE(json_is_valid("\"unterminated"));
+}
+
+}  // namespace
+}  // namespace sweb::obs

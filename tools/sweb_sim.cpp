@@ -17,6 +17,9 @@
 #include "metrics/csv.h"
 #include "metrics/table.h"
 #include "metrics/timeline.h"
+#include "metrics/trace_export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 #include "util/strings.h"
 #include "workload/scenario.h"
@@ -106,8 +109,13 @@ int main(int argc, char** argv) {
       .option("trace-in", "",
               "replay a request trace (CSV: time,client,path) instead of "
               "generating the burst")
-      .option("trace-out", "",
+      .option("save-trace", "",
               "save the generated burst as a trace CSV (for replays)")
+      .option("trace-out", "",
+              "write a Chrome trace_event JSON (one span per request "
+              "phase; open in chrome://tracing or Perfetto)")
+      .option("metrics-out", "",
+              "write the live metrics registry as JSON after the run")
       .option("access-log", "",
               "write an NCSA Common Log Format access log here")
       .option("timeline", "",
@@ -143,7 +151,10 @@ int main(int argc, char** argv) {
     spec.server.centralized = cli.get_flag("centralized");
     spec.keep_records = !cli.get("csv").empty() ||
                         !cli.get("access-log").empty() ||
-                        !cli.get("timeline").empty();
+                        !cli.get("timeline").empty() ||
+                        !cli.get("trace-out").empty();
+    obs::Registry registry;
+    spec.registry = &registry;
 
     if (const std::string trace_in = cli.get("trace-in"); !trace_in.empty()) {
       std::ifstream in(trace_in);
@@ -154,7 +165,7 @@ int main(int argc, char** argv) {
       spec.trace = workload::Trace::load_csv(in);
       std::printf("replaying %zu-request trace from %s\n",
                   spec.trace.size(), trace_in.c_str());
-    } else if (const std::string trace_out = cli.get("trace-out");
+    } else if (const std::string trace_out = cli.get("save-trace");
                !trace_out.empty()) {
       // Generate the burst as an explicit trace so it can be saved and
       // replayed bit-identically against other policies.
@@ -231,6 +242,28 @@ int main(int argc, char** argv) {
       }
       metrics::write_access_log(out, r.records);
       std::printf("wrote access log to %s\n", log_path.c_str());
+    }
+    if (const std::string trace_path = cli.get("trace-out");
+        !trace_path.empty()) {
+      obs::SpanTracer tracer;
+      metrics::export_request_trace(tracer, r.records);
+      if (!tracer.write_file(trace_path)) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu trace spans to %s (open in chrome://tracing "
+                  "or https://ui.perfetto.dev)\n",
+                  tracer.size(), trace_path.c_str());
+    }
+    if (const std::string metrics_path = cli.get("metrics-out");
+        !metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        return 1;
+      }
+      out << registry.to_json() << '\n';
+      std::printf("wrote metrics registry to %s\n", metrics_path.c_str());
     }
     if (const std::string timeline_path = cli.get("timeline");
         !timeline_path.empty()) {
