@@ -8,6 +8,8 @@
 // (capacity ~3 rps).
 #include "bench_common.h"
 
+#include "obs/audit.h"
+#include "obs/registry.h"
 #include "workload/closed_loop.h"
 
 namespace {
@@ -67,5 +69,88 @@ int main() {
       "and mass drops at a pinned 'offered' rate, while the closed loop "
       "self-throttles — throughput plateaus at capacity, latency grows "
       "only with the user population, and almost nothing drops.");
+
+  // --- Perf trajectory seed: an instrumented multi-node closed loop -------
+  // 4-node Meiko under the sweb policy with the decision audit attached;
+  // the machine-readable report (rps, latency percentiles, redirect ratio,
+  // prediction-error summary) lands in BENCH_PR2.json so future PRs can
+  // diff the scheduler's accuracy, not just its speed.
+  std::printf("\ninstrumented closed loop (4-node Meiko, sweb policy):\n");
+  obs::Registry registry;
+  obs::DecisionAudit audit;
+  audit.bind_registry(registry);
+  workload::ExperimentSpec spec = bench::meiko_spec(4, 256 * 1024, 96);
+  spec.policy = "sweb";
+  spec.registry = &registry;
+  spec.audit = &audit;
+  workload::ClosedLoopSpec loop;
+  loop.num_clients = 32;
+  loop.think_mean_s = 1.0;
+  loop.duration_s = 60.0;
+  const auto run = workload::run_closed_loop(spec, loop);
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const auto quantiles = [&snap](const char* name, obs::JsonWriter& w) {
+    w.begin_object();
+    const auto it = snap.histograms.find(name);
+    if (it == snap.histograms.end()) {
+      w.key("count").value(std::uint64_t{0});
+      w.key("p50_s").value(0.0);
+      w.key("p95_s").value(0.0);
+    } else {
+      w.key("count").value(it->second.count);
+      w.key("p50_s").value(obs::histogram_quantile(it->second, 0.50));
+      w.key("p95_s").value(obs::histogram_quantile(it->second, 0.95));
+    }
+    w.end_object();
+  };
+  const auto counter = [&snap](const char* name) {
+    const auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? std::uint64_t{0} : it->second;
+  };
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("closedloop");
+  w.key("pr").value(2);
+  w.key("config").begin_object();
+  w.key("nodes").value(4);
+  w.key("policy").value("sweb");
+  w.key("users").value(loop.num_clients);
+  w.key("think_mean_s").value(loop.think_mean_s);
+  w.key("duration_s").value(loop.duration_s);
+  w.key("file_bytes").value(std::int64_t{256 * 1024});
+  w.end_object();
+  w.key("rps").value(run.throughput_rps);
+  w.key("latency").begin_object();
+  w.key("mean_s").value(run.summary.mean_response);
+  w.key("p50_s").value(run.summary.p50_response);
+  w.key("p95_s").value(run.summary.p95_response);
+  w.end_object();
+  w.key("redirect_ratio").value(run.summary.redirect_rate());
+  w.key("drop_rate").value(run.summary.drop_rate());
+  w.key("predict_error").begin_object();
+  w.key("decisions").value(counter("broker.audit.decisions"));
+  w.key("joined").value(counter("broker.audit.joined"));
+  w.key("mispredicts").value(counter("oracle.mispredict"));
+  w.key("t_redirection");
+  quantiles("broker.predict_error.t_redirection", w);
+  w.key("t_data");
+  quantiles("broker.predict_error.t_data", w);
+  w.key("t_cpu");
+  quantiles("broker.predict_error.t_cpu", w);
+  w.key("total");
+  quantiles("broker.predict_error.total", w);
+  w.end_object();
+  w.end_object();
+
+  std::printf(
+      "  rps %.1f  mean %.2fs  p95 %.2fs  redirects %.0f%%  "
+      "decisions %llu joined %llu\n",
+      run.throughput_rps, run.summary.mean_response,
+      run.summary.p95_response, 100.0 * run.summary.redirect_rate(),
+      static_cast<unsigned long long>(counter("broker.audit.decisions")),
+      static_cast<unsigned long long>(counter("broker.audit.joined")));
+  if (!bench::write_json_report("BENCH_PR2.json", w.str())) return 1;
   return 0;
 }

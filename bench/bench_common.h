@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "cluster/config.h"
 #include "fs/docbase.h"
 #include "metrics/table.h"
+#include "obs/json.h"
 #include "util/rng.h"
 #include "workload/scenario.h"
 
@@ -44,6 +46,27 @@ inline workload::ExperimentSpec now_spec(int nodes, std::uint64_t file_size,
                                   fs::Placement::kRoundRobin);
   spec.clients = workload::ucsb_clients();
   return spec;
+}
+
+/// Validates `json` under the strict checker and writes it (one trailing
+/// newline) to `path`. The machine-readable BENCH_*.json trajectory is
+/// diffed across PRs, so a malformed report must fail loudly, not land.
+inline bool write_json_report(const std::string& path,
+                              const std::string& json) {
+  if (!obs::json_is_valid(json)) {
+    std::fprintf(stderr, "refusing to write %s: report is not valid JSON\n",
+                 path.c_str());
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << json << '\n';
+  if (!out.good()) return false;
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 /// "<1" for a zero result, the number otherwise (Table 1's NOW cells).

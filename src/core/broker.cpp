@@ -89,25 +89,40 @@ CostEstimate Broker::estimate(const RequestFacts& facts, int self,
 
 int Broker::choose(const RequestFacts& facts, int self, const LoadBoard& board,
                    CostEstimate* chosen) const {
+  const BrokerDecision decision = decide(facts, self, board);
+  if (chosen != nullptr) *chosen = decision.chosen_estimate;
+  return decision.chosen;
+}
+
+BrokerDecision Broker::decide(const RequestFacts& facts, int self,
+                              const LoadBoard& board) const {
   const double now = cluster_.sim().now();
-  int best = self;
+  BrokerDecision decision;
+  decision.chosen = self;
+  decision.candidates.reserve(
+      static_cast<std::size_t>(cluster_.num_nodes()));
   double best_total = std::numeric_limits<double>::infinity();
-  CostEstimate best_est;
   for (int n = 0; n < cluster_.num_nodes(); ++n) {
     if (n != self && !board.responsive(n, now)) continue;
-    const CostEstimate est = estimate(facts, self, n, board);
+    CostEstimate est = estimate(facts, self, n, board);
     const double total = est.total();
     // Strict improvement required to leave `self`: ties stay local.
     const bool better =
         total < best_total - 1e-12 || (n == self && total <= best_total);
     if (better) {
-      best = n;
+      decision.chosen = n;
       best_total = total;
-      best_est = est;
+      decision.chosen_estimate = est;
     }
+    decision.candidates.push_back(std::move(est));
   }
-  if (chosen != nullptr) *chosen = best_est;
-  return best;
+  decision.runner_up_margin = std::numeric_limits<double>::infinity();
+  for (const CostEstimate& est : decision.candidates) {
+    if (est.node == decision.chosen) continue;
+    decision.runner_up_margin = std::min(
+        decision.runner_up_margin, est.total() - best_total);
+  }
+  return decision;
 }
 
 }  // namespace sweb::core

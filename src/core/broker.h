@@ -19,6 +19,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "core/load.h"
@@ -46,6 +47,20 @@ struct CostEstimate {
   [[nodiscard]] double total() const noexcept {
     return t_redirection + t_data + t_cpu + t_net;
   }
+};
+
+/// A full scheduling decision: the winner plus everything the broker saw
+/// while deciding — the audit trail the decision audit joins against
+/// observed completion times.
+struct BrokerDecision {
+  int chosen = -1;
+  CostEstimate chosen_estimate;
+  /// Best alternative's total minus the chosen total; +inf when the chosen
+  /// node was the only responsive candidate. Never negative: the broker
+  /// picks the minimum.
+  double runner_up_margin = 0.0;
+  /// Every responsive candidate's estimate, in node order.
+  std::vector<CostEstimate> candidates;
 };
 
 struct BrokerParams {
@@ -84,6 +99,12 @@ class Broker {
   [[nodiscard]] int choose(const RequestFacts& facts, int self,
                            const LoadBoard& board,
                            CostEstimate* chosen = nullptr) const;
+
+  /// Like choose() (same winner, same tie-prefers-self rule) but returns
+  /// the full audit trail: all candidate estimates and the runner-up
+  /// margin.
+  [[nodiscard]] BrokerDecision decide(const RequestFacts& facts, int self,
+                                      const LoadBoard& board) const;
 
   [[nodiscard]] const BrokerParams& params() const noexcept { return params_; }
   [[nodiscard]] const cluster::Cluster& cluster() const noexcept {

@@ -23,6 +23,7 @@ struct SwebServer::Pending {
   // connection while `node` does the work (kForward reassignment only).
   int relay_origin = -1;
   double origin_reserved = 0.0;
+  bool audited = false;  // a decision is pending in the audit for this id
 };
 
 SwebServer::SwebServer(cluster::Cluster& cluster, const fs::Docbase& docbase,
@@ -222,6 +223,9 @@ void SwebServer::analyze(const std::shared_ptr<Pending>& p) {
     rec.t_analysis += cluster_.sim().now() - p->phase_start;
     const int target =
         policy_->choose(p->facts, p->node, loads_.board(p->node), broker_);
+    if (audit_ != nullptr && !p->audited) {
+      record_audit_decision(p, target);
+    }
     if (target != p->node && target >= 0 && target < cluster_.num_nodes() &&
         cluster_.available(target)) {
       if (params_.reassignment == ServerParams::Reassignment::kForward) {
@@ -238,6 +242,44 @@ void SwebServer::analyze(const std::shared_ptr<Pending>& p) {
   } else {
     decide();
   }
+}
+
+void SwebServer::record_audit_decision(const std::shared_ptr<Pending>& p,
+                                       int target) {
+  const BrokerDecision brokered =
+      broker_.decide(p->facts, p->node, loads_.board(p->node));
+  obs::Decision decision;
+  decision.request_id = p->rec;
+  decision.origin = p->node;
+  decision.chosen = target;
+  decision.decision_ts_s = cluster_.sim().now();
+  decision.candidates.reserve(brokered.candidates.size());
+  const CostEstimate* target_est = nullptr;
+  for (const CostEstimate& est : brokered.candidates) {
+    decision.candidates.push_back(
+        {est.node, {est.t_redirection, est.t_data, est.t_cpu, est.t_net}});
+    if (est.node == target) target_est = &est;
+  }
+  CostEstimate fallback;
+  if (target_est == nullptr) {
+    // The policy picked a node the broker never priced (e.g. an owner the
+    // board considers unresponsive); estimate it directly for the record.
+    fallback = broker_.estimate(p->facts, p->node, target,
+                                loads_.board(p->node));
+    target_est = &fallback;
+  }
+  decision.predicted = {target_est->t_redirection, target_est->t_data,
+                        target_est->t_cpu, target_est->t_net};
+  if (target == brokered.chosen) {
+    decision.runner_up_margin = brokered.runner_up_margin;
+  } else {
+    // Policy override: negative margin says how much worse the cost model
+    // priced the pick than its own winner.
+    decision.runner_up_margin =
+        brokered.chosen_estimate.total() - target_est->total();
+  }
+  audit_->record_decision(std::move(decision));
+  p->audited = true;
 }
 
 void SwebServer::redirect(const std::shared_ptr<Pending>& p, int target) {
@@ -324,8 +366,10 @@ void SwebServer::fulfill(const std::shared_ptr<Pending>& p) {
   // covers fork+parse+stat), then fetch the document bytes.
   cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, params_.fork_ops,
                      [this, p] {
-    collector_.record(p->rec).t_preprocess +=
-        cluster_.sim().now() - p->phase_start;
+    metrics::RequestRecord& rec2 = collector_.record(p->rec);
+    const double burst = cluster_.sim().now() - p->phase_start;
+    rec2.t_preprocess += burst;
+    rec2.t_cpu_burst += burst;  // fork: first half of the broker's t_cpu
     fetch_data(p);
   });
 }
@@ -390,7 +434,11 @@ void SwebServer::transmit(const std::shared_ptr<Pending>& p) {
       cluster_.send_external(p->relay_origin, p->link, payload, join2);
     };
     cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, p->facts.cpu_ops,
-                       relay);
+                       [this, p, relay] {
+      collector_.record(p->rec).t_cpu_burst +=
+          cluster_.sim().now() - p->phase_start;
+      relay();
+    });
     cluster_.send_internal(p->node, p->relay_origin, payload, relay);
     return;
   }
@@ -403,7 +451,14 @@ void SwebServer::transmit(const std::shared_ptr<Pending>& p) {
     if (--*remaining == 0) complete();
   };
   cluster_.cpu_burst(p->node, cluster::CpuUse::kFulfill, p->facts.cpu_ops,
-                     join);
+                     [this, p, join] {
+    // Marshal burst: the second half of the broker's t_cpu term (queueing
+    // on the CPU included — that is exactly what the run-queue scaling in
+    // the estimate tries to predict).
+    collector_.record(p->rec).t_cpu_burst +=
+        cluster_.sim().now() - p->phase_start;
+    join();
+  });
   cluster_.send_external(p->node, p->link, payload, join);
 }
 
@@ -460,6 +515,18 @@ void SwebServer::finish(const std::shared_ptr<Pending>& p,
     if (instruments_.completed != nullptr) instruments_.completed->inc();
     if (instruments_.response_seconds != nullptr) {
       instruments_.response_seconds->observe(rec.response_time());
+    }
+    if (audit_ != nullptr && p->audited) {
+      // Join the prediction with what actually happened: the observed
+      // t_redirection/t_data are the collector's phase durations, observed
+      // t_cpu the fork+marshal bursts, and the total runs decision → last
+      // byte leaving the server (same span the estimate covers).
+      obs::Observation observation;
+      observation.completion_ts_s = cluster_.sim().now();
+      observation.t_redirection = rec.t_redirect;
+      observation.t_data = rec.t_data;
+      observation.t_cpu = rec.t_cpu_burst;
+      audit_->record_outcome(p->rec, observation);
     }
   } else if (outcome == metrics::Outcome::kError) {
     if (instruments_.errors != nullptr) instruments_.errors->inc();

@@ -27,6 +27,7 @@
 #include "dns/dns.h"
 #include "fs/docbase.h"
 #include "metrics/collector.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "util/rng.h"
 
@@ -105,6 +106,13 @@ class SwebServer {
   /// as the simulation runs. nullptr detaches. Safe to call before start().
   void set_registry(obs::Registry* registry);
 
+  /// Attaches the scheduler decision audit: every brokered choice is
+  /// recorded (full candidate cost vector, margin) and joined with the
+  /// observed phase durations at completion, feeding the
+  /// `broker.predict_error.*` histograms. Timestamps are sim virtual time.
+  /// nullptr detaches. Bind the audit to a registry yourself.
+  void set_audit(obs::DecisionAudit* audit) { audit_ = audit; }
+
   [[nodiscard]] metrics::Collector& collector() noexcept { return collector_; }
   [[nodiscard]] const LoadSystem& loads() const noexcept { return loads_; }
   [[nodiscard]] LoadSystem& loads() noexcept { return loads_; }
@@ -134,6 +142,10 @@ class SwebServer {
   void finish(const std::shared_ptr<Pending>& p, metrics::Outcome outcome,
               int status);
   void release_node_state(const std::shared_ptr<Pending>& p);
+  /// Records the brokered choice (full candidate vector + margin) with the
+  /// attached audit. `target` is what the policy actually picked, which may
+  /// override the broker's cost-model winner.
+  void record_audit_decision(const std::shared_ptr<Pending>& p, int target);
 
   /// Per-link caching resolver (created on first use).
   dns::CachingResolver& resolver_for(cluster::ClientLinkId link);
@@ -153,6 +165,7 @@ class SwebServer {
   // Kernel-style listen queues: accepted connections waiting for a handler.
   std::vector<std::deque<std::shared_ptr<Pending>>> backlog_;
   std::function<void(std::uint64_t)> completion_hook_;
+  obs::DecisionAudit* audit_ = nullptr;
 
   // Live telemetry (optional; all nullptr when no registry is attached).
   struct Instruments {

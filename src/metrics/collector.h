@@ -50,6 +50,10 @@ struct RequestRecord {
   double t_redirect = 0.0;   // SWEB-introduced (client round-trip included)
   double t_data = 0.0;       // disk / NFS fetch
   double t_send = 0.0;       // marshalling + network to client
+  /// CPU actually burned serving (fork + marshal bursts, queueing included)
+  /// — the observed counterpart of the broker's t_cpu term. Overlaps t_send,
+  /// so it is NOT part of the finish - start sum.
+  double t_cpu_burst = 0.0;
 
   [[nodiscard]] double response_time() const noexcept {
     return finish - start;

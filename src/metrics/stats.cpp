@@ -1,25 +1,8 @@
 #include "metrics/stats.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace sweb::metrics {
-
-void OnlineStats::add(double x) noexcept {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
-double OnlineStats::variance() const noexcept {
-  if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_ - 1);
-}
-
-double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 void Samples::ensure_sorted() const {
   if (!sorted_) {

@@ -1,35 +1,17 @@
-// Streaming and sample statistics for experiment reporting.
+// Sample statistics for post-hoc experiment reporting.
+//
+// This is the *offline* half of the stats story: exact percentiles over a
+// retained sample vector, used by the simulator's Collector once a run has
+// finished. Live telemetry (streaming counters/histograms with fixed
+// buckets, approximate quantiles, Prometheus export) lives in src/obs — do
+// not grow a second streaming-stats stack here. See DESIGN.md,
+// "Two stats stacks".
 #pragma once
 
 #include <cstddef>
-#include <limits>
 #include <vector>
 
 namespace sweb::metrics {
-
-/// Welford online mean/variance plus min/max.
-class OnlineStats {
- public:
-  void add(double x) noexcept;
-
-  [[nodiscard]] std::size_t count() const noexcept { return count_; }
-  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
-  [[nodiscard]] double variance() const noexcept;
-  [[nodiscard]] double stddev() const noexcept;
-  [[nodiscard]] double min() const noexcept {
-    return count_ ? min_ : 0.0;
-  }
-  [[nodiscard]] double max() const noexcept {
-    return count_ ? max_ : 0.0;
-  }
-
- private:
-  std::size_t count_ = 0;
-  double mean_ = 0.0;
-  double m2_ = 0.0;
-  double min_ = std::numeric_limits<double>::infinity();
-  double max_ = -std::numeric_limits<double>::infinity();
-};
 
 /// Sample container with percentiles (exclusive-rank interpolation).
 class Samples {

@@ -1,0 +1,131 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sweb::obs {
+namespace {
+
+// Prediction errors are durations; the latency bucket ladder (250µs … 64s)
+// is the right resolution for them too.
+std::vector<double> error_buckets() {
+  return Registry::default_latency_buckets();
+}
+
+}  // namespace
+
+void DecisionAudit::bind_registry(Registry& registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  decisions_ = &registry.counter("broker.audit.decisions");
+  joined_ = &registry.counter("broker.audit.joined");
+  orphaned_ = &registry.counter("broker.audit.orphaned");
+  evicted_ = &registry.counter("broker.audit.evicted");
+  mispredict_ = &registry.counter("oracle.mispredict");
+  err_redirection_ = &registry.histogram("broker.predict_error.t_redirection",
+                                         error_buckets());
+  err_data_ =
+      &registry.histogram("broker.predict_error.t_data", error_buckets());
+  err_cpu_ =
+      &registry.histogram("broker.predict_error.t_cpu", error_buckets());
+  err_total_ =
+      &registry.histogram("broker.predict_error.total", error_buckets());
+  margin_ = &registry.histogram("broker.decision.margin", error_buckets());
+}
+
+void DecisionAudit::record_decision(Decision decision) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (decisions_ != nullptr) decisions_->inc();
+  if (margin_ != nullptr) {
+    // The histogram cannot represent negative values; a policy override
+    // (margin < 0) is recorded as zero advantage. A sole-candidate margin
+    // (+inf) is clamped so the histogram sum stays finite. The signed value
+    // stays available on the pending Decision itself.
+    margin_->observe(std::clamp(decision.runner_up_margin, 0.0, 1e6));
+  }
+  while (pending_.size() >= params_.max_pending && !pending_.empty()) {
+    pending_.erase(pending_.begin());
+    if (evicted_ != nullptr) evicted_->inc();
+  }
+  const std::uint64_t id = decision.request_id;
+  pending_.insert_or_assign(id, std::move(decision));
+}
+
+bool DecisionAudit::record_outcome(std::uint64_t request_id,
+                                   const Observation& observation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) {
+    if (orphaned_ != nullptr) orphaned_->inc();
+    return false;
+  }
+  const Decision decision = std::move(it->second);
+  pending_.erase(it);
+  if (joined_ != nullptr) joined_->inc();
+
+  double observed_redirection = observation.t_redirection;
+  if (observed_redirection < 0.0 && observation.service_start_ts_s >= 0.0) {
+    observed_redirection =
+        observation.service_start_ts_s - decision.decision_ts_s;
+  }
+  double observed_total = observation.total;
+  if (observed_total < 0.0 && observation.completion_ts_s >= 0.0) {
+    observed_total = observation.completion_ts_s - decision.decision_ts_s;
+  }
+
+  if (observed_redirection >= 0.0) {
+    observe_error(err_redirection_, decision.predicted.t_redirection,
+                  observed_redirection);
+  }
+  if (observation.t_data >= 0.0) {
+    observe_error(err_data_, decision.predicted.t_data, observation.t_data);
+    if (diverges(decision.predicted.t_data, observation.t_data) &&
+        mispredict_ != nullptr) {
+      mispredict_->inc();
+    }
+  }
+  if (observation.t_cpu >= 0.0) {
+    observe_error(err_cpu_, decision.predicted.t_cpu, observation.t_cpu);
+    if (diverges(decision.predicted.t_cpu, observation.t_cpu) &&
+        mispredict_ != nullptr) {
+      mispredict_->inc();
+    }
+  }
+  if (observed_total >= 0.0) {
+    observe_error(err_total_, decision.predicted.total(), observed_total);
+  }
+  return true;
+}
+
+std::optional<Decision> DecisionAudit::pending(
+    std::uint64_t request_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DecisionAudit::pending_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+void DecisionAudit::observe_error(Histogram* histogram, double predicted,
+                                  double observed) {
+  if (histogram == nullptr) return;
+  histogram->observe(std::abs(observed - predicted));
+}
+
+bool DecisionAudit::diverges(double predicted, double observed) const {
+  // Both sides under the floor: too small to judge either way.
+  if (predicted < params_.mispredict_floor_s &&
+      observed < params_.mispredict_floor_s) {
+    return false;
+  }
+  const double lo = std::max(std::min(predicted, observed), 0.0);
+  const double hi = std::max(predicted, observed);
+  if (lo <= 0.0) return hi >= params_.mispredict_floor_s;
+  return hi / lo > params_.mispredict_factor;
+}
+
+}  // namespace sweb::obs

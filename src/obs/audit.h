@@ -1,0 +1,144 @@
+// Scheduler decision audit: the cost model graded against reality.
+//
+// The paper's whole contribution is the broker's estimate
+// t_s = t_redirection + t_data + t_cpu + t_net, yet SWEB never checked how
+// well those predictions matched the completion times it actually saw. The
+// DecisionAudit closes that loop: at decision time the scheduler records the
+// per-candidate cost vector, the chosen node, and the runner-up margin; when
+// the request completes, the serving side reports the observed phase
+// durations and the audit publishes per-term prediction-error histograms
+// (`broker.predict_error.t_data`, `.t_cpu`, `.t_redirection`, `.total`) plus
+// an `oracle.mispredict` counter for estimates off by more than a
+// configurable factor.
+//
+// Timestamps are caller-supplied seconds on one shared clock — the simulator
+// feeds virtual time, the sockets runtime feeds its LoadBoard's wall clock —
+// so the audit behaves identically in both worlds. A decision and its
+// outcome may arrive from different nodes (the 302 moved the request): the
+// join is keyed by the request id that the redirect propagates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace sweb::obs {
+
+/// The paper's cost terms, as predicted for one candidate node.
+struct CostPrediction {
+  double t_redirection = 0.0;
+  double t_data = 0.0;
+  double t_cpu = 0.0;
+  double t_net = 0.0;
+  [[nodiscard]] double total() const noexcept {
+    return t_redirection + t_data + t_cpu + t_net;
+  }
+};
+
+struct CandidatePrediction {
+  int node = -1;
+  CostPrediction cost;
+};
+
+/// One brokered scheduling decision, recorded where it was made.
+struct Decision {
+  std::uint64_t request_id = 0;
+  int origin = -1;  // node that ran the broker
+  int chosen = -1;  // node selected to serve (may equal origin)
+  double decision_ts_s = 0.0;  // shared clock (virtual or wall)
+  CostPrediction predicted;    // the chosen node's cost vector
+  /// Best alternative's total minus the chosen total. Positive: the winner
+  /// won by this much. Negative: the policy overrode the cost model (e.g.
+  /// file-locality picking a node the broker priced worse).
+  double runner_up_margin = 0.0;
+  /// Full per-candidate vector (optional; empty when the caller only knows
+  /// the winner).
+  std::vector<CandidatePrediction> candidates;
+};
+
+/// What the serving side measured once the request finished.
+struct Observation {
+  /// When fulfillment began at the serving node (shared clock). Supplies
+  /// the observed t_redirection (service start minus decision time) when no
+  /// explicit value is given. < 0: unknown.
+  double service_start_ts_s = -1.0;
+  /// When the response was done (shared clock); with the decision timestamp
+  /// this yields the observed total. < 0: unknown.
+  double completion_ts_s = -1.0;
+  // Explicit observed durations in seconds; < 0 means "not measured" and
+  // that term's histogram is skipped. t_redirection, when >= 0, wins over
+  // the timestamp-derived value.
+  double t_redirection = -1.0;
+  double t_data = -1.0;
+  double t_cpu = -1.0;
+  double total = -1.0;
+};
+
+struct AuditParams {
+  /// `oracle.mispredict` fires when observed/predicted (or its inverse) for
+  /// the CPU or data term exceeds this factor.
+  double mispredict_factor = 4.0;
+  /// Terms where both sides are below this are too small to judge.
+  double mispredict_floor_s = 1e-3;
+  /// Decisions waiting for an outcome; the oldest is evicted beyond this
+  /// (requests that died without completing must not leak).
+  std::size_t max_pending = 4096;
+};
+
+class DecisionAudit {
+ public:
+  explicit DecisionAudit(AuditParams params = {}) : params_(params) {}
+  DecisionAudit(const DecisionAudit&) = delete;
+  DecisionAudit& operator=(const DecisionAudit&) = delete;
+
+  /// Registers the audit's instruments. Call once, before traffic; without
+  /// a registry the audit still joins (pending() works) but publishes
+  /// nothing.
+  void bind_registry(Registry& registry);
+
+  /// Records a decision, evicting the oldest pending one if at capacity.
+  void record_decision(Decision decision);
+
+  /// Joins `observation` with the pending decision for `request_id` and
+  /// publishes the per-term errors. False (and `broker.audit.orphaned`)
+  /// when no decision is pending under that id.
+  bool record_outcome(std::uint64_t request_id,
+                      const Observation& observation);
+
+  /// The pending (not yet joined) decision for `request_id`, if any.
+  [[nodiscard]] std::optional<Decision> pending(
+      std::uint64_t request_id) const;
+  [[nodiscard]] std::size_t pending_count() const;
+
+  [[nodiscard]] const AuditParams& params() const noexcept { return params_; }
+
+ private:
+  /// |observed - predicted| into `histogram` (no-op when unbound).
+  static void observe_error(Histogram* histogram, double predicted,
+                            double observed);
+  [[nodiscard]] bool diverges(double predicted, double observed) const;
+
+  AuditParams params_;
+  mutable std::mutex mutex_;
+  // Keyed by request id; ids are issued monotonically, so begin() is the
+  // oldest decision — eviction is O(log n).
+  std::map<std::uint64_t, Decision> pending_;
+
+  // Instruments (null until bind_registry).
+  Counter* decisions_ = nullptr;
+  Counter* joined_ = nullptr;
+  Counter* orphaned_ = nullptr;
+  Counter* evicted_ = nullptr;
+  Counter* mispredict_ = nullptr;
+  Histogram* err_redirection_ = nullptr;
+  Histogram* err_data_ = nullptr;
+  Histogram* err_cpu_ = nullptr;
+  Histogram* err_total_ = nullptr;
+  Histogram* margin_ = nullptr;
+};
+
+}  // namespace sweb::obs

@@ -268,8 +268,265 @@ class Checker {
   std::size_t pos_ = 0;
 };
 
+/// Recursive-descent parser sharing the Checker's grammar, but building a
+/// JsonValue. Kept separate so the validator stays allocation-free.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (depth_ > kMaxDepth) return false;
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return string(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++depth_;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) { --depth_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (!consume('}')) return false;
+      --depth_;
+      return true;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++depth_;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) { --depth_; return true; }
+    while (true) {
+      skip_ws();
+      JsonValue element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (consume(',')) continue;
+      if (!consume(']')) return false;
+      --depth_;
+      return true;
+    }
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool hex4(std::uint32_t& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) return false;
+      const char c = text_[pos_];
+      if (!std::isxdigit(static_cast<unsigned char>(c))) return false;
+      out = out * 16 +
+            static_cast<std::uint32_t>(
+                std::isdigit(static_cast<unsigned char>(c))
+                    ? c - '0'
+                    : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          // Surrogate pair: a high surrogate must be followed by \uDC00..
+          if (cp >= 0xD800 && cp <= 0xDBFF && literal("\\u")) {
+            std::uint32_t low = 0;
+            if (!hex4(low) || low < 0xDC00 || low > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t begin = pos_;
+    (void)consume('-');
+    const auto digits = [this] {
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+      return true;
+    };
+    if (consume('0')) {
+      // leading zero: no further integer digits allowed
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number =
+        std::strtod(std::string(text_.substr(begin, pos_ - begin)).c_str(),
+                    nullptr);
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 128;  // stack-overflow guard
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void serialize_value(const JsonValue& v, JsonWriter& w) {
+  switch (v.type) {
+    case JsonValue::Type::kNull: w.raw("null"); break;
+    case JsonValue::Type::kBool: w.value(v.boolean); break;
+    case JsonValue::Type::kNumber: w.value(v.number); break;
+    case JsonValue::Type::kString: w.value(v.string); break;
+    case JsonValue::Type::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.array) serialize_value(e, w);
+      w.end_array();
+      break;
+    case JsonValue::Type::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members) {
+        w.key(key);
+        serialize_value(member, w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
 }  // namespace
 
 bool json_is_valid(std::string_view text) { return Checker(text).run(); }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->type != Type::kNumber) return fallback;
+  return v->number;
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+std::string json_serialize(const JsonValue& value) {
+  JsonWriter w;
+  serialize_value(value, w);
+  return w.str();
+}
 
 }  // namespace sweb::obs

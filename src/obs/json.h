@@ -1,16 +1,21 @@
-// Minimal JSON emission (and validation) for the telemetry layer.
+// Minimal JSON emission, validation, and parsing for the telemetry layer.
 //
 // The observability outputs — /sweb/status bodies, Chrome trace_event files,
 // metrics snapshots — are all JSON, and the repo deliberately has no
 // third-party dependencies. JsonWriter covers exactly the subset we emit
 // (objects, arrays, strings, numbers, booleans) with correct string escaping;
 // json_is_valid() is a strict syntax checker used by tests to round-trip
-// every producer.
+// every producer; json_parse() builds a JsonValue DOM for the consumers we
+// now have on the other side of the wire (the swebtop aggregator scraping
+// /sweb/status, the cross-node trace merger).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace sweb::obs {
 
@@ -64,5 +69,37 @@ class JsonWriter {
 /// Strict JSON syntax check (RFC 8259 grammar; no extensions, no trailing
 /// garbage). Used by tests to validate everything the layer emits.
 [[nodiscard]] bool json_is_valid(std::string_view text);
+
+/// Parsed JSON document. Objects keep their members in source order (our
+/// producers emit deterministic layouts; diffs stay readable on re-emit).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects only
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// The member's number if present and numeric, else `fallback`.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const;
+};
+
+/// Parses one JSON document under the same strict grammar json_is_valid
+/// checks (`\uXXXX` escapes are decoded to UTF-8). nullopt on any error.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+/// Re-emits a parsed value as compact JSON (numbers via json_number).
+[[nodiscard]] std::string json_serialize(const JsonValue& value);
 
 }  // namespace sweb::obs

@@ -1,0 +1,75 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+
+#include "obs/json.h"
+
+namespace sweb::obs {
+namespace {
+
+void append_type(std::string& out, const std::string& name,
+                 std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "sweb_";
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const RegistrySnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "counter");
+    out += prom;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "gauge");
+    out += prom;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prom = prometheus_name(name);
+    append_type(out, prom, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      cumulative += hist.bucket_counts[i];
+      out += prom;
+      out += "_bucket{le=\"";
+      out += i < hist.upper_bounds.size() ? json_number(hist.upper_bounds[i])
+                                          : std::string("+Inf");
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += prom;
+    out += "_sum ";
+    out += json_number(hist.sum);
+    out += '\n';
+    out += prom;
+    out += "_count ";
+    out += std::to_string(hist.count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sweb::obs

@@ -1,0 +1,28 @@
+// Prometheus text exposition (format version 0.0.4) for the obs registry.
+//
+// /sweb/status is our own JSON shape; /sweb/metrics renders the same
+// registry snapshot in the format every Prometheus-compatible scraper
+// already understands: `# TYPE` headers, `sweb_`-prefixed sanitized names,
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count` for
+// histograms.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace sweb::obs {
+
+/// Maps a dotted registry name onto the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* — dots and other invalid characters become
+/// underscores and the result gains a `sweb_` namespace prefix:
+///   "broker.predict_error.t_data" -> "sweb_broker_predict_error_t_data".
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Renders the whole snapshot as text exposition format 0.0.4. Counters
+/// come out as `counter`, gauges as `gauge`, histograms as `histogram`
+/// with cumulative buckets ending in le="+Inf".
+[[nodiscard]] std::string prometheus_text(const RegistrySnapshot& snap);
+
+}  // namespace sweb::obs

@@ -100,4 +100,29 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
   return w.str();
 }
 
+double histogram_quantile(const RegistrySnapshot::HistogramValue& hist,
+                          double q) {
+  if (hist.count == 0 || hist.bucket_counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(hist.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = hist.bucket_counts[i];
+    if (in_bucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= hist.upper_bounds.size()) {
+      // Overflow bucket: no finite upper edge to interpolate toward.
+      return hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back();
+    }
+    const double hi = hist.upper_bounds[i];
+    const double lo = i == 0 ? 0.0 : hist.upper_bounds[i - 1];
+    const double fraction =
+        (target - before) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+  }
+  return hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back();
+}
+
 }  // namespace sweb::obs

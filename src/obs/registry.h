@@ -130,4 +130,11 @@ class Registry {
 /// Renders a snapshot as the same JSON shape Registry::to_json emits.
 [[nodiscard]] std::string snapshot_json(const RegistrySnapshot& snap);
 
+/// Estimates the q-quantile (q in [0,1]) of a snapshotted histogram by
+/// linear interpolation within the bucket holding the target rank —
+/// Prometheus' histogram_quantile() semantics. Samples in the +inf overflow
+/// bucket clamp to the last finite bound. Returns 0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(
+    const RegistrySnapshot::HistogramValue& hist, double q);
+
 }  // namespace sweb::obs

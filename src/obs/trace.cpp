@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
+#include <sstream>
 
 #include "obs/json.h"
 
@@ -112,6 +114,59 @@ bool SpanTracer::write_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   write_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::string> merge_chrome_traces(
+    const std::vector<std::string>& docs) {
+  JsonValue merged;
+  merged.type = JsonValue::Type::kObject;
+  JsonValue unit;
+  unit.type = JsonValue::Type::kString;
+  unit.string = "ms";
+  merged.members.emplace_back("displayTimeUnit", std::move(unit));
+  JsonValue events;
+  events.type = JsonValue::Type::kArray;
+
+  // Every node's file re-announces the same metadata (process_name per
+  // pid); keep the first occurrence of each identical "M" event.
+  std::set<std::string> seen_metadata;
+  for (const std::string& doc : docs) {
+    std::optional<JsonValue> parsed = json_parse(doc);
+    if (!parsed.has_value()) return std::nullopt;
+    const JsonValue* trace_events = parsed->find("traceEvents");
+    if (trace_events == nullptr || !trace_events->is_array()) {
+      return std::nullopt;
+    }
+    for (const JsonValue& event : trace_events->array) {
+      const JsonValue* ph = event.find("ph");
+      if (ph != nullptr && ph->type == JsonValue::Type::kString &&
+          ph->string == "M") {
+        if (!seen_metadata.insert(json_serialize(event)).second) continue;
+      }
+      events.array.push_back(event);
+    }
+  }
+  merged.members.emplace_back("traceEvents", std::move(events));
+  return json_serialize(merged);
+}
+
+bool merge_chrome_trace_files(const std::vector<std::string>& paths,
+                              const std::string& out_path) {
+  std::vector<std::string> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    docs.push_back(std::move(buffer).str());
+  }
+  const std::optional<std::string> merged = merge_chrome_traces(docs);
+  if (!merged.has_value()) return false;
+  std::ofstream out(out_path);
+  if (!out) return false;
+  out << *merged;
   return static_cast<bool>(out);
 }
 

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -83,5 +84,20 @@ class SpanTracer {
   std::vector<TraceSpan> spans_;
   std::vector<std::pair<std::int64_t, std::string>> process_names_;
 };
+
+/// Merges several Chrome trace JSON documents (each the object form
+/// write_chrome_json emits) into one: the traceEvents arrays are
+/// concatenated in input order and duplicated "M" metadata events (e.g. the
+/// same process_name announced by every node's file) are dropped. With the
+/// request id propagated across the 302 redirect, the origin and target
+/// nodes' spans share a tid and stitch into one logical trace here.
+/// nullopt when any input fails to parse or lacks a traceEvents array.
+[[nodiscard]] std::optional<std::string> merge_chrome_traces(
+    const std::vector<std::string>& docs);
+
+/// File variant: reads every path, writes the merged document to
+/// `out_path`. False on I/O or parse failure.
+bool merge_chrome_trace_files(const std::vector<std::string>& paths,
+                              const std::string& out_path);
 
 }  // namespace sweb::obs

@@ -10,6 +10,7 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
   assert(num_nodes > 0);
   docs_.bind_registry(registry_);
   board_.bind_registry(registry_);
+  audit_.bind_registry(registry_);
   std::vector<std::uint16_t> ports;
   for (int n = 0; n < num_nodes; ++n) {
     NodeServer::Config cfg;
@@ -17,6 +18,7 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
     cfg.broker = broker;
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
+    cfg.audit = &audit_;
     servers_.push_back(std::make_unique<NodeServer>(cfg, docs_, board_));
     ports.push_back(servers_.back()->port());
   }

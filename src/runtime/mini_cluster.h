@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "fs/docbase.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "runtime/doc_store.h"
@@ -51,12 +52,20 @@ class MiniCluster {
   /// Request tracer, disabled by default; call
   /// `tracer().set_enabled(true)` before start() to record phase spans.
   [[nodiscard]] obs::SpanTracer& tracer() noexcept { return tracer_; }
+  /// Shared scheduler decision audit: origin nodes record brokered choices,
+  /// serving nodes join them with observed durations — the
+  /// `broker.predict_error.*` histograms land in registry().
+  [[nodiscard]] obs::DecisionAudit& audit() noexcept { return audit_; }
+  [[nodiscard]] const obs::DecisionAudit& audit() const noexcept {
+    return audit_;
+  }
 
  private:
   DocStore docs_;
   LoadBoard board_;
   obs::Registry registry_;
   obs::SpanTracer tracer_{/*enabled=*/false};
+  obs::DecisionAudit audit_;
   std::vector<std::unique_ptr<NodeServer>> servers_;
   std::size_t rotation_ = 0;
 };

@@ -1,6 +1,8 @@
 #include "runtime/node_server.h"
 
+#include <charconv>
 #include <limits>
+#include <optional>
 
 #include "http/message.h"
 #include "http/date.h"
@@ -8,12 +10,54 @@
 #include "http/parser.h"
 #include "http/url.h"
 #include "obs/json.h"
+#include "obs/prometheus.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace sweb::runtime {
 
 using namespace std::chrono_literals;
+
+namespace {
+
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end || value == 0) return std::nullopt;
+  return value;
+}
+
+/// The request id a redirected request carries back in: the
+/// X-SWEB-Request-Id header, or the `sweb-rid` query parameter (the form
+/// that survives a standard browser following the 302's Location).
+[[nodiscard]] std::optional<std::uint64_t> incoming_request_id(
+    const http::Request& request) {
+  if (const auto header = request.headers.get("X-SWEB-Request-Id")) {
+    if (const auto id = parse_u64(*header)) return id;
+  }
+  const std::string& target = request.target;
+  constexpr std::string_view kParam = "sweb-rid=";
+  for (std::size_t at = target.find(kParam); at != std::string::npos;
+       at = target.find(kParam, at + 1)) {
+    // Require a separator before the key so "xsweb-rid=" doesn't match.
+    if (at > 0 && target[at - 1] != '?' && target[at - 1] != '&') continue;
+    std::size_t end = at + kParam.size();
+    while (end < target.size() &&
+           target[end] >= '0' && target[end] <= '9') {
+      ++end;
+    }
+    if (const auto id =
+            parse_u64(std::string_view(target).substr(at + kParam.size(),
+                                                      end - at -
+                                                          kParam.size()))) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     : config_(std::move(config)), docs_(docs), board_(board), listener_(0) {
@@ -111,8 +155,6 @@ void NodeServer::handle_connection(TcpStream stream) {
   for (int served = 0; served < config_.max_requests_per_connection;
        ++served) {
     const bool tracing_on = tracing();
-    const std::uint64_t trace_id =
-        tracing_on ? config_.tracer->next_request_id() : 0;
     const double t_parse_start =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
     const auto wall_start = std::chrono::steady_clock::now();
@@ -134,6 +176,19 @@ void NodeServer::handle_connection(TcpStream stream) {
       if (state == http::ParseResult::kComplete) {
         leftover.assign(chunk.data, consumed,
                         chunk.data.size() - consumed);
+      }
+    }
+    // Resolve the request id only once the request is parsed: a redirected
+    // request carries the id its origin node assigned (header or query
+    // param), and reusing it is what stitches the two nodes' spans — and
+    // the audit's decision/outcome — into one logical request.
+    std::uint64_t trace_id = 0;
+    if (tracing_on || config_.audit != nullptr) {
+      if (state == http::ParseResult::kComplete) {
+        const auto incoming = incoming_request_id(parser.message());
+        trace_id = incoming ? *incoming : next_request_id();
+      } else {
+        trace_id = next_request_id();
       }
     }
     if (tracing_on) {
@@ -219,6 +274,9 @@ http::Response NodeServer::process_request(const http::Request& request,
   if (canonical->path == "/sweb/status") {
     return finish(status_response());
   }
+  if (canonical->path == "/sweb/metrics") {
+    return finish(metrics_response());
+  }
 
   const DocStore::Entry* doc = docs_.find(canonical->path);
   if (doc == nullptr) {
@@ -253,6 +311,10 @@ http::Response NodeServer::process_request(const http::Request& request,
     const double t_analysis =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
     const int target = choose_node(doc->owner);
+    if (config_.audit != nullptr && trace_id != 0) {
+      record_audit_decision(trace_id, target,
+                            static_cast<double>(doc->content.size()));
+    }
     if (tracing_on) {
       trace_span("analysis", trace_id, t_analysis,
                  config_.tracer->now_seconds() - t_analysis);
@@ -267,20 +329,44 @@ http::Response NodeServer::process_request(const http::Request& request,
             config_.tracer->now_seconds(), self,
             static_cast<std::int64_t>(trace_id));
       }
-      const std::string query = canonical->query.empty()
-                                    ? "sweb-hop=1"
-                                    : canonical->query + "&sweb-hop=1";
+      // The at-most-once marker and the request id both ride the Location
+      // query string: they must survive a standard browser that follows
+      // the 302 without copying any custom headers.
+      std::string query = canonical->query.empty()
+                              ? "sweb-hop=1"
+                              : canonical->query + "&sweb-hop=1";
+      if (trace_id != 0) {
+        query += "&sweb-rid=" + std::to_string(trace_id);
+      }
       const std::string location =
           "http://127.0.0.1:" +
           std::to_string(peer_ports_[static_cast<std::size_t>(target)]) +
           canonical->path + "?" + query;
-      return finish(http::make_redirect(location));
+      http::Response moved = http::make_redirect(location);
+      if (trace_id != 0) {
+        moved.headers.set("X-SWEB-Request-Id", std::to_string(trace_id));
+      }
+      return finish(std::move(moved));
     }
   }
 
   // --- Fulfill -------------------------------------------------------------
   const bool tracing_on = tracing();
   const double t_data = tracing_on ? config_.tracer->now_seconds() : 0.0;
+  // Shared-clock service start: joined with the origin node's decision
+  // timestamp, this is the observed t_redirection.
+  const double service_start = board_.now_seconds();
+  const auto record_outcome = [&] {
+    if (config_.audit == nullptr || trace_id == 0) return;
+    obs::Observation observation;
+    observation.service_start_ts_s = service_start;
+    observation.completion_ts_s = board_.now_seconds();
+    // The whole fulfill phase (content fetch/CGI) stands in for t_data;
+    // the runtime has no separate CPU-burst measurement (t_cpu stays
+    // unmeasured).
+    observation.t_data = observation.completion_ts_s - service_start;
+    config_.audit->record_outcome(trace_id, observation);
+  };
   http::Response ok;
   if (cgi != nullptr) {
     // Dynamic content: execute the registered handler with the query (GET)
@@ -298,6 +384,7 @@ http::Response NodeServer::process_request(const http::Request& request,
             "Last-Modified", http::format_http_date(doc->last_modified));
         not_modified.headers.add("X-Sweb-Node", std::to_string(self));
         board_.note_served(self);
+        record_outcome();
         return finish(std::move(not_modified));
       }
     }
@@ -315,8 +402,81 @@ http::Response NodeServer::process_request(const http::Request& request,
                config_.tracer->now_seconds() - t_data);
   }
   ok.headers.add("X-Sweb-Node", std::to_string(self));
+  if (trace_id != 0) {
+    ok.headers.set("X-SWEB-Request-Id", std::to_string(trace_id));
+  }
   board_.note_served(self);
+  record_outcome();
   return finish(ok);
+}
+
+std::uint64_t NodeServer::next_request_id() {
+  // The shared tracer's counter keeps ids cluster-unique (it works even
+  // when tracing itself is disabled); a lone node falls back to its own.
+  if (config_.tracer != nullptr) return config_.tracer->next_request_id();
+  return local_ids_.fetch_add(1, std::memory_order_relaxed);
+}
+
+obs::CostPrediction NodeServer::predict_cost(
+    int candidate, double size_bytes,
+    const std::vector<NodeLoad>& loads) const {
+  const RuntimeBrokerParams& p = config_.broker;
+  const double queue =
+      candidate >= 0 && candidate < static_cast<int>(loads.size())
+          ? static_cast<double>(
+                loads[static_cast<std::size_t>(candidate)]
+                    .effective_connections())
+          : 0.0;
+  obs::CostPrediction cost;
+  if (candidate != config_.node_id) cost.t_redirection = p.redirect_rtt_s;
+  // Both the data channel and the CPU degrade with the candidate's queue —
+  // the runtime analogue of the paper's b/(1+queue) and ops*run_queue
+  // scalings.
+  cost.t_data = size_bytes / p.disk_bytes_per_sec * (1.0 + queue);
+  cost.t_cpu = p.request_cpu_s * (1.0 + queue);
+  return cost;
+}
+
+void NodeServer::record_audit_decision(std::uint64_t request_id, int target,
+                                       double size_bytes) const {
+  const std::vector<NodeLoad> loads = board_.snapshot_all();
+  obs::Decision decision;
+  decision.request_id = request_id;
+  decision.origin = config_.node_id;
+  decision.chosen = target;
+  decision.decision_ts_s = board_.now_seconds();
+  double best_other = std::numeric_limits<double>::infinity();
+  for (int n = 0; n < static_cast<int>(loads.size()); ++n) {
+    if (n != config_.node_id &&
+        !loads[static_cast<std::size_t>(n)].available) {
+      continue;
+    }
+    obs::CandidatePrediction candidate;
+    candidate.node = n;
+    candidate.cost = predict_cost(n, size_bytes, loads);
+    if (n == target) {
+      decision.predicted = candidate.cost;
+    } else {
+      best_other = std::min(best_other, candidate.cost.total());
+    }
+    decision.candidates.push_back(std::move(candidate));
+  }
+  // Connection counts decide, the cost model only narrates — so the margin
+  // (and a negative one) reports how the model prices the heuristic's pick.
+  decision.runner_up_margin = best_other - decision.predicted.total();
+  config_.audit->record_decision(std::move(decision));
+}
+
+http::Response NodeServer::metrics_response() const {
+  if (config_.registry == nullptr) {
+    return http::make_error(http::Status::kNotFound,
+                            "no metrics registry attached");
+  }
+  http::Response response =
+      http::make_ok(obs::prometheus_text(config_.registry->snapshot()),
+                    "text/plain; version=0.0.4; charset=utf-8");
+  response.headers.set("Cache-Control", "no-store");
+  return response;
 }
 
 http::Response NodeServer::status_response() const {

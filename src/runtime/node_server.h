@@ -8,8 +8,12 @@
 //
 // Observability: every node serves GET /sweb/status — a JSON snapshot of
 // its loadd view (each peer's last update and age, Δ-inflation), its own
-// counters, and the attached registry. With a SpanTracer attached, each
-// request leaves preprocess/analysis/redirect/data/send spans in real time.
+// counters, and the attached registry — and GET /sweb/metrics, the same
+// registry in Prometheus text-exposition format. With a SpanTracer
+// attached, each request leaves preprocess/analysis/redirect/data/send
+// spans in real time; the request id is propagated through the 302
+// (`sweb-rid` query param + X-SWEB-Request-Id header) so the origin and
+// target nodes' spans stitch into one logical trace.
 #pragma once
 
 #include <atomic>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "http/message.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "runtime/doc_store.h"
@@ -37,6 +42,15 @@ struct RuntimeBrokerParams {
   /// Redirect to the owner when our own queue is at least this long.
   int locality_pull_threshold = 0;
   bool enable_redirects = true;
+
+  // Cost-prediction constants for the decision audit. The runtime broker
+  // decides on connection counts; these let it also express that decision
+  // in the paper's cost terms (t_redirection + t_data + t_cpu) so the
+  // audit can grade the prediction against observed durations. They do NOT
+  // influence which node is chosen.
+  double redirect_rtt_s = 1e-3;        // loopback 302 + reconnect
+  double disk_bytes_per_sec = 20e6;    // per-request data bandwidth
+  double request_cpu_s = 2e-4;         // parse + serve CPU per request
 };
 
 class NodeServer {
@@ -52,6 +66,12 @@ class NodeServer {
     /// Optional telemetry sinks (typically the MiniCluster's; may be null).
     obs::Registry* registry = nullptr;
     obs::SpanTracer* tracer = nullptr;
+    /// Shared decision audit: the origin node records the brokered choice,
+    /// the serving node joins it with observed durations. The request id
+    /// rides the 302 (`sweb-rid` query param / X-SWEB-Request-Id header)
+    /// so cross-node joins land; timestamps come from the shared
+    /// LoadBoard clock.
+    obs::DecisionAudit* audit = nullptr;
   };
 
   /// Binds an ephemeral loopback port immediately; serving starts at
@@ -88,9 +108,26 @@ class NodeServer {
 
   /// The /sweb/status introspection body: this node's view of the world.
   [[nodiscard]] http::Response status_response() const;
+  /// The /sweb/metrics body: the registry in Prometheus text format.
+  [[nodiscard]] http::Response metrics_response() const;
 
   /// Chooses the serving node for `path` owned by `owner`; may be self.
   [[nodiscard]] int choose_node(int owner) const;
+
+  /// The runtime cost prediction for serving `size_bytes` on `candidate`
+  /// (board loads included) — audit bookkeeping only, never a decision
+  /// input.
+  [[nodiscard]] obs::CostPrediction predict_cost(
+      int candidate, double size_bytes,
+      const std::vector<NodeLoad>& loads) const;
+  /// Records the brokered choice with the shared audit (no-op when
+  /// detached).
+  void record_audit_decision(std::uint64_t request_id, int target,
+                             double size_bytes) const;
+
+  /// Fresh cluster-unique request id (tracer-backed when one is attached,
+  /// else node-local).
+  [[nodiscard]] std::uint64_t next_request_id();
 
   [[nodiscard]] bool tracing() const noexcept {
     return config_.tracer != nullptr && config_.tracer->enabled();
@@ -105,6 +142,7 @@ class NodeServer {
   std::vector<std::uint16_t> peer_ports_;
   std::jthread thread_;
   std::atomic<std::uint64_t> handled_{0};
+  std::atomic<std::uint64_t> local_ids_{1};  // fallback id source, no tracer
   std::chrono::steady_clock::time_point started_at_{};
 
   // Cached registry instruments (null when no registry attached).

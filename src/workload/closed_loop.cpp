@@ -24,6 +24,8 @@ ClosedLoopResult run_closed_loop(const ExperimentSpec& base,
   }
   core::SwebServer server(cluster, base.docbase, core::Oracle::builtin(),
                           core::make_policy(base.policy), base.server, rng);
+  if (base.registry != nullptr) server.set_registry(base.registry);
+  if (base.audit != nullptr) server.set_audit(base.audit);
   server.start();
   if (base.on_start) base.on_start(server, sim);
 

@@ -90,6 +90,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   core::SwebServer server(cluster, spec.docbase, core::Oracle::builtin(),
                           core::make_policy(spec.policy), spec.server, rng);
   if (spec.registry != nullptr) server.set_registry(spec.registry);
+  if (spec.audit != nullptr) server.set_audit(spec.audit);
   server.start();
   if (spec.on_start) spec.on_start(server, sim);
 

@@ -78,6 +78,10 @@ struct ExperimentSpec {
   /// Optional live telemetry: the server, broker, and page caches register
   /// and update named instruments here while the experiment runs.
   obs::Registry* registry = nullptr;
+  /// Optional scheduler decision audit: predictions recorded at analysis
+  /// time, joined with observed phase durations at completion. Bind it to
+  /// `registry` before the run to get `broker.predict_error.*` populated.
+  obs::DecisionAudit* audit = nullptr;
   /// Hook called right before the simulation runs (fault injection etc.).
   std::function<void(core::SwebServer&, sim::Simulation&)> on_start;
 };

@@ -1,0 +1,260 @@
+// DecisionAudit: record/join semantics, eviction, mispredict detection, and
+// end-to-end population of the broker.predict_error.* histograms in both
+// worlds — the virtual-time simulator and the real-sockets MiniCluster.
+#include "obs/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "cluster/config.h"
+#include "fs/docbase.h"
+#include "http/message.h"
+#include "obs/registry.h"
+#include "runtime/client.h"
+#include "runtime/mini_cluster.h"
+#include "workload/scenario.h"
+
+namespace sweb::obs {
+namespace {
+
+Decision make_decision(std::uint64_t id, double ts = 1.0) {
+  Decision d;
+  d.request_id = id;
+  d.origin = 0;
+  d.chosen = 1;
+  d.decision_ts_s = ts;
+  d.predicted.t_redirection = 0.010;
+  d.predicted.t_data = 0.100;
+  d.predicted.t_cpu = 0.020;
+  d.runner_up_margin = 0.005;
+  return d;
+}
+
+TEST(DecisionAudit, JoinPublishesPerTermErrors) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+
+  audit.record_decision(make_decision(7));
+  ASSERT_TRUE(audit.pending(7).has_value());
+  EXPECT_EQ(audit.pending(7)->chosen, 1);
+  EXPECT_EQ(audit.pending_count(), 1u);
+
+  Observation seen;
+  seen.t_redirection = 0.012;
+  seen.t_data = 0.090;
+  seen.t_cpu = 0.025;
+  seen.total = 0.140;
+  EXPECT_TRUE(audit.record_outcome(7, seen));
+  EXPECT_EQ(audit.pending_count(), 0u);
+  EXPECT_FALSE(audit.pending(7).has_value());
+
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("broker.audit.decisions"), 1u);
+  EXPECT_EQ(snap.counters.at("broker.audit.joined"), 1u);
+  for (const char* name :
+       {"broker.predict_error.t_redirection", "broker.predict_error.t_data",
+        "broker.predict_error.t_cpu", "broker.predict_error.total"}) {
+    EXPECT_EQ(snap.histograms.at(name).count, 1u) << name;
+  }
+  // The error recorded is |observed − predicted|: |0.090 − 0.100| = 0.010.
+  EXPECT_NEAR(snap.histograms.at("broker.predict_error.t_data").sum, 0.010,
+              1e-9);
+  // 0.9x observed/predicted is nowhere near the 4x divergence factor.
+  EXPECT_EQ(snap.counters.at("oracle.mispredict"), 0u);
+}
+
+TEST(DecisionAudit, TimestampsSupplyRedirectionAndTotal) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+  audit.record_decision(make_decision(3, /*ts=*/1.0));
+
+  // No explicit durations: t_redirection derives from service start minus
+  // decision time, total from completion minus decision time; the
+  // unmeasured data/cpu terms stay out of their histograms.
+  Observation seen;
+  seen.service_start_ts_s = 1.5;
+  seen.completion_ts_s = 3.0;
+  EXPECT_TRUE(audit.record_outcome(3, seen));
+
+  const RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.histograms.at("broker.predict_error.t_redirection").count,
+            1u);
+  EXPECT_NEAR(snap.histograms.at("broker.predict_error.t_redirection").sum,
+              std::abs(0.5 - 0.010), 1e-9);
+  EXPECT_EQ(snap.histograms.at("broker.predict_error.total").count, 1u);
+  EXPECT_NEAR(snap.histograms.at("broker.predict_error.total").sum,
+              std::abs(2.0 - 0.130), 1e-9);
+  EXPECT_EQ(snap.histograms.at("broker.predict_error.t_data").count, 0u);
+  EXPECT_EQ(snap.histograms.at("broker.predict_error.t_cpu").count, 0u);
+}
+
+TEST(DecisionAudit, MispredictFiresPastTheFactor) {
+  Registry registry;
+  DecisionAudit audit;  // default factor 4x, floor 1 ms
+  audit.bind_registry(registry);
+
+  audit.record_decision(make_decision(1));  // predicts t_data = 0.100
+  Observation seen;
+  seen.t_data = 0.5;  // 5x the prediction: a mispredict
+  EXPECT_TRUE(audit.record_outcome(1, seen));
+  EXPECT_EQ(registry.counter("oracle.mispredict").value(), 1u);
+
+  audit.record_decision(make_decision(2));
+  Observation fine;
+  fine.t_data = 0.2;  // 2x: inside the factor
+  EXPECT_TRUE(audit.record_outcome(2, fine));
+  EXPECT_EQ(registry.counter("oracle.mispredict").value(), 1u);
+}
+
+TEST(DecisionAudit, MispredictFloorIgnoresTinyTerms) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+
+  Decision d = make_decision(1);
+  d.predicted.t_data = 1e-5;
+  d.predicted.t_cpu = 0.0;
+  audit.record_decision(d);
+
+  // 50x off, but both sides are under the 1 ms floor: too small to judge.
+  Observation tiny;
+  tiny.t_data = 5e-4;
+  EXPECT_TRUE(audit.record_outcome(1, tiny));
+  EXPECT_EQ(registry.counter("oracle.mispredict").value(), 0u);
+
+  // A zero prediction against an observation above the floor does diverge.
+  audit.record_decision(d);
+  Observation big;
+  big.t_cpu = 0.010;
+  EXPECT_TRUE(audit.record_outcome(1, big));
+  EXPECT_EQ(registry.counter("oracle.mispredict").value(), 1u);
+}
+
+TEST(DecisionAudit, OrphanOutcomeCountsAndReturnsFalse) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+  Observation seen;
+  seen.total = 1.0;
+  EXPECT_FALSE(audit.record_outcome(99, seen));
+  EXPECT_EQ(registry.counter("broker.audit.orphaned").value(), 1u);
+  EXPECT_EQ(registry.counter("broker.audit.joined").value(), 0u);
+}
+
+TEST(DecisionAudit, CapacityEvictsOldestPending) {
+  Registry registry;
+  AuditParams params;
+  params.max_pending = 3;
+  DecisionAudit audit(params);
+  audit.bind_registry(registry);
+
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    audit.record_decision(make_decision(id));
+  }
+  EXPECT_EQ(audit.pending_count(), 3u);
+  EXPECT_EQ(registry.counter("broker.audit.evicted").value(), 2u);
+  EXPECT_FALSE(audit.pending(1).has_value());
+  EXPECT_FALSE(audit.pending(2).has_value());
+  EXPECT_TRUE(audit.pending(3).has_value());
+  EXPECT_TRUE(audit.pending(5).has_value());
+}
+
+TEST(DecisionAudit, InfiniteMarginStaysOutOfTheSum) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+
+  // A sole-candidate decision has no runner-up: margin is +inf, which the
+  // histogram must clamp or the sum (and every JSON rendering of it) rots.
+  Decision d = make_decision(1);
+  d.runner_up_margin = std::numeric_limits<double>::infinity();
+  audit.record_decision(d);
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const auto& margin = snap.histograms.at("broker.decision.margin");
+  EXPECT_EQ(margin.count, 1u);
+  EXPECT_TRUE(std::isfinite(margin.sum));
+}
+
+TEST(DecisionAudit, JoinsWithoutARegistry) {
+  DecisionAudit audit;  // never bound: publishes nothing, still joins
+  audit.record_decision(make_decision(4));
+  EXPECT_EQ(audit.pending_count(), 1u);
+  Observation seen;
+  seen.total = 0.2;
+  EXPECT_TRUE(audit.record_outcome(4, seen));
+  EXPECT_EQ(audit.pending_count(), 0u);
+}
+
+// --- The simulator populates the audit under virtual time ----------------
+
+TEST(DecisionAuditSim, ExperimentPopulatesEveryErrorTerm) {
+  Registry registry;
+  DecisionAudit audit;
+  audit.bind_registry(registry);
+
+  workload::ExperimentSpec spec;
+  spec.cluster = cluster::meiko_config(4);
+  spec.docbase =
+      fs::make_uniform(32, 256 * 1024, 4, fs::Placement::kRoundRobin);
+  spec.policy = "sweb";
+  spec.burst.rps = 16.0;
+  spec.burst.duration_s = 10.0;
+  spec.registry = &registry;
+  spec.audit = &audit;
+  const workload::ExperimentResult result = workload::run_experiment(spec);
+  EXPECT_GT(result.summary.completed, 0u);
+
+  const RegistrySnapshot snap = registry.snapshot();
+  const std::uint64_t joined = snap.counters.at("broker.audit.joined");
+  EXPECT_GT(snap.counters.at("broker.audit.decisions"), 0u);
+  EXPECT_GT(joined, 0u);
+  // The simulator measures all four terms, so every join lands one sample
+  // in each histogram.
+  for (const char* name :
+       {"broker.predict_error.t_redirection", "broker.predict_error.t_data",
+        "broker.predict_error.t_cpu", "broker.predict_error.total"}) {
+    EXPECT_EQ(snap.histograms.at(name).count, joined) << name;
+  }
+  EXPECT_GT(snap.histograms.at("broker.decision.margin").count, 0u);
+}
+
+// --- The sockets runtime populates it under wall time --------------------
+
+TEST(DecisionAuditRuntime, MiniClusterJoinsAcrossTheRedirect) {
+  runtime::MiniCluster cluster(
+      2, fs::make_uniform(12, 4096, 2, fs::Placement::kRoundRobin, nullptr,
+                          "/docs"));
+  cluster.start();
+  // Ask node 0 for every document: the odd-numbered files live on node 1,
+  // so half the requests take the 302 hop and the outcome must join on the
+  // serving node via the propagated request id.
+  for (int i = 0; i < 12; ++i) {
+    const auto r = runtime::fetch(
+        "http://127.0.0.1:" + std::to_string(cluster.port(0)) +
+        "/docs/file" + std::to_string(i) + ".html");
+    ASSERT_TRUE(r.has_value()) << "file" << i;
+    EXPECT_EQ(http::code(r->response.status), 200);
+  }
+  cluster.stop();
+
+  const RegistrySnapshot snap = cluster.registry().snapshot();
+  EXPECT_EQ(snap.counters.at("broker.audit.decisions"), 12u);
+  EXPECT_EQ(snap.counters.at("broker.audit.joined"), 12u);
+  EXPECT_EQ(snap.counters.at("broker.audit.orphaned"), 0u);
+  for (const char* name :
+       {"broker.predict_error.t_redirection", "broker.predict_error.t_data",
+        "broker.predict_error.total"}) {
+    EXPECT_EQ(snap.histograms.at(name).count, 12u) << name;
+  }
+  // The runtime doesn't isolate a CPU burst; that term stays unmeasured.
+  EXPECT_EQ(snap.histograms.at("broker.predict_error.t_cpu").count, 0u);
+}
+
+}  // namespace
+}  // namespace sweb::obs

@@ -7,26 +7,6 @@
 namespace sweb::metrics {
 namespace {
 
-TEST(OnlineStats, MeanVarianceMinMax) {
-  OnlineStats s;
-  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
-  EXPECT_EQ(s.count(), 8u);
-  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance
-  EXPECT_DOUBLE_EQ(s.min(), 2.0);
-  EXPECT_DOUBLE_EQ(s.max(), 9.0);
-}
-
-TEST(OnlineStats, EmptyAndSingle) {
-  OnlineStats s;
-  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
-  s.add(3.0);
-  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
-  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
-}
-
 TEST(Samples, PercentilesInterpolate) {
   Samples s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));

@@ -174,6 +174,35 @@ TEST(SnapshotWriter, AppendsValidJsonLines) {
   std::remove(path.c_str());
 }
 
+TEST(HistogramQuantile, InterpolatesWithinTheTargetBucket) {
+  RegistrySnapshot::HistogramValue h;
+  h.upper_bounds = {1.0, 2.0, 4.0};
+  h.bucket_counts = {10, 10, 0, 0};
+  h.count = 20;
+  EXPECT_NEAR(histogram_quantile(h, 0.25), 0.5, 1e-9);
+  EXPECT_NEAR(histogram_quantile(h, 0.5), 1.0, 1e-9);
+  EXPECT_NEAR(histogram_quantile(h, 0.75), 1.5, 1e-9);
+  // Out-of-range q clamps to the data's extremes.
+  EXPECT_NEAR(histogram_quantile(h, -1.0), 0.0, 1e-9);
+  EXPECT_NEAR(histogram_quantile(h, 2.0), 2.0, 1e-9);
+}
+
+TEST(HistogramQuantile, OverflowClampsToLastFiniteBound) {
+  RegistrySnapshot::HistogramValue h;
+  h.upper_bounds = {1.0};
+  h.bucket_counts = {0, 5};  // everything beyond the last boundary
+  h.count = 5;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.99), 1.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramYieldsZero) {
+  RegistrySnapshot::HistogramValue h;
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+  h.upper_bounds = {1.0, 2.0};
+  h.bucket_counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(h, 0.5), 0.0);
+}
+
 TEST(Json, WriterEscapesAndNests) {
   JsonWriter w;
   w.begin_object();

@@ -1,0 +1,179 @@
+// Cross-node trace stitching: the request id assigned at first arrival
+// rides the 302 (Location query + X-SWEB-Request-Id), so the origin and
+// serving nodes' spans share one tid; merge_chrome_traces then combines
+// per-node trace files into a single Chrome trace_event document.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "fs/docbase.h"
+#include "http/message.h"
+#include "obs/json.h"
+#include "runtime/client.h"
+#include "runtime/mini_cluster.h"
+
+namespace sweb::obs {
+namespace {
+
+/// pid sets per tid over the "X" (complete span) events of a trace doc.
+std::map<long long, std::set<long long>> span_pids_by_tid(
+    const std::string& doc) {
+  std::map<long long, std::set<long long>> by_tid;
+  const auto parsed = json_parse(doc);
+  if (!parsed) return by_tid;
+  const JsonValue* events = parsed->find("traceEvents");
+  if (events == nullptr || !events->is_array()) return by_tid;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    if (ph == nullptr || ph->string != "X") continue;
+    by_tid[static_cast<long long>(event.number_or("tid", -1))].insert(
+        static_cast<long long>(event.number_or("pid", -1)));
+  }
+  return by_tid;
+}
+
+TEST(TraceStitch, RedirectedRequestSharesOneTidAcrossNodes) {
+  runtime::MiniCluster cluster(
+      2, fs::make_uniform(4, 2048, 2, fs::Placement::kRoundRobin, nullptr,
+                          "/docs"));
+  cluster.tracer().set_enabled(true);
+  cluster.start();
+
+  // file1 lives on node 1; asking node 0 forces the one-hop 302.
+  const auto r = runtime::fetch(
+      "http://127.0.0.1:" + std::to_string(cluster.port(0)) +
+      "/docs/file1.html");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(http::code(r->response.status), 200);
+  EXPECT_EQ(r->redirects_followed, 1);
+  // The id propagated in the Location the client followed.
+  EXPECT_NE(r->final_url.find("sweb-rid="), std::string::npos)
+      << r->final_url;
+  cluster.stop();
+
+  std::ostringstream out;
+  cluster.tracer().write_chrome_json(out);
+  ASSERT_TRUE(json_is_valid(out.str())) << out.str();
+
+  // One logical request: some tid must own spans on BOTH nodes (pid 0 ran
+  // preprocess/analysis/redirect, pid 1 ran the data/send phases).
+  const auto by_tid = span_pids_by_tid(out.str());
+  bool stitched = false;
+  for (const auto& [tid, pids] : by_tid) {
+    if (pids.count(0) != 0 && pids.count(1) != 0) stitched = true;
+  }
+  EXPECT_TRUE(stitched) << out.str();
+}
+
+TEST(TraceStitch, MergeConcatenatesSpansAndDedupsMetadata) {
+  SpanTracer origin, target;
+  origin.set_process_name(0, "node 0");
+  target.set_process_name(0, "node 0");  // the duplicate every file carries
+  target.set_process_name(1, "node 1");
+
+  TraceSpan analysis;
+  analysis.name = "analysis";
+  analysis.category = "request";
+  analysis.ts_s = 0.001;
+  analysis.dur_s = 0.002;
+  analysis.pid = 0;
+  analysis.tid = 42;
+  origin.add_span(analysis);
+
+  TraceSpan data;
+  data.name = "data";
+  data.category = "request";
+  data.ts_s = 0.004;
+  data.dur_s = 0.010;
+  data.pid = 1;
+  data.tid = 42;
+  target.add_span(data);
+
+  std::ostringstream a, b;
+  origin.write_chrome_json(a);
+  target.write_chrome_json(b);
+  const auto merged = merge_chrome_traces({a.str(), b.str()});
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_TRUE(json_is_valid(*merged)) << *merged;
+
+  const auto parsed = json_parse(*merged);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  std::size_t spans = 0;
+  std::size_t metadata = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.find("ph");
+    ASSERT_TRUE(ph != nullptr);
+    if (ph->string == "X") ++spans;
+    if (ph->string == "M") ++metadata;
+  }
+  EXPECT_EQ(spans, 2u);
+  // Three announcements, two distinct: the "node 0" duplicate is dropped.
+  EXPECT_EQ(metadata, 2u);
+  // Both halves of request 42 are present in the one document.
+  const auto by_tid = span_pids_by_tid(*merged);
+  ASSERT_EQ(by_tid.count(42), 1u);
+  EXPECT_EQ(by_tid.at(42), (std::set<long long>{0, 1}));
+}
+
+TEST(TraceStitch, MergeRejectsMalformedInputs) {
+  EXPECT_FALSE(merge_chrome_traces({"not json"}).has_value());
+  EXPECT_FALSE(
+      merge_chrome_traces({"{\"displayTimeUnit\":\"ms\"}"}).has_value());
+  EXPECT_FALSE(merge_chrome_traces({"{\"traceEvents\":3}"}).has_value());
+  // One bad apple spoils the merge, valid siblings notwithstanding.
+  EXPECT_FALSE(
+      merge_chrome_traces({"{\"traceEvents\":[]}", "{"}).has_value());
+  // Degenerate but well-formed inputs still merge.
+  const auto empty = merge_chrome_traces({"{\"traceEvents\":[]}"});
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(json_is_valid(*empty));
+}
+
+TEST(TraceStitch, MergeFilesWritesOneStitchedDocument) {
+  SpanTracer one, two;
+  TraceSpan s;
+  s.name = "send";
+  s.category = "request";
+  s.ts_s = 0.0;
+  s.dur_s = 0.001;
+  s.pid = 0;
+  s.tid = 9;
+  one.add_span(s);
+  s.name = "data";
+  s.pid = 1;
+  two.add_span(s);
+
+  const std::string dir = testing::TempDir();
+  const std::string path_a = dir + "sweb_stitch_a.json";
+  const std::string path_b = dir + "sweb_stitch_b.json";
+  const std::string path_out = dir + "sweb_stitch_merged.json";
+  ASSERT_TRUE(one.write_file(path_a));
+  ASSERT_TRUE(two.write_file(path_b));
+
+  ASSERT_TRUE(merge_chrome_trace_files({path_a, path_b}, path_out));
+  std::ifstream in(path_out);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(json_is_valid(buffer.str())) << buffer.str();
+  EXPECT_NE(buffer.str().find("\"send\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"data\""), std::string::npos);
+
+  EXPECT_FALSE(merge_chrome_trace_files({dir + "sweb_stitch_missing.json"},
+                                        path_out));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  std::remove(path_out.c_str());
+}
+
+}  // namespace
+}  // namespace sweb::obs

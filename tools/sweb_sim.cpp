@@ -18,6 +18,7 @@
 #include "metrics/table.h"
 #include "metrics/timeline.h"
 #include "metrics/trace_export.h"
+#include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "util/cli.h"
@@ -155,6 +156,11 @@ int main(int argc, char** argv) {
                         !cli.get("trace-out").empty();
     obs::Registry registry;
     spec.registry = &registry;
+    // Grade the broker's cost model against what actually happened: the
+    // broker.predict_error.* histograms land in the --metrics-out registry.
+    obs::DecisionAudit audit;
+    audit.bind_registry(registry);
+    spec.audit = &audit;
 
     if (const std::string trace_in = cli.get("trace-in"); !trace_in.empty()) {
       std::ifstream in(trace_in);

@@ -1,0 +1,308 @@
+// swebtop: cluster-wide live view of a running SWEB deployment.
+//
+// Polls every node's /sweb/status endpoint, parses the JSON with the obs
+// parser, and renders one table row per node — requests/sec (from the
+// handled-count delta between polls), in-flight connections, redirect and
+// cache-hit rates, and the scheduler's prediction-error p50/p95 — plus a
+// cluster-wide TOTAL row. Each poll can also be appended as one JSONL line
+// (--jsonl) for offline analysis.
+//
+// --demo N spins an in-process MiniCluster of N nodes, fires a burst of
+// traffic at it, and scrapes that — the CI smoke path and a one-command way
+// to see the display without a deployment.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fs/docbase.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "runtime/client.h"
+#include "runtime/mini_cluster.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace sweb;
+
+/// One node's parsed /sweb/status scrape.
+struct NodeSample {
+  bool ok = false;
+  std::string url;
+  int node = -1;
+  double uptime_s = 0.0;
+  std::uint64_t requests_handled = 0;
+  std::int64_t inflight = 0;
+  std::uint64_t served = 0;
+  std::uint64_t redirected = 0;
+  double cache_hit_rate = -1.0;    // < 0: unknown (no registry counters)
+  double predict_p50_s = -1.0;     // < 0: no prediction-error samples
+  double predict_p95_s = -1.0;
+  std::uint64_t predict_count = 0;
+};
+
+[[nodiscard]] std::optional<obs::RegistrySnapshot::HistogramValue>
+parse_histogram(const obs::JsonValue& metrics, const char* name) {
+  const obs::JsonValue* histograms = metrics.find("histograms");
+  if (histograms == nullptr) return std::nullopt;
+  const obs::JsonValue* hist = histograms->find(name);
+  if (hist == nullptr || !hist->is_object()) return std::nullopt;
+  obs::RegistrySnapshot::HistogramValue value;
+  value.count =
+      static_cast<std::uint64_t>(hist->number_or("count", 0.0));
+  value.sum = hist->number_or("sum", 0.0);
+  const obs::JsonValue* bounds = hist->find("upper_bounds");
+  const obs::JsonValue* counts = hist->find("bucket_counts");
+  if (bounds == nullptr || counts == nullptr || !bounds->is_array() ||
+      !counts->is_array()) {
+    return std::nullopt;
+  }
+  for (const obs::JsonValue& b : bounds->array) value.upper_bounds.push_back(b.number);
+  for (const obs::JsonValue& c : counts->array) {
+    value.bucket_counts.push_back(static_cast<std::uint64_t>(c.number));
+  }
+  return value;
+}
+
+[[nodiscard]] NodeSample scrape(const std::string& base_url) {
+  NodeSample sample;
+  sample.url = base_url;
+  const auto result = runtime::fetch(base_url + "/sweb/status");
+  if (!result || http::code(result->response.status) != 200) return sample;
+  const auto doc = obs::json_parse(result->response.body);
+  if (!doc || !doc->is_object()) return sample;
+
+  sample.node = static_cast<int>(doc->number_or("node", -1.0));
+  sample.uptime_s = doc->number_or("uptime_seconds", 0.0);
+  sample.requests_handled =
+      static_cast<std::uint64_t>(doc->number_or("requests_handled", 0.0));
+  sample.inflight = static_cast<std::int64_t>(doc->number_or("inflight", 0.0));
+
+  if (const obs::JsonValue* board = doc->find("board");
+      board != nullptr && board->is_array()) {
+    for (const obs::JsonValue& entry : board->array) {
+      const obs::JsonValue* self = entry.find("self");
+      if (self == nullptr || self->type != obs::JsonValue::Type::kBool ||
+          !self->boolean) {
+        continue;
+      }
+      sample.served =
+          static_cast<std::uint64_t>(entry.number_or("served", 0.0));
+      sample.redirected =
+          static_cast<std::uint64_t>(entry.number_or("redirected", 0.0));
+    }
+  }
+
+  if (const obs::JsonValue* metrics = doc->find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const obs::JsonValue* counters = metrics->find("counters")) {
+      const double lookups = counters->number_or("docs.lookups", 0.0);
+      const double misses = counters->number_or("docs.misses", 0.0);
+      if (lookups > 0.0) sample.cache_hit_rate = 1.0 - misses / lookups;
+    }
+    if (const auto hist =
+            parse_histogram(*metrics, "broker.predict_error.total")) {
+      sample.predict_count = hist->count;
+      if (hist->count > 0) {
+        sample.predict_p50_s = obs::histogram_quantile(*hist, 0.50);
+        sample.predict_p95_s = obs::histogram_quantile(*hist, 0.95);
+      }
+    }
+  }
+  sample.ok = true;
+  return sample;
+}
+
+[[nodiscard]] std::string fmt_ms(double seconds) {
+  if (seconds < 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  return buf;
+}
+
+[[nodiscard]] std::string fmt_pct(double rate) {
+  if (rate < 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f%%", rate * 100.0);
+  return buf;
+}
+
+void render(const std::vector<NodeSample>& samples,
+            const std::vector<std::uint64_t>& previous_handled,
+            double interval_s, int poll, int total_polls) {
+  std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
+              total_polls);
+  std::printf("%-5s %8s %9s %8s %7s %7s %10s %10s\n", "NODE", "RPS",
+              "INFLIGHT", "SERVED", "REDIR%", "CACHE%", "PERR-P50",
+              "PERR-P95");
+  double total_rps = 0.0;
+  std::int64_t total_inflight = 0;
+  std::uint64_t total_served = 0, total_redirected = 0;
+  double worst_p50 = -1.0, worst_p95 = -1.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const NodeSample& s = samples[i];
+    if (!s.ok) {
+      std::printf("%-5zu %8s %9s %8s %7s %7s %10s %10s   (unreachable: %s)\n",
+                  i, "-", "-", "-", "-", "-", "-", "-", s.url.c_str());
+      continue;
+    }
+    const double rps =
+        interval_s > 0.0 && i < previous_handled.size() &&
+                s.requests_handled >= previous_handled[i]
+            ? static_cast<double>(s.requests_handled - previous_handled[i]) /
+                  interval_s
+            : 0.0;
+    const std::uint64_t seen = s.served + s.redirected;
+    const double redirect_rate =
+        seen > 0 ? static_cast<double>(s.redirected) /
+                       static_cast<double>(seen)
+                 : 0.0;
+    std::printf("%-5d %8.1f %9lld %8llu %7s %7s %10s %10s\n", s.node, rps,
+                static_cast<long long>(s.inflight),
+                static_cast<unsigned long long>(s.served),
+                fmt_pct(redirect_rate).c_str(),
+                fmt_pct(s.cache_hit_rate).c_str(),
+                fmt_ms(s.predict_p50_s).c_str(),
+                fmt_ms(s.predict_p95_s).c_str());
+    total_rps += rps;
+    total_inflight += s.inflight;
+    total_served += s.served;
+    total_redirected += s.redirected;
+    worst_p50 = std::max(worst_p50, s.predict_p50_s);
+    worst_p95 = std::max(worst_p95, s.predict_p95_s);
+  }
+  const std::uint64_t total_seen = total_served + total_redirected;
+  const double total_redirect_rate =
+      total_seen > 0 ? static_cast<double>(total_redirected) /
+                           static_cast<double>(total_seen)
+                     : 0.0;
+  std::printf("%-5s %8.1f %9lld %8llu %7s %7s %10s %10s\n", "TOTAL",
+              total_rps, static_cast<long long>(total_inflight),
+              static_cast<unsigned long long>(total_served),
+              fmt_pct(total_redirect_rate).c_str(), "",
+              fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
+}
+
+void append_jsonl(const std::string& path, double t_s,
+                  const std::vector<NodeSample>& samples) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("t_s").value(t_s);
+  w.key("nodes").begin_array();
+  for (const NodeSample& s : samples) {
+    w.begin_object();
+    w.key("url").value(s.url);
+    w.key("ok").value(s.ok);
+    w.key("node").value(s.node);
+    w.key("requests_handled").value(s.requests_handled);
+    w.key("inflight").value(s.inflight);
+    w.key("served").value(s.served);
+    w.key("redirected").value(s.redirected);
+    w.key("cache_hit_rate").value(s.cache_hit_rate);
+    w.key("predict_error_p50_s").value(s.predict_p50_s);
+    w.key("predict_error_p95_s").value(s.predict_p95_s);
+    w.key("predict_error_count").value(s.predict_count);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot append to %s\n", path.c_str());
+    return;
+  }
+  out << w.str() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.option("nodes", "",
+             "comma-separated node base URLs, e.g. "
+             "http://127.0.0.1:8080,http://127.0.0.1:8081")
+      .option("interval", "1.0", "seconds between polls")
+      .option("count", "5", "number of polls before exiting")
+      .option("jsonl", "", "append each poll as a JSON line to this file")
+      .option("demo", "0",
+              "spin an in-process MiniCluster of N nodes, generate traffic, "
+              "and scrape it")
+      .flag("once", "poll once and exit (same as --count 1)");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.help_text("sweb-top").c_str());
+    return 0;
+  }
+
+  const double interval_s = cli.get_double("interval");
+  int count = static_cast<int>(cli.get_int("count"));
+  if (cli.get_flag("once")) count = 1;
+  const std::string jsonl = cli.get("jsonl");
+  const int demo_nodes = static_cast<int>(cli.get_int("demo"));
+
+  // --demo: a live MiniCluster to scrape, with enough traffic through it
+  // that redirects happen and the decision audit has joins to report.
+  std::unique_ptr<runtime::MiniCluster> demo;
+  std::vector<std::string> urls;
+  if (demo_nodes > 0) {
+    const fs::Docbase docbase = fs::make_uniform(
+        24, 16 * 1024, demo_nodes, fs::Placement::kRoundRobin, nullptr,
+        "/docs");
+    demo = std::make_unique<runtime::MiniCluster>(demo_nodes, docbase);
+    demo->start();
+    // Each round hammers ONE node with every document: two-thirds of the
+    // lookups hit a non-owner, so owner-locality redirects (and therefore
+    // cross-node audit joins) actually happen.
+    for (int round = 0; round < 3; ++round) {
+      const std::string base =
+          "http://127.0.0.1:" +
+          std::to_string(demo->port(round % demo_nodes));
+      for (std::size_t d = 0; d < docbase.size(); ++d) {
+        (void)runtime::fetch(base + docbase.documents()[d].path);
+      }
+    }
+    for (int n = 0; n < demo->num_nodes(); ++n) {
+      urls.push_back("http://127.0.0.1:" + std::to_string(demo->port(n)));
+    }
+  } else {
+    for (const auto& part : util::split(cli.get("nodes"), ',')) {
+      if (!part.empty()) urls.emplace_back(part);
+    }
+  }
+  if (urls.empty()) {
+    std::fprintf(stderr,
+                 "no nodes to poll: pass --nodes url[,url...] or --demo N\n");
+    return 2;
+  }
+
+  std::vector<std::uint64_t> previous_handled(urls.size(), 0);
+  const auto start = std::chrono::steady_clock::now();
+  bool any_ok = false;
+  for (int poll = 1; poll <= count; ++poll) {
+    std::vector<NodeSample> samples;
+    samples.reserve(urls.size());
+    for (const std::string& url : urls) samples.push_back(scrape(url));
+    // First poll has no delta baseline; report rps over the node's uptime.
+    const double effective_interval = poll == 1 ? 0.0 : interval_s;
+    render(samples, previous_handled, effective_interval, poll, count);
+    const double t_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    if (!jsonl.empty()) append_jsonl(jsonl, t_s, samples);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (samples[i].ok) {
+        previous_handled[i] = samples[i].requests_handled;
+        any_ok = true;
+      }
+    }
+    if (poll < count) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval_s));
+    }
+  }
+  return any_ok ? 0 : 1;
+}
