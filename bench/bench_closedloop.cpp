@@ -8,8 +8,15 @@
 // (capacity ~3 rps).
 #include "bench_common.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "obs/audit.h"
 #include "obs/registry.h"
+#include "runtime/client.h"
+#include "runtime/mini_cluster.h"
 #include "workload/closed_loop.h"
 
 namespace {
@@ -20,6 +27,47 @@ workload::ExperimentSpec base_spec() {
   workload::ExperimentSpec spec = bench::meiko_spec(1, 1536 * 1024, 64);
   spec.policy = "round-robin";  // one node: scheduling is moot
   return spec;
+}
+
+/// The real-sockets runtime under a multi-client closed loop: one node,
+/// `max_workers` worker threads, `clients` client threads each issuing
+/// `per_client` sequential requests against a CGI endpoint that holds a
+/// worker for ~2 ms (standing in for disk/CPU service time). Returns
+/// achieved requests/second. With max_workers=1 this is the old serial
+/// accept loop; with a real pool the clients are served in parallel.
+double run_runtime_closed_loop(int max_workers, int clients, int per_client) {
+  const fs::Docbase docbase = fs::make_uniform(
+      8, 2048, 1, fs::Placement::kRoundRobin, nullptr, "/docs");
+  runtime::MiniClusterOptions options;
+  options.max_workers = max_workers;
+  options.max_pending = 256;  // don't shed: we are measuring HOL blocking
+  runtime::MiniCluster cluster(1, docbase, options);
+  cluster.docs_mutable().register_cgi(
+      "/cgi/work.cgi", 0, [](const http::Request&, std::string_view) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return http::make_ok("done", "text/plain");
+      });
+  cluster.start();
+  const std::string url = "http://127.0.0.1:" +
+                          std::to_string(cluster.port(0)) + "/cgi/work.cgi";
+  std::atomic<int> ok{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&ok, &url, per_client] {
+      for (int i = 0; i < per_client; ++i) {
+        const auto result = runtime::fetch(url);
+        if (result && http::code(result->response.status) == 200) ++ok;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+  cluster.stop();
+  return elapsed_s > 0.0 ? static_cast<double>(ok.load()) / elapsed_s : 0.0;
 }
 
 }  // namespace
@@ -152,5 +200,43 @@ int main() {
       static_cast<unsigned long long>(counter("broker.audit.decisions")),
       static_cast<unsigned long long>(counter("broker.audit.joined")));
   if (!bench::write_json_report("BENCH_PR2.json", w.str())) return 1;
+
+  // --- PR3: the sockets runtime, serial accept loop vs worker pool --------
+  // Same closed-loop lens pointed at the real server: 8 client threads,
+  // ~2 ms service time per request. The serial configuration (1 worker) is
+  // the old head-of-line-blocked accept loop; the pooled one serves the
+  // clients concurrently.
+  std::printf("\nruntime closed loop (1 node, 8 clients, ~2 ms service):\n");
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  constexpr int kPoolWorkers = 16;
+  const double serial_rps = run_runtime_closed_loop(1, kClients, kPerClient);
+  const double pooled_rps =
+      run_runtime_closed_loop(kPoolWorkers, kClients, kPerClient);
+  const double speedup = serial_rps > 0.0 ? pooled_rps / serial_rps : 0.0;
+  std::printf("  serial (1 worker)   %7.1f rps\n", serial_rps);
+  std::printf("  pooled (%2d workers) %7.1f rps   (%.1fx)\n", kPoolWorkers,
+              pooled_rps, speedup);
+  bench::print_note(
+      "expected shape: the pooled node overlaps the clients' service "
+      "times, so multi-client rps rises well above the serial baseline "
+      "(bounded by min(clients, workers)).");
+
+  obs::JsonWriter pr3;
+  pr3.begin_object();
+  pr3.key("bench").value("closedloop");
+  pr3.key("pr").value(3);
+  pr3.key("config").begin_object();
+  pr3.key("nodes").value(1);
+  pr3.key("clients").value(kClients);
+  pr3.key("requests_per_client").value(kPerClient);
+  pr3.key("service_ms").value(2.0);
+  pr3.key("pool_workers").value(kPoolWorkers);
+  pr3.end_object();
+  pr3.key("serial_rps").value(serial_rps);
+  pr3.key("pooled_rps").value(pooled_rps);
+  pr3.key("speedup").value(speedup);
+  pr3.end_object();
+  if (!bench::write_json_report("BENCH_PR3.json", pr3.str())) return 1;
   return 0;
 }

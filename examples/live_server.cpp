@@ -28,6 +28,9 @@ using namespace sweb;
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.option("nodes", "4", "number of server nodes")
+      .option("workers", "16", "worker threads per node (concurrency)")
+      .option("queue", "32",
+              "pending connections held per node before 503 load shedding")
       .option("serve-seconds", "60", "how long --serve/--status linger")
       .option("metrics-out", "",
               "append registry snapshots to this JSONL file (1 Hz)")
@@ -49,7 +52,10 @@ int main(int argc, char** argv) {
 
   util::Rng rng(3);
   fs::Docbase docs = fs::make_adl(12, nodes, rng);
-  runtime::MiniCluster cluster(nodes, docs);
+  runtime::MiniClusterOptions options;
+  options.max_workers = static_cast<int>(cli.get_int("workers"));
+  options.max_pending = static_cast<int>(cli.get_int("queue"));
+  runtime::MiniCluster cluster(nodes, docs, options);
   if (!cli.get("trace-out").empty()) cluster.tracer().set_enabled(true);
   cluster.start();
 

@@ -1,21 +1,18 @@
 #include "runtime/client.h"
 
 #include "http/parser.h"
-#include "http/url.h"
-#include "runtime/socket.h"
+#include "util/strings.h"
 
 namespace sweb::runtime {
 
 namespace {
 
-/// One request/response exchange; std::nullopt on any failure.
-[[nodiscard]] std::optional<http::Response> exchange(
-    const http::Url& url, const FetchOptions& options) {
-  // Loopback-only client: the MiniCluster lives on 127.0.0.1.
-  auto stream = TcpStream::connect(SocketAddress::loopback(url.port),
-                                   options.timeout);
-  if (!stream) return std::nullopt;
-
+/// One request/response exchange on an already-connected stream;
+/// std::nullopt on any failure. With keep_alive the write side stays open
+/// (the response is framed by Content-Length); otherwise the client
+/// half-closes after writing, HTTP/1.0 style.
+[[nodiscard]] std::optional<http::Response> exchange_on(
+    TcpStream& stream, const http::Url& url, const FetchOptions& options) {
   http::Request request;
   request.method = options.head          ? http::Method::kHead
                    : options.post_body.empty() ? http::Method::kGet
@@ -23,22 +20,25 @@ namespace {
   request.target = url.path + (url.query.empty() ? "" : "?" + url.query);
   request.headers.add("Host", url.host + ":" + std::to_string(url.port));
   request.headers.add("User-Agent", "sweb-client/1.0");
+  if (options.keep_alive) request.headers.add("Connection", "Keep-Alive");
   if (!options.post_body.empty()) {
     request.headers.add("Content-Type", options.post_content_type);
     request.headers.add("Content-Length",
                         std::to_string(options.post_body.size()));
     request.body = options.post_body;
   }
-  if (!stream->write_all(request.serialize(), options.timeout)) {
+  if (!stream.write_all(request.serialize(), options.timeout)) {
     return std::nullopt;
   }
-  stream->shutdown_write();
+  if (!options.keep_alive) stream.shutdown_write();
 
   http::ResponseParser parser;
   parser.expect_head_response(options.head);
   http::ParseResult state = http::ParseResult::kNeedMore;
+  // One overall deadline for the whole response, however many reads.
+  const Deadline deadline = deadline_after(options.timeout);
   while (state == http::ParseResult::kNeedMore) {
-    const auto chunk = stream->read_some(64 * 1024, options.timeout);
+    const auto chunk = stream.read_some(64 * 1024, time_remaining(deadline));
     if (!chunk.ok) return std::nullopt;
     if (chunk.eof) {
       state = parser.finish_eof();
@@ -51,20 +51,57 @@ namespace {
   return parser.message();
 }
 
+/// Did the server agree to keep the connection open after this response?
+[[nodiscard]] bool server_kept_alive(const http::Response& response) {
+  const auto connection = response.headers.get("Connection");
+  return connection.has_value() && util::iequals(*connection, "keep-alive");
+}
+
 }  // namespace
 
-std::optional<FetchResult> fetch(const std::string& url,
-                                 const FetchOptions& options) {
+FetchSession::FetchSession(FetchOptions options)
+    : options_(std::move(options)) {}
+
+std::optional<http::Response> FetchSession::exchange(const http::Url& url) {
+  if (options_.keep_alive && stream_.has_value() &&
+      connected_port_ == url.port) {
+    if (auto response = exchange_on(*stream_, url, options_)) {
+      if (!server_kept_alive(*response)) stream_.reset();
+      return response;
+    }
+    // The reused connection was stale (server hit its per-connection cap
+    // or idle-timed-out between requests): retry once on a fresh one.
+    stream_.reset();
+  }
+  // Loopback-only client: the MiniCluster lives on 127.0.0.1.
+  auto fresh = TcpStream::connect(SocketAddress::loopback(url.port),
+                                  options_.timeout);
+  if (!fresh) return std::nullopt;
+  ++connections_opened_;
+  stream_ = std::move(*fresh);
+  connected_port_ = url.port;
+  auto response = exchange_on(*stream_, url, options_);
+  if (!response || !options_.keep_alive || !server_kept_alive(*response)) {
+    stream_.reset();
+  }
+  return response;
+}
+
+std::optional<FetchResult> FetchSession::fetch(const std::string& url) {
   auto parsed = http::parse_url(url);
   if (!parsed) return std::nullopt;
 
   FetchResult result;
   result.final_url = url;
-  for (int hop = 0; hop <= options.max_redirects; ++hop) {
-    auto response = exchange(*parsed, options);
+  for (int hop = 0; hop <= options_.max_redirects; ++hop) {
+    auto response = exchange(*parsed);
     if (!response) return std::nullopt;
-    if (response->is_redirect()) {
+    const int status = http::code(response->status);
+    if (status >= 300 && status < 400) {
       const auto location = response->headers.get("Location");
+      // A redirect without a Location header is malformed — there is
+      // nowhere to go, so fail instead of dereferencing nothing.
+      if (!location) return std::nullopt;
       auto next = http::parse_url(std::string(*location));
       if (!next) return std::nullopt;
       parsed = std::move(next);
@@ -76,6 +113,12 @@ std::optional<FetchResult> fetch(const std::string& url,
     return result;
   }
   return std::nullopt;  // too many redirects
+}
+
+std::optional<FetchResult> fetch(const std::string& url,
+                                 const FetchOptions& options) {
+  FetchSession session(options);
+  return session.fetch(url);
 }
 
 }  // namespace sweb::runtime

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "http/message.h"
+#include "http/url.h"
+#include "runtime/socket.h"
 
 namespace sweb::runtime {
 
@@ -19,14 +22,47 @@ struct FetchOptions {
   int max_redirects = 4;
   std::chrono::milliseconds timeout{3000};
   bool head = false;  // HEAD instead of GET
+  /// Send "Connection: Keep-Alive" and keep the TCP connection open for
+  /// reuse (across redirect hops in one fetch, and across fetches in a
+  /// FetchSession) for as long as the server agrees. Off by default: the
+  /// one-shot client half-closes after writing, HTTP/1.0 style.
+  bool keep_alive = false;
   // Non-empty body turns the request into a POST (CGI endpoints).
   std::string post_body;
   std::string post_content_type = "application/x-www-form-urlencoded";
 };
 
-/// Fetches `url` (absolute http:// form), following up to
-/// options.max_redirects Location hops. std::nullopt on connection error,
-/// malformed response, or redirect loop overflow.
+/// A client that can hold its TCP connection open between requests.
+/// With options.keep_alive, consecutive fetches against the same host:port
+/// reuse one connection as long as the server answers "Keep-Alive" —
+/// exercising the server's keep-alive path end-to-end. A connection the
+/// server already closed (per-connection cap, idle timeout) is detected and
+/// retried once on a fresh one.
+class FetchSession {
+ public:
+  explicit FetchSession(FetchOptions options = {});
+
+  /// Fetches `url` (absolute http:// form), following up to
+  /// options.max_redirects Location hops. std::nullopt on connection
+  /// error, malformed response (including a 3xx without a Location
+  /// header), or redirect loop overflow.
+  [[nodiscard]] std::optional<FetchResult> fetch(const std::string& url);
+
+  /// TCP connections opened so far — fetches minus reuses.
+  [[nodiscard]] int connections_opened() const noexcept {
+    return connections_opened_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<http::Response> exchange(const http::Url& url);
+
+  FetchOptions options_;
+  std::optional<TcpStream> stream_;
+  std::uint16_t connected_port_ = 0;
+  int connections_opened_ = 0;
+};
+
+/// One-shot convenience wrapper: a fresh FetchSession per call.
 [[nodiscard]] std::optional<FetchResult> fetch(const std::string& url,
                                                const FetchOptions& options = {});
 

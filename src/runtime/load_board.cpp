@@ -1,7 +1,6 @@
 #include "runtime/load_board.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace sweb::runtime {
 
@@ -32,6 +31,7 @@ void LoadBoard::bind_registry(obs::Registry& registry,
   const std::lock_guard<std::mutex> lock(mutex_);
   active_gauge_ = &registry.gauge(prefix + ".active_connections");
   inflation_gauge_ = &registry.gauge(prefix + ".redirect_inflation");
+  underflow_counter_ = &registry.counter("loadboard.underflow");
   publish();
 }
 
@@ -50,8 +50,15 @@ void LoadBoard::connection_opened(int node, std::uint64_t expected_bytes) {
 void LoadBoard::connection_closed(int node, std::uint64_t expected_bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
   NodeLoad& l = loads_[static_cast<std::size_t>(node)];
-  assert(l.active_connections > 0);
-  --l.active_connections;
+  if (l.active_connections > 0) {
+    --l.active_connections;
+  } else {
+    // A double-close must not drive the count negative: a phantom
+    // -1 would make this node look permanently lighter than it is and
+    // skew every broker decision. Clamp and count the bug instead.
+    ++underflows_;
+    if (underflow_counter_ != nullptr) underflow_counter_->inc();
+  }
   l.bytes_in_flight -= std::min(l.bytes_in_flight, expected_bytes);
   touch(node);
   publish();

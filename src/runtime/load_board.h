@@ -63,6 +63,14 @@ class LoadBoard {
   /// Seconds since the board was created — the clock last_update_s uses.
   [[nodiscard]] double now_seconds() const;
 
+  /// Double-closes caught (and clamped) by connection_closed — also
+  /// published as the `loadboard.underflow` counter when a registry is
+  /// bound. Nonzero means a connection-accounting bug upstream.
+  [[nodiscard]] std::uint64_t underflows() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return underflows_;
+  }
+
   /// Registers cluster-wide gauges (`<prefix>.active_connections`,
   /// `<prefix>.redirect_inflation`) kept current on every mutation.
   void bind_registry(obs::Registry& registry,
@@ -74,9 +82,11 @@ class LoadBoard {
 
   mutable std::mutex mutex_;
   std::vector<NodeLoad> loads_;
+  std::uint64_t underflows_ = 0;
   std::chrono::steady_clock::time_point epoch_;
   obs::Gauge* active_gauge_ = nullptr;
   obs::Gauge* inflation_gauge_ = nullptr;
+  obs::Counter* underflow_counter_ = nullptr;
 };
 
 }  // namespace sweb::runtime

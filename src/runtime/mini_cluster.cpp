@@ -5,7 +5,7 @@
 namespace sweb::runtime {
 
 MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
-                         RuntimeBrokerParams broker)
+                         MiniClusterOptions options)
     : docs_(docbase), board_(num_nodes) {
   assert(num_nodes > 0);
   docs_.bind_registry(registry_);
@@ -15,7 +15,10 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
   for (int n = 0; n < num_nodes; ++n) {
     NodeServer::Config cfg;
     cfg.node_id = n;
-    cfg.broker = broker;
+    cfg.broker = options.broker;
+    cfg.max_workers = options.max_workers;
+    cfg.max_pending = options.max_pending;
+    cfg.io_timeout = options.io_timeout;
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
     cfg.audit = &audit_;
@@ -24,6 +27,11 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
   }
   for (auto& server : servers_) server->set_peer_ports(ports);
 }
+
+MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
+                         RuntimeBrokerParams broker)
+    : MiniCluster(num_nodes, docbase,
+                  MiniClusterOptions{.broker = broker}) {}
 
 MiniCluster::~MiniCluster() { stop(); }
 

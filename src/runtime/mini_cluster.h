@@ -3,6 +3,7 @@
 // of threads on one machine.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,11 +18,26 @@
 
 namespace sweb::runtime {
 
+/// Cluster-wide knobs forwarded to every NodeServer.
+struct MiniClusterOptions {
+  RuntimeBrokerParams broker;
+  /// Worker-pool size per node (NodeServer::Config::max_workers).
+  int max_workers = 16;
+  /// Pending-connection queue cap per node before 503 load shedding
+  /// (NodeServer::Config::max_pending).
+  int max_pending = 32;
+  /// Per-request I/O deadline (NodeServer::Config::io_timeout).
+  std::chrono::milliseconds io_timeout{2000};
+};
+
 class MiniCluster {
  public:
   /// Builds stores + servers for `num_nodes` nodes serving `docbase`.
   MiniCluster(int num_nodes, const fs::Docbase& docbase,
-              RuntimeBrokerParams broker = {});
+              MiniClusterOptions options = {});
+  /// Convenience: default pool knobs, custom broker.
+  MiniCluster(int num_nodes, const fs::Docbase& docbase,
+              RuntimeBrokerParams broker);
   ~MiniCluster();
   MiniCluster(const MiniCluster&) = delete;
   MiniCluster& operator=(const MiniCluster&) = delete;
@@ -33,6 +49,10 @@ class MiniCluster {
     return static_cast<int>(servers_.size());
   }
   [[nodiscard]] std::uint16_t port(int node) const;
+  /// Direct access to one node's server (worker/queue/shed introspection).
+  [[nodiscard]] NodeServer& node(int n) {
+    return *servers_[static_cast<std::size_t>(n)];
+  }
 
   /// Round-robin DNS: the next node's base URL ("http://127.0.0.1:PORT").
   [[nodiscard]] std::string next_base_url();

@@ -1,5 +1,6 @@
 #include "runtime/node_server.h"
 
+#include <algorithm>
 #include <charconv>
 #include <limits>
 #include <optional>
@@ -66,7 +67,11 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     requests_counter_ = &config_.registry->counter(prefix + ".requests");
     redirects_counter_ = &config_.registry->counter(prefix + ".redirects");
     errors_counter_ = &config_.registry->counter(prefix + ".errors");
+    shed_counter_ = &config_.registry->counter(prefix + ".shed");
     inflight_gauge_ = &config_.registry->gauge(prefix + ".inflight");
+    workers_busy_gauge_ =
+        &config_.registry->gauge(prefix + ".workers_busy");
+    queue_depth_gauge_ = &config_.registry->gauge(prefix + ".queue_depth");
     response_histogram_ =
         &config_.registry->histogram("http.response_seconds");
   }
@@ -81,15 +86,41 @@ void NodeServer::start() {
     config_.tracer->set_process_name(
         config_.node_id, "node " + std::to_string(config_.node_id));
   }
+  const int pool = std::max(1, config_.max_workers);
+  workers_.reserve(static_cast<std::size_t>(pool));
+  for (int w = 0; w < pool; ++w) {
+    workers_.emplace_back([this, w](const std::stop_token& token) {
+      worker_loop(token, w);
+    });
+  }
   thread_ = std::jthread(
       [this](const std::stop_token& token) { serve_loop(token); });
 }
 
 void NodeServer::stop() {
+  // Accept thread first so no new connections enter the queue, then the
+  // workers: each finishes (or promptly abandons, via its stop token) the
+  // connection it is serving. Streams still queued never reached a worker;
+  // destroying them closes the sockets — that is the drain.
   if (thread_.joinable()) {
     thread_.request_stop();
     thread_.join();
   }
+  for (auto& worker : workers_) worker.request_stop();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    pending_.clear();
+    if (queue_depth_gauge_ != nullptr) queue_depth_gauge_->set(0);
+  }
+}
+
+std::size_t NodeServer::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return pending_.size();
 }
 
 void NodeServer::trace_span(const char* name, std::uint64_t trace_id,
@@ -110,9 +141,68 @@ void NodeServer::serve_loop(const std::stop_token& token) {
   while (!token.stop_requested()) {
     auto stream = listener_.accept(100ms);
     if (!stream) continue;  // timeout: re-check the stop token
-    handle_connection(std::move(*stream));
+    dispatch(std::move(*stream));
   }
   board_.set_available(config_.node_id, false);
+  util::set_thread_log_context({});
+}
+
+void NodeServer::dispatch(TcpStream stream) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    // max_pending clamps to >= 1: workers only take work from the queue,
+    // so a zero-length queue could never hand an idle worker anything.
+    const auto cap = static_cast<std::size_t>(
+        std::max(1, config_.max_pending));
+    if (pending_.size() < cap) {
+      pending_.push_back(std::move(stream));
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+      }
+      lock.unlock();
+      queue_cv_.notify_one();
+      return;
+    }
+  }
+  shed(std::move(stream));
+}
+
+void NodeServer::shed(TcpStream stream) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed_counter_ != nullptr) shed_counter_->inc();
+  http::Response busy = http::make_error(http::Status::kServiceUnavailable,
+                                         "all workers busy, queue full");
+  busy.headers.add("Server", config_.server_name);
+  busy.headers.set("Connection", "close");
+  // Written from the accept thread: a fresh connection's send buffer is
+  // empty, so this cannot block the loop for long.
+  (void)stream.write_all(busy.serialize(), config_.io_timeout);
+  stream.shutdown_write();
+}
+
+void NodeServer::worker_loop(const std::stop_token& token, int index) {
+  util::set_thread_log_context("node " + std::to_string(config_.node_id) +
+                               "/w" + std::to_string(index));
+  for (;;) {
+    TcpStream stream;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (!queue_cv_.wait(lock, token,
+                          [this] { return !pending_.empty(); })) {
+        break;  // stop requested while idle
+      }
+      stream = std::move(pending_.front());
+      pending_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+      }
+    }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(1);
+    handle_connection(std::move(stream), token);
+    if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(-1);
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+  }
   util::set_thread_log_context({});
 }
 
@@ -147,12 +237,14 @@ int NodeServer::choose_node(int owner) const {
   return best;
 }
 
-void NodeServer::handle_connection(TcpStream stream) {
+void NodeServer::handle_connection(TcpStream stream,
+                                   const std::stop_token& token) {
   // HTTP/1.0 keep-alive: serve requests on this connection until the
-  // client omits "Connection: Keep-Alive", an error occurs, or the
-  // per-connection cap is reached.
+  // client omits "Connection: Keep-Alive", an error occurs, the
+  // per-connection cap is reached, or the server is stopping.
   std::string leftover;
-  for (int served = 0; served < config_.max_requests_per_connection;
+  for (int served = 0; served < config_.max_requests_per_connection &&
+                       !token.stop_requested();
        ++served) {
     const bool tracing_on = tracing();
     const double t_parse_start =
@@ -160,6 +252,10 @@ void NodeServer::handle_connection(TcpStream stream) {
     const auto wall_start = std::chrono::steady_clock::now();
 
     // --- Preprocess: read and parse one request -------------------------
+    // One overall deadline for the whole request head+body, however many
+    // reads it takes — a client trickling bytes cannot hold the worker
+    // past io_timeout.
+    const Deadline read_deadline = deadline_after(config_.io_timeout);
     http::RequestParser parser;
     http::ParseResult state = http::ParseResult::kNeedMore;
     if (!leftover.empty()) {
@@ -168,8 +264,20 @@ void NodeServer::handle_connection(TcpStream stream) {
       leftover.erase(0, consumed);
     }
     while (state == http::ParseResult::kNeedMore) {
-      const auto chunk = stream.read_some(16 * 1024, config_.io_timeout);
-      if (!chunk.ok) return;  // timeout/error: drop the connection
+      // Wait in short slices so a stop request interrupts an idle
+      // keep-alive connection promptly (graceful drain).
+      bool readable = false;
+      while (!token.stop_requested()) {
+        const auto remaining = time_remaining(read_deadline);
+        if (remaining <= 0ms) break;
+        if (stream.wait_readable(std::min(remaining, 100ms))) {
+          readable = true;
+          break;
+        }
+      }
+      if (!readable) return;  // stopping, timeout, or dead socket
+      const auto chunk = stream.read_some(16 * 1024, 0ms);
+      if (!chunk.ok) return;  // error: drop the connection
       if (chunk.eof) return;  // client went away between/within requests
       std::size_t consumed = 0;
       state = parser.feed(chunk.data, consumed);
@@ -372,6 +480,12 @@ http::Response NodeServer::process_request(const http::Request& request,
     // Dynamic content: execute the registered handler with the query (GET)
     // or body (POST) as its input.
     ok = (*cgi)(request, canonical->query);
+    if (request.method == http::Method::kHead) {
+      // HEAD gets the headers the GET would have had, body stripped —
+      // same contract as the static-document path below.
+      ok.headers.set("Content-Length", std::to_string(ok.body.size()));
+      ok.body.clear();
+    }
   } else {
     // Conditional GET: an If-Modified-Since at or after the document's
     // mtime earns a body-less 304 (NCSA httpd supported this in 1994).
@@ -496,6 +610,13 @@ http::Response NodeServer::status_response() const {
   w.key("inflight")
       .value(inflight_gauge_ != nullptr ? inflight_gauge_->value()
                                         : std::int64_t{0});
+  w.key("workers").value(
+      static_cast<std::int64_t>(std::max(1, config_.max_workers)));
+  w.key("workers_busy").value(static_cast<std::int64_t>(workers_busy()));
+  w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth()));
+  w.key("max_pending").value(
+      static_cast<std::int64_t>(std::max(1, config_.max_pending)));
+  w.key("shed").value(shed_count());
   w.key("board").begin_array();
   for (std::size_t n = 0; n < loads.size(); ++n) {
     const NodeLoad& l = loads[n];

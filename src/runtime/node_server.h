@@ -1,10 +1,18 @@
-// One SWEB node as a real HTTP server thread.
+// One SWEB node as a real concurrent HTTP server.
 //
 // Each NodeServer runs the paper's per-node pipeline against live sockets:
 // accept -> parse (preprocess) -> broker decision -> 302 redirect to a
 // better node, or serve the document. The X-Sweb-Redirected request header
 // marks a request that already bounced once, enforcing the at-most-once
 // rule across real connections.
+//
+// Concurrency: a dedicated accept thread dispatches connections to a
+// bounded pool of worker threads (Config::max_workers), so one slow or
+// keep-alive client cannot head-of-line-block the node. When every worker
+// is busy and Config::max_pending connections are already queued, further
+// connections are shed with 503 Service Unavailable — the runtime analogue
+// of the simulator's per-node connection limit + listen backlog, which is
+// what makes the broker's effective_connections() signal meaningful.
 //
 // Observability: every node serves GET /sweb/status — a JSON snapshot of
 // its loadd view (each peer's last update and age, Δ-inflation), its own
@@ -18,8 +26,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +74,15 @@ class NodeServer {
     /// HTTP/1.0 keep-alive: requests served on one connection before the
     /// server closes it anyway (a fairness/robustness cap).
     int max_requests_per_connection = 32;
+    /// Worker pool: accepted connections are served by up to this many
+    /// concurrent threads per node (clamped to >= 1) — the runtime
+    /// analogue of the simulator's per-node connection limit. One slow or
+    /// keep-alive client occupies one worker, not the whole node.
+    int max_workers = 16;
+    /// Accepted connections held (clamped to >= 1) while every worker is
+    /// busy — the runtime's listen-backlog analogue. A connection arriving
+    /// with the queue full is shed with 503 Service Unavailable.
+    int max_pending = 32;
     /// Optional telemetry sinks (typically the MiniCluster's; may be null).
     obs::Registry* registry = nullptr;
     obs::SpanTracer* tracer = nullptr;
@@ -97,10 +117,25 @@ class NodeServer {
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return handled_.load();
   }
+  /// Workers currently serving a connection (0..max_workers).
+  [[nodiscard]] int workers_busy() const noexcept {
+    return busy_workers_.load();
+  }
+  /// Accepted connections waiting for a free worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Connections answered 503 because workers + queue were full.
+  [[nodiscard]] std::uint64_t shed_count() const noexcept {
+    return shed_.load();
+  }
 
  private:
   void serve_loop(const std::stop_token& token);
-  void handle_connection(TcpStream stream);
+  void worker_loop(const std::stop_token& token, int index);
+  /// Queues the accepted stream for a worker, or sheds it with a 503 when
+  /// the pending queue is at max_pending (all workers busy).
+  void dispatch(TcpStream stream);
+  void shed(TcpStream stream);
+  void handle_connection(TcpStream stream, const std::stop_token& token);
   /// Parses/serves one request; Connection header is set by the caller.
   /// `trace_id` labels this request's spans (0 when tracing is off).
   [[nodiscard]] http::Response process_request(const http::Request& request,
@@ -141,6 +176,14 @@ class NodeServer {
   TcpListener listener_;
   std::vector<std::uint16_t> peer_ports_;
   std::jthread thread_;
+  // Worker pool: the accept loop feeds pending_, workers drain it. The
+  // condition variable is _any so it can wait on the workers' stop token.
+  std::vector<std::jthread> workers_;
+  mutable std::mutex queue_mutex_;
+  std::condition_variable_any queue_cv_;
+  std::deque<TcpStream> pending_;
+  std::atomic<int> busy_workers_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> handled_{0};
   std::atomic<std::uint64_t> local_ids_{1};  // fallback id source, no tracer
   std::chrono::steady_clock::time_point started_at_{};
@@ -149,7 +192,10 @@ class NodeServer {
   obs::Counter* requests_counter_ = nullptr;
   obs::Counter* redirects_counter_ = nullptr;
   obs::Counter* errors_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* workers_busy_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Histogram* response_histogram_ = nullptr;
 };
 

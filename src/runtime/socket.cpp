@@ -13,16 +13,23 @@ namespace sweb::runtime {
 
 namespace {
 
-/// Polls one fd for the given events; true when ready, false on timeout.
-[[nodiscard]] bool wait_ready(int fd, short events,
-                              std::chrono::milliseconds timeout) {
+/// Polls one fd for the given events until `deadline`; true when ready,
+/// false on timeout. EINTR re-polls with the *remaining* budget, so signal
+/// storms cannot extend the wait.
+[[nodiscard]] bool wait_ready_until(int fd, short events, Deadline deadline) {
   pollfd pfd{fd, events, 0};
   for (;;) {
-    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    const int rc = ::poll(&pfd, 1,
+                          static_cast<int>(time_remaining(deadline).count()));
     if (rc > 0) return (pfd.revents & (events | POLLERR | POLLHUP)) != 0;
     if (rc == 0) return false;  // timeout
     if (errno != EINTR) return false;
   }
+}
+
+[[nodiscard]] bool wait_ready(int fd, short events,
+                              std::chrono::milliseconds timeout) {
+  return wait_ready_until(fd, events, deadline_after(timeout));
 }
 
 void set_nonblocking(int fd, bool enable) {
@@ -32,6 +39,12 @@ void set_nonblocking(int fd, bool enable) {
 }
 
 }  // namespace
+
+std::chrono::milliseconds time_remaining(Deadline deadline) noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= deadline) return std::chrono::milliseconds{0};
+  return std::chrono::ceil<std::chrono::milliseconds>(deadline - now);
+}
 
 FileDescriptor::~FileDescriptor() { reset(); }
 
@@ -128,18 +141,30 @@ TcpStream::ReadResult TcpStream::read_some(std::size_t max,
   return result;
 }
 
+bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
+  if (!fd_.valid()) return false;
+  return wait_ready(fd_.get(), POLLIN, timeout);
+}
+
 bool TcpStream::write_all(std::string_view data,
                           std::chrono::milliseconds timeout) {
   if (!fd_.valid()) return false;
+  const Deadline deadline = deadline_after(timeout);
   std::size_t sent = 0;
   while (sent < data.size()) {
-    if (!wait_ready(fd_.get(), POLLOUT, timeout)) return false;
+    if (!wait_ready_until(fd_.get(), POLLOUT, deadline)) return false;
+    // MSG_DONTWAIT: the fd is in blocking mode, and a blocking send() of
+    // more than the free buffer space parks in the kernel with no regard
+    // for our deadline. Write what fits now; poll covers the waiting.
     const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (errno == EINTR) continue;
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return false;
     }
+    // A zero-byte send made no progress and set no errno; treating it as
+    // EINTR-like by consulting the stale errno could loop or misreport.
+    if (n == 0) return false;
     sent += static_cast<std::size_t>(n);
   }
   return true;

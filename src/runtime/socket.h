@@ -17,6 +17,22 @@
 
 namespace sweb::runtime {
 
+/// Absolute deadline for a multi-step I/O sequence. Loops that poll + read
+/// or poll + write repeatedly must budget ONE overall deadline, not a fresh
+/// timeout per iteration — otherwise a peer trickling one byte per timeout
+/// window keeps the call alive forever.
+using Deadline = std::chrono::steady_clock::time_point;
+
+[[nodiscard]] inline Deadline deadline_after(
+    std::chrono::milliseconds timeout) noexcept {
+  return std::chrono::steady_clock::now() + timeout;
+}
+
+/// Milliseconds left until `deadline`, clamped to >= 0 (rounded up so a
+/// sub-millisecond remainder still polls instead of spinning).
+[[nodiscard]] std::chrono::milliseconds time_remaining(
+    Deadline deadline) noexcept;
+
 /// Move-only owner of a file descriptor.
 class FileDescriptor {
  public:
@@ -71,7 +87,14 @@ class TcpStream {
   [[nodiscard]] ReadResult read_some(std::size_t max,
                                      std::chrono::milliseconds timeout);
 
-  /// Writes the whole buffer; false on any error/timeout.
+  /// Waits up to `timeout` for the stream to become readable (data or EOF)
+  /// without consuming anything — lets callers wait in short slices and
+  /// re-check a stop token between them.
+  [[nodiscard]] bool wait_readable(std::chrono::milliseconds timeout) const;
+
+  /// Writes the whole buffer; false on any error/timeout. The timeout is
+  /// one overall deadline for the entire buffer, however many partial
+  /// sends it takes.
   [[nodiscard]] bool write_all(std::string_view data,
                                std::chrono::milliseconds timeout);
 

@@ -75,6 +75,26 @@ TEST(Cgi, PostToUnknownPathIs404) {
   EXPECT_EQ(http::code(result->response.status), 404);
 }
 
+TEST(Cgi, HeadToCgiStripsBodyButKeepsLength) {
+  // HEAD must behave like the static path: the handler runs, but the
+  // response carries headers only, with Content-Length describing the body
+  // the matching GET would have returned.
+  MiniCluster cluster(1, tiny_docbase(1));
+  cluster.docs_mutable().register_cgi(
+      "/cgi/report.cgi", 0, [](const http::Request&, std::string_view) {
+        return http::make_ok("twelve bytes", "text/plain");
+      });
+  cluster.start();
+  FetchOptions options;
+  options.head = true;
+  const auto result =
+      fetch(cluster.next_base_url() + "/cgi/report.cgi", options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(http::code(result->response.status), 200);
+  EXPECT_TRUE(result->response.body.empty());
+  EXPECT_EQ(result->response.headers.get("Content-Length"), "12");
+}
+
 TEST(Cgi, HandlerErrorsPropagateAsStatus) {
   MiniCluster cluster(1, tiny_docbase(1));
   cluster.docs_mutable().register_cgi(

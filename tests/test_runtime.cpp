@@ -8,7 +8,9 @@
 
 #include "fs/docbase.h"
 #include "http/parser.h"
+#include "obs/registry.h"
 #include "runtime/client.h"
+#include "runtime/load_board.h"
 #include "runtime/socket.h"
 #include "runtime/mini_cluster.h"
 
@@ -211,6 +213,75 @@ TEST(Runtime, StaleIfModifiedSinceGetsFullBody) {
   ASSERT_EQ(state, http::ParseResult::kComplete);
   EXPECT_EQ(http::code(parser.message().status), 200);
   EXPECT_EQ(parser.message().body.size(), 4096u);
+}
+
+TEST(Runtime, RedirectWithoutLocationReturnsNullopt) {
+  // A 302 missing its Location header is a malformed redirect; the client
+  // must fail the fetch rather than dereference a header that is not there
+  // or hand the bare 302 back as a final answer.
+  TcpListener listener(0);
+  std::thread server([&listener] {
+    auto peer = listener.accept(std::chrono::seconds(2));
+    if (!peer) return;
+    // Drain the request, then answer 302 with no Location.
+    (void)peer->read_some(16 * 1024, std::chrono::seconds(2));
+    (void)peer->write_all(
+        "HTTP/1.0 302 Found\r\nContent-Length: 0\r\n\r\n",
+        std::chrono::seconds(2));
+  });
+  const auto result =
+      fetch("http://127.0.0.1:" + std::to_string(listener.port()) + "/x");
+  server.join();
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Runtime, KeepAliveSessionReusesOneConnection) {
+  MiniCluster cluster(1, small_docbase(1));
+  cluster.start();
+  FetchOptions options;
+  options.keep_alive = true;
+  FetchSession session(options);
+  const std::string base =
+      "http://127.0.0.1:" + std::to_string(cluster.port(0));
+  for (int i = 0; i < 3; ++i) {
+    const auto result =
+        session.fetch(base + "/docs/file" + std::to_string(i) + ".html");
+    ASSERT_TRUE(result.has_value()) << i;
+    EXPECT_EQ(http::code(result->response.status), 200) << i;
+    EXPECT_EQ(result->response.headers.get("Connection"), "Keep-Alive") << i;
+  }
+  EXPECT_EQ(session.connections_opened(), 1);
+}
+
+TEST(Runtime, NonKeepAliveSessionOpensConnectionPerFetch) {
+  MiniCluster cluster(1, small_docbase(1));
+  cluster.start();
+  FetchSession session;  // default: no keep-alive
+  const std::string base =
+      "http://127.0.0.1:" + std::to_string(cluster.port(0));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session.fetch(base + "/docs/file0.html").has_value());
+  }
+  EXPECT_EQ(session.connections_opened(), 3);
+}
+
+TEST(Runtime, LoadBoardClampsDoubleCloseInsteadOfUnderflowing) {
+  LoadBoard board(2);
+  board.connection_opened(0, 1024);
+  board.connection_closed(0, 1024);
+  board.connection_closed(0, 1024);  // the accounting bug, now survivable
+  EXPECT_EQ(board.snapshot(0).active_connections, 0);
+  EXPECT_EQ(board.underflows(), 1u);
+  // The other node's books stay untouched.
+  EXPECT_EQ(board.snapshot(1).active_connections, 0);
+}
+
+TEST(Runtime, LoadBoardUnderflowCounterReachesRegistry) {
+  obs::Registry registry;
+  LoadBoard board(1);
+  board.bind_registry(registry);
+  board.connection_closed(0, 0);
+  EXPECT_EQ(registry.counter("loadboard.underflow").value(), 1u);
 }
 
 TEST(Runtime, RedirectsCanBeDisabled) {

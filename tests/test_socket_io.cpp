@@ -1,0 +1,113 @@
+// Deadline semantics of the socket layer: `timeout` on a multi-step call
+// is one overall budget, not a per-iteration allowance that a trickling
+// peer can renew indefinitely.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "runtime/socket.h"
+
+namespace sweb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(SocketIo, DeadlineHelpersClampAndRound) {
+  const Deadline deadline = deadline_after(50ms);
+  EXPECT_GT(time_remaining(deadline), 0ms);
+  EXPECT_LE(time_remaining(deadline), 50ms);
+  // An expired deadline reports zero, never negative.
+  const Deadline past = deadline_after(-10ms);
+  EXPECT_EQ(time_remaining(past), 0ms);
+  // Sub-millisecond remainders round up so a poll() on the residue cannot
+  // busy-spin with a 0 ms timeout.
+  const Deadline imminent =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(200);
+  EXPECT_GE(time_remaining(imminent), 1ms);
+}
+
+TEST(SocketIo, WriteAllHonoursOneOverallDeadline) {
+  // Peer accepts but never reads: once loopback buffers fill, write_all
+  // must give up after ~timeout total. Under the old per-iteration scheme
+  // each partial send reset the clock, so a slowly-draining peer could
+  // stretch one call arbitrarily.
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  // Far larger than any default loopback send+receive buffering.
+  const std::string huge(64 * 1024 * 1024, 'x');
+  constexpr auto kTimeout = 200ms;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client->write_all(huge, kTimeout));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, kTimeout);
+  EXPECT_LT(elapsed, 2000ms);  // bounded, not per-chunk renewed
+}
+
+TEST(SocketIo, WriteAllStillCompletesWhenPeerDrains) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  const std::string payload(4 * 1024 * 1024, 'y');
+  std::size_t drained = 0;
+  std::thread reader([&server, &drained, want = payload.size()] {
+    while (drained < want) {
+      const auto chunk = server->read_some(64 * 1024, 2000ms);
+      if (!chunk.ok || chunk.eof) break;
+      drained += chunk.data.size();
+    }
+  });
+  EXPECT_TRUE(client->write_all(payload, 5000ms));
+  client->shutdown_write();
+  reader.join();
+  EXPECT_EQ(drained, payload.size());
+}
+
+TEST(SocketIo, WriteAllFailsFastOnClosedPeer) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+  server->close();
+
+  // First write may land in flight; keep writing until the RST surfaces.
+  const std::string data(64 * 1024, 'z');
+  const auto start = std::chrono::steady_clock::now();
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !client->write_all(data, 500ms);
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 3000ms);
+}
+
+TEST(SocketIo, WaitReadableSeesPendingDataAndTimesOutOtherwise) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  EXPECT_FALSE(server->wait_readable(20ms));  // nothing sent yet
+  ASSERT_TRUE(client->write_all("ping", 2000ms));
+  EXPECT_TRUE(server->wait_readable(2000ms));
+  const auto chunk = server->read_some(16, 2000ms);
+  EXPECT_TRUE(chunk.ok);
+  EXPECT_EQ(chunk.data, "ping");
+}
+
+}  // namespace
+}  // namespace sweb::runtime

@@ -38,6 +38,10 @@ struct NodeSample {
   double uptime_s = 0.0;
   std::uint64_t requests_handled = 0;
   std::int64_t inflight = 0;
+  std::int64_t workers = 0;
+  std::int64_t workers_busy = 0;
+  std::int64_t queue_depth = 0;
+  std::uint64_t shed = 0;
   std::uint64_t served = 0;
   std::uint64_t redirected = 0;
   double cache_hit_rate = -1.0;    // < 0: unknown (no registry counters)
@@ -82,6 +86,12 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
   sample.requests_handled =
       static_cast<std::uint64_t>(doc->number_or("requests_handled", 0.0));
   sample.inflight = static_cast<std::int64_t>(doc->number_or("inflight", 0.0));
+  sample.workers = static_cast<std::int64_t>(doc->number_or("workers", 0.0));
+  sample.workers_busy =
+      static_cast<std::int64_t>(doc->number_or("workers_busy", 0.0));
+  sample.queue_depth =
+      static_cast<std::int64_t>(doc->number_or("queue_depth", 0.0));
+  sample.shed = static_cast<std::uint64_t>(doc->number_or("shed", 0.0));
 
   if (const obs::JsonValue* board = doc->find("board");
       board != nullptr && board->is_array()) {
@@ -137,18 +147,23 @@ void render(const std::vector<NodeSample>& samples,
             double interval_s, int poll, int total_polls) {
   std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
               total_polls);
-  std::printf("%-5s %8s %9s %8s %7s %7s %10s %10s\n", "NODE", "RPS",
-              "INFLIGHT", "SERVED", "REDIR%", "CACHE%", "PERR-P50",
-              "PERR-P95");
+  std::printf("%-5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s\n", "NODE",
+              "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED", "SERVED",
+              "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
   double total_rps = 0.0;
   std::int64_t total_inflight = 0;
+  std::int64_t total_busy = 0, total_queue = 0;
+  std::uint64_t total_shed = 0;
   std::uint64_t total_served = 0, total_redirected = 0;
   double worst_p50 = -1.0, worst_p95 = -1.0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const NodeSample& s = samples[i];
     if (!s.ok) {
-      std::printf("%-5zu %8s %9s %8s %7s %7s %10s %10s   (unreachable: %s)\n",
-                  i, "-", "-", "-", "-", "-", "-", "-", s.url.c_str());
+      std::printf(
+          "%-5zu %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s   "
+          "(unreachable: %s)\n",
+          i, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-",
+          s.url.c_str());
       continue;
     }
     const double rps =
@@ -162,8 +177,14 @@ void render(const std::vector<NodeSample>& samples,
         seen > 0 ? static_cast<double>(s.redirected) /
                        static_cast<double>(seen)
                  : 0.0;
-    std::printf("%-5d %8.1f %9lld %8llu %7s %7s %10s %10s\n", s.node, rps,
-                static_cast<long long>(s.inflight),
+    char workers_cell[32];
+    std::snprintf(workers_cell, sizeof workers_cell, "%lld/%lld",
+                  static_cast<long long>(s.workers_busy),
+                  static_cast<long long>(s.workers));
+    std::printf("%-5d %8.1f %9lld %7s %6lld %5llu %8llu %7s %7s %10s %10s\n",
+                s.node, rps, static_cast<long long>(s.inflight),
+                workers_cell, static_cast<long long>(s.queue_depth),
+                static_cast<unsigned long long>(s.shed),
                 static_cast<unsigned long long>(s.served),
                 fmt_pct(redirect_rate).c_str(),
                 fmt_pct(s.cache_hit_rate).c_str(),
@@ -171,6 +192,9 @@ void render(const std::vector<NodeSample>& samples,
                 fmt_ms(s.predict_p95_s).c_str());
     total_rps += rps;
     total_inflight += s.inflight;
+    total_busy += s.workers_busy;
+    total_queue += s.queue_depth;
+    total_shed += s.shed;
     total_served += s.served;
     total_redirected += s.redirected;
     worst_p50 = std::max(worst_p50, s.predict_p50_s);
@@ -181,8 +205,11 @@ void render(const std::vector<NodeSample>& samples,
       total_seen > 0 ? static_cast<double>(total_redirected) /
                            static_cast<double>(total_seen)
                      : 0.0;
-  std::printf("%-5s %8.1f %9lld %8llu %7s %7s %10s %10s\n", "TOTAL",
-              total_rps, static_cast<long long>(total_inflight),
+  std::printf("%-5s %8.1f %9lld %7lld %6lld %5llu %8llu %7s %7s %10s %10s\n",
+              "TOTAL", total_rps, static_cast<long long>(total_inflight),
+              static_cast<long long>(total_busy),
+              static_cast<long long>(total_queue),
+              static_cast<unsigned long long>(total_shed),
               static_cast<unsigned long long>(total_served),
               fmt_pct(total_redirect_rate).c_str(), "",
               fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
@@ -201,6 +228,10 @@ void append_jsonl(const std::string& path, double t_s,
     w.key("node").value(s.node);
     w.key("requests_handled").value(s.requests_handled);
     w.key("inflight").value(s.inflight);
+    w.key("workers").value(s.workers);
+    w.key("workers_busy").value(s.workers_busy);
+    w.key("queue_depth").value(s.queue_depth);
+    w.key("shed").value(s.shed);
     w.key("served").value(s.served);
     w.key("redirected").value(s.redirected);
     w.key("cache_hit_rate").value(s.cache_hit_rate);
