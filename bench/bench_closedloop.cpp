@@ -238,5 +238,100 @@ int main() {
   pr3.key("speedup").value(speedup);
   pr3.end_object();
   if (!bench::write_json_report("BENCH_PR3.json", pr3.str())) return 1;
+
+  // --- PR4: liveness drill — crash a node under closed-loop load ----------
+  // 4-node runtime cluster with a fast loadd tick (50 ms heartbeat, 250 ms
+  // staleness). Closed-loop clients hammer nodes 0-2 while node 3 crashes
+  // and later recovers. Measured: how long the failure detector takes to
+  // rope the node off, how many requests the origin fallback had to bridge
+  // during the blind window, and that no client ever saw an error.
+  std::printf("\nliveness drill (4 nodes, crash + recover under load):\n");
+  const double detect_budget_s = 0.25;  // the staleness timeout
+  runtime::MiniClusterOptions chaos_options;
+  chaos_options.heartbeat_period = std::chrono::milliseconds(50);
+  chaos_options.staleness_timeout = std::chrono::milliseconds(250);
+  const fs::Docbase chaos_docs = fs::make_uniform(
+      16, 8192, 4, fs::Placement::kRoundRobin, nullptr, "/docs");
+  runtime::MiniCluster chaos(4, chaos_docs, chaos_options);
+  chaos.start();
+
+  std::atomic<bool> chaos_stop{false};
+  std::atomic<std::uint64_t> chaos_ok{0};
+  std::atomic<std::uint64_t> chaos_failed{0};
+  std::atomic<std::uint64_t> chaos_fallbacks{0};
+  std::vector<std::thread> chaos_clients;
+  for (int c = 0; c < 8; ++c) {
+    chaos_clients.emplace_back([&chaos, &chaos_stop, &chaos_ok, &chaos_failed,
+                                &chaos_fallbacks, c] {
+      for (int i = 0; !chaos_stop.load(std::memory_order_relaxed); ++i) {
+        const std::string url =
+            "http://127.0.0.1:" + std::to_string(chaos.port((c + i) % 3)) +
+            "/docs/file" + std::to_string((c * 5 + i) % 16) + ".html";
+        const auto result = runtime::fetch(url);
+        if (result && http::code(result->response.status) == 200) {
+          ++chaos_ok;
+          if (result->origin_fallback) ++chaos_fallbacks;
+        } else {
+          ++chaos_failed;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // warm up
+
+  const auto crash_at = std::chrono::steady_clock::now();
+  chaos.crash(3);
+  while (chaos.board().snapshot(3).available) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double detect_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - crash_at)
+                              .count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // routed-around
+
+  const auto recover_at = std::chrono::steady_clock::now();
+  chaos.recover(3);
+  while (!chaos.board().snapshot(3).available) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const double rejoin_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - recover_at)
+                              .count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // re-admitted
+  chaos_stop.store(true);
+  for (auto& t : chaos_clients) t.join();
+  chaos.stop();
+
+  std::printf("  requests %llu  failed %llu  fallback-bridged %llu\n",
+              static_cast<unsigned long long>(chaos_ok.load()),
+              static_cast<unsigned long long>(chaos_failed.load()),
+              static_cast<unsigned long long>(chaos_fallbacks.load()));
+  std::printf("  detected down in %.0f ms (budget %.0f ms)  rejoined in "
+              "%.0f ms\n",
+              1000.0 * detect_s, 1000.0 * detect_budget_s, 1000.0 * rejoin_s);
+  bench::print_note(
+      "expected shape: zero failures — the origin fallback bridges the "
+      "blind window between the crash and detection, detection lands "
+      "within one staleness timeout, and recovery is immediate (the "
+      "rejoining node's first heartbeat re-admits it).");
+
+  obs::JsonWriter pr4;
+  pr4.begin_object();
+  pr4.key("bench").value("closedloop");
+  pr4.key("pr").value(4);
+  pr4.key("config").begin_object();
+  pr4.key("nodes").value(4);
+  pr4.key("clients").value(8);
+  pr4.key("heartbeat_ms").value(std::int64_t{50});
+  pr4.key("staleness_ms").value(std::int64_t{250});
+  pr4.end_object();
+  pr4.key("requests_ok").value(chaos_ok.load());
+  pr4.key("requests_failed").value(chaos_failed.load());
+  pr4.key("fallback_bridged").value(chaos_fallbacks.load());
+  pr4.key("detect_s").value(detect_s);
+  pr4.key("detect_budget_s").value(detect_budget_s);
+  pr4.key("rejoin_s").value(rejoin_s);
+  pr4.end_object();
+  if (!bench::write_json_report("BENCH_PR4.json", pr4.str())) return 1;
   return 0;
 }

@@ -32,6 +32,11 @@ int main(int argc, char** argv) {
       .option("queue", "32",
               "pending connections held per node before 503 load shedding")
       .option("serve-seconds", "60", "how long --serve/--status linger")
+      .option("heartbeat", "2000",
+              "heartbeat period in ms (the loadd tick; paper uses 2-3 s)")
+      .option("staleness", "6000",
+              "staleness timeout in ms before a silent node is marked "
+              "unavailable (~3x the heartbeat)")
       .option("metrics-out", "",
               "append registry snapshots to this JSONL file (1 Hz)")
       .option("trace-out", "",
@@ -55,6 +60,10 @@ int main(int argc, char** argv) {
   runtime::MiniClusterOptions options;
   options.max_workers = static_cast<int>(cli.get_int("workers"));
   options.max_pending = static_cast<int>(cli.get_int("queue"));
+  options.heartbeat_period =
+      std::chrono::milliseconds(cli.get_int("heartbeat"));
+  options.staleness_timeout =
+      std::chrono::milliseconds(cli.get_int("staleness"));
   runtime::MiniCluster cluster(nodes, docs, options);
   if (!cli.get("trace-out").empty()) cluster.tracer().set_enabled(true);
   cluster.start();

@@ -57,6 +57,14 @@ namespace {
   return connection.has_value() && util::iequals(*connection, "keep-alive");
 }
 
+/// `url` with the at-most-once marker appended, so the node it reaches
+/// serves locally instead of redirecting again.
+[[nodiscard]] std::string with_hop_marker(const std::string& url) {
+  if (url.find("sweb-hop=1") != std::string::npos) return url;
+  return url +
+         (url.find('?') == std::string::npos ? "?sweb-hop=1" : "&sweb-hop=1");
+}
+
 }  // namespace
 
 FetchSession::FetchSession(FetchOptions options)
@@ -95,7 +103,23 @@ std::optional<FetchResult> FetchSession::fetch(const std::string& url) {
   result.final_url = url;
   for (int hop = 0; hop <= options_.max_redirects; ++hop) {
     auto response = exchange(*parsed);
-    if (!response) return std::nullopt;
+    if (!response) {
+      // The origin itself is unreachable: nothing to fall back to.
+      if (hop == 0) return std::nullopt;
+      // A Location hop led to a dead target (the node crashed between
+      // issuing the 302 and our connect). Retry the origin once with the
+      // at-most-once marker set: it serves locally rather than strand the
+      // client against a dead port.
+      const std::string fallback_url = with_hop_marker(url);
+      const auto origin = http::parse_url(fallback_url);
+      if (!origin) return std::nullopt;
+      auto retry = exchange(*origin);
+      if (!retry) return std::nullopt;
+      result.final_url = fallback_url;
+      result.origin_fallback = true;
+      result.response = std::move(*retry);
+      return result;
+    }
     const int status = http::code(response->status);
     if (status >= 300 && status < 400) {
       const auto location = response->headers.get("Location");

@@ -16,6 +16,10 @@ struct FetchResult {
   http::Response response;
   int redirects_followed = 0;
   std::string final_url;
+  /// True when a redirect target was dead (connection refused / no valid
+  /// response) and the response came from retrying the origin with the
+  /// at-most-once marker set, forcing it to serve locally.
+  bool origin_fallback = false;
 };
 
 struct FetchOptions {
@@ -45,7 +49,10 @@ class FetchSession {
   /// Fetches `url` (absolute http:// form), following up to
   /// options.max_redirects Location hops. std::nullopt on connection
   /// error, malformed response (including a 3xx without a Location
-  /// header), or redirect loop overflow.
+  /// header), or redirect loop overflow. A Location hop that leads to a
+  /// dead target (crashed node, refused port) falls back to the origin
+  /// once, with `sweb-hop=1` appended so it serves locally — the runtime's
+  /// graceful-degradation analogue; a dead origin stays a failure.
   [[nodiscard]] std::optional<FetchResult> fetch(const std::string& url);
 
   /// TCP connections opened so far — fetches minus reuses.

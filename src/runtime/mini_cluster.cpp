@@ -11,6 +11,16 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
   docs_.bind_registry(registry_);
   board_.bind_registry(registry_);
   audit_.bind_registry(registry_);
+  LivenessParams liveness;
+  liveness.staleness_timeout_s =
+      std::chrono::duration<double>(options.staleness_timeout).count();
+  liveness.inflation_expiry_s =
+      options.inflation_expiry.count() > 0
+          ? std::chrono::duration<double>(options.inflation_expiry).count()
+          : 2.0 *
+                std::chrono::duration<double>(options.heartbeat_period)
+                    .count();
+  board_.set_liveness(liveness);
   std::vector<std::uint16_t> ports;
   for (int n = 0; n < num_nodes; ++n) {
     NodeServer::Config cfg;
@@ -19,6 +29,7 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
     cfg.max_workers = options.max_workers;
     cfg.max_pending = options.max_pending;
     cfg.io_timeout = options.io_timeout;
+    cfg.heartbeat_period = options.heartbeat_period;
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
     cfg.audit = &audit_;

@@ -28,6 +28,16 @@ struct MiniClusterOptions {
   int max_pending = 32;
   /// Per-request I/O deadline (NodeServer::Config::io_timeout).
   std::chrono::milliseconds io_timeout{2000};
+  /// Liveness lease period per node (NodeServer::Config::heartbeat_period):
+  /// the paper's 2-3 s loadd tick, sub-second in tests.
+  std::chrono::milliseconds heartbeat_period{2000};
+  /// A peer whose heartbeat stamp ages past this is marked unavailable by
+  /// the failure detector (and re-admitted when stamps resume).
+  std::chrono::milliseconds staleness_timeout{6000};
+  /// Expiry for one unit of redirect Δ-inflation — a 302 whose client
+  /// never follows it stops counting as phantom load after this long.
+  /// Zero (the default) derives 2x heartbeat_period.
+  std::chrono::milliseconds inflation_expiry{0};
 };
 
 class MiniCluster {
@@ -53,6 +63,12 @@ class MiniCluster {
   [[nodiscard]] NodeServer& node(int n) {
     return *servers_[static_cast<std::size_t>(n)];
   }
+
+  /// Fault injection, forwarded to the node (see NodeServer): chaos tests
+  /// and benches kill a node mid-run and watch the broker route around it.
+  void crash(int n) { node(n).crash(); }
+  void hang(int n) { node(n).hang(); }
+  void recover(int n) { node(n).recover(); }
 
   /// Round-robin DNS: the next node's base URL ("http://127.0.0.1:PORT").
   [[nodiscard]] std::string next_base_url();

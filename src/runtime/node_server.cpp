@@ -79,13 +79,7 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
 
 NodeServer::~NodeServer() { stop(); }
 
-void NodeServer::start() {
-  if (thread_.joinable()) return;
-  started_at_ = std::chrono::steady_clock::now();
-  if (config_.tracer != nullptr) {
-    config_.tracer->set_process_name(
-        config_.node_id, "node " + std::to_string(config_.node_id));
-  }
+void NodeServer::launch_workers() {
   const int pool = std::max(1, config_.max_workers);
   workers_.reserve(static_cast<std::size_t>(pool));
   for (int w = 0; w < pool; ++w) {
@@ -93,11 +87,25 @@ void NodeServer::start() {
       worker_loop(token, w);
     });
   }
-  thread_ = std::jthread(
-      [this](const std::stop_token& token) { serve_loop(token); });
 }
 
-void NodeServer::stop() {
+void NodeServer::start_heartbeat() {
+  // First stamp before the thread exists: the node is in the pool the
+  // moment this returns, so a caller's immediate fetch cannot race the
+  // first tick and find the node still unavailable.
+  board_.heartbeat(config_.node_id);
+  heartbeat_thread_ = std::jthread(
+      [this](const std::stop_token& token) { heartbeat_loop(token); });
+}
+
+void NodeServer::stop_heartbeat() {
+  if (heartbeat_thread_.joinable()) {
+    heartbeat_thread_.request_stop();
+    heartbeat_thread_.join();
+  }
+}
+
+void NodeServer::stop_serving() {
   // Accept thread first so no new connections enter the queue, then the
   // workers: each finishes (or promptly abandons, via its stop token) the
   // connection it is serving. Streams still queued never reached a worker;
@@ -118,6 +126,76 @@ void NodeServer::stop() {
   }
 }
 
+void NodeServer::start() {
+  if (thread_.joinable()) return;
+  started_at_ = std::chrono::steady_clock::now();
+  if (config_.tracer != nullptr) {
+    config_.tracer->set_process_name(
+        config_.node_id, "node " + std::to_string(config_.node_id));
+  }
+  launch_workers();
+  thread_ = std::jthread(
+      [this](const std::stop_token& token) { serve_loop(token); });
+  start_heartbeat();
+}
+
+void NodeServer::stop() {
+  const bool was_active = thread_.joinable() ||
+                          heartbeat_thread_.joinable() || !workers_.empty();
+  stop_heartbeat();
+  stop_serving();
+  // Graceful leave: the node announces its departure instead of letting
+  // the failure detector discover it (and unlike a sweep, this does not
+  // count toward liveness.marked_down).
+  if (was_active) board_.set_available(config_.node_id, false);
+  crashed_ = false;
+  hung_ = false;
+}
+
+void NodeServer::crash() {
+  // Order matters: join the accept thread before closing its fd so it is
+  // never polling a dead descriptor. The board is deliberately NOT told —
+  // discovering the silence is the failure detector's job.
+  stop_heartbeat();
+  stop_serving();
+  listener_.close();
+  crashed_ = true;
+}
+
+void NodeServer::hang() {
+  stop_heartbeat();
+  hung_ = true;
+}
+
+void NodeServer::recover() {
+  if (crashed_) {
+    // Same port: every peer captured it in peer_ports_ at cluster build.
+    listener_ = TcpListener(listener_.port());
+    launch_workers();
+    thread_ = std::jthread(
+        [this](const std::stop_token& token) { serve_loop(token); });
+  }
+  if (!heartbeat_thread_.joinable()) start_heartbeat();
+  crashed_ = false;
+  hung_ = false;
+}
+
+void NodeServer::heartbeat_loop(const std::stop_token& token) {
+  util::set_thread_log_context("node " + std::to_string(config_.node_id) +
+                               "/hb");
+  std::unique_lock<std::mutex> lock(hb_mutex_);
+  while (!token.stop_requested()) {
+    // Nothing ever signals hb_cv_; the wait is purely a stop-interruptible
+    // sleep for one heartbeat period.
+    hb_cv_.wait_for(lock, token, config_.heartbeat_period,
+                    [] { return false; });
+    if (token.stop_requested()) break;
+    board_.heartbeat(config_.node_id);
+    board_.sweep_stale();
+  }
+  util::set_thread_log_context({});
+}
+
 std::size_t NodeServer::queue_depth() const {
   const std::lock_guard<std::mutex> lock(queue_mutex_);
   return pending_.size();
@@ -136,14 +214,15 @@ void NodeServer::trace_span(const char* name, std::uint64_t trace_id,
 }
 
 void NodeServer::serve_loop(const std::stop_token& token) {
+  // Availability is not set here: joining the pool is the heartbeat's job
+  // (start_heartbeat stamps it), and leaving is either stop()'s explicit
+  // announcement or — after a crash — the failure detector's discovery.
   util::set_thread_log_context("node " + std::to_string(config_.node_id));
-  board_.set_available(config_.node_id, true);
   while (!token.stop_requested()) {
     auto stream = listener_.accept(100ms);
     if (!stream) continue;  // timeout: re-check the stop token
     dispatch(std::move(*stream));
   }
-  board_.set_available(config_.node_id, false);
   util::set_thread_log_context({});
 }
 
@@ -170,6 +249,9 @@ void NodeServer::dispatch(TcpStream stream) {
 void NodeServer::shed(TcpStream stream) {
   shed_.fetch_add(1, std::memory_order_relaxed);
   if (shed_counter_ != nullptr) shed_counter_->inc();
+  // This connection never reaches connection_opened, so the Δ-inflation a
+  // redirect placed on this (overloaded) node must be consumed here.
+  board_.note_shed(config_.node_id);
   http::Response busy = http::make_error(http::Status::kServiceUnavailable,
                                          "all workers busy, queue full");
   busy.headers.add("Server", config_.server_name);
@@ -212,8 +294,16 @@ int NodeServer::choose_node(int owner) const {
   const std::vector<NodeLoad> loads = board_.snapshot_all();
   // Δ-inflation included: redirects already aimed at a node count as load
   // even before their connections arrive (the unsynchronized-herd guard).
+  // Bytes in flight weigh in too, scaled to connection units, so a node
+  // streaming a few large documents does not masquerade as idle.
   const auto load_of = [&](int n) {
-    return loads[static_cast<std::size_t>(n)].effective_connections();
+    const NodeLoad& l = loads[static_cast<std::size_t>(n)];
+    double load = static_cast<double>(l.effective_connections());
+    if (config_.broker.bytes_per_connection > 0.0) {
+      load += static_cast<double>(l.bytes_in_flight) /
+              config_.broker.bytes_per_connection;
+    }
+    return load;
   };
   // File locality first: the owner serves from its "local disk" unless it
   // is clearly busier than we are.
@@ -224,9 +314,9 @@ int NodeServer::choose_node(int owner) const {
           load_of(self) + config_.broker.locality_pull_threshold) {
     return owner;
   }
-  // Otherwise balance on connection counts.
+  // Otherwise balance on connection-equivalent load.
   int best = self;
-  int best_load = load_of(self);
+  double best_load = load_of(self);
   for (int n = 0; n < static_cast<int>(loads.size()); ++n) {
     if (n == self || !loads[static_cast<std::size_t>(n)].available) continue;
     if (load_of(n) + config_.broker.min_connection_advantage <= best_load) {
@@ -617,6 +707,13 @@ http::Response NodeServer::status_response() const {
   w.key("max_pending").value(
       static_cast<std::int64_t>(std::max(1, config_.max_pending)));
   w.key("shed").value(shed_count());
+  // Liveness: this node's own availability (as the shared board sees it)
+  // and the lease parameters the failure detector runs with.
+  w.key("available")
+      .value(loads[static_cast<std::size_t>(config_.node_id)].available);
+  w.key("heartbeat_period_s")
+      .value(std::chrono::duration<double>(config_.heartbeat_period).count());
+  w.key("staleness_timeout_s").value(board_.liveness().staleness_timeout_s);
   w.key("board").begin_array();
   for (std::size_t n = 0; n < loads.size(); ++n) {
     const NodeLoad& l = loads[n];
@@ -635,6 +732,13 @@ http::Response NodeServer::status_response() const {
       w.key("age_seconds").value(board_now - l.last_update_s);
     } else {
       w.key("age_seconds").raw("null");
+    }
+    // Age of the liveness lease specifically — what sweep_stale compares
+    // against the staleness timeout.
+    if (l.last_heartbeat_s >= 0.0) {
+      w.key("heartbeat_age_seconds").value(board_now - l.last_heartbeat_s);
+    } else {
+      w.key("heartbeat_age_seconds").raw("null");
     }
     w.end_object();
   }

@@ -53,6 +53,11 @@ struct RuntimeBrokerParams {
   /// Redirect to the owner when our own queue is at least this long.
   int locality_pull_threshold = 0;
   bool enable_redirects = true;
+  /// Bytes in flight that weigh as much as one active connection when the
+  /// broker compares candidates, so a node streaming a few large documents
+  /// stops looking idle next to one serving many small ones. <= 0 disables
+  /// the bytes term (connection counts only).
+  double bytes_per_connection = 64.0 * 1024.0;
 
   // Cost-prediction constants for the decision audit. The runtime broker
   // decides on connection counts; these let it also express that decision
@@ -83,6 +88,11 @@ class NodeServer {
     /// busy — the runtime's listen-backlog analogue. A connection arriving
     /// with the queue full is shed with 503 Service Unavailable.
     int max_pending = 32;
+    /// Liveness lease period: how often this node stamps its own LoadBoard
+    /// entry (the paper's 2-3 s loadd tick; sub-second in tests). Each
+    /// stamp also runs the board's failure detector, so peers whose stamps
+    /// aged past the board's staleness timeout get marked unavailable.
+    std::chrono::milliseconds heartbeat_period{2000};
     /// Optional telemetry sinks (typically the MiniCluster's; may be null).
     obs::Registry* registry = nullptr;
     obs::SpanTracer* tracer = nullptr;
@@ -114,6 +124,21 @@ class NodeServer {
   void start();
   void stop();
 
+  // --- Fault injection (tests, benches, chaos drills) --------------------
+  /// Abrupt node death: closes the listener (connects are refused), kills
+  /// the accept/worker/heartbeat threads — WITHOUT touching the board's
+  /// availability. Peers must discover the death via the failure detector
+  /// (missed heartbeats), exactly as they would a real crash.
+  void crash();
+  /// Zombie node: stops heartbeating only. The node still accepts and
+  /// serves, but its liveness lease lapses and peers mark it unavailable.
+  void hang();
+  /// Undoes crash()/hang(): rebinds the same port if the listener was
+  /// closed, restarts the threads, and resumes heartbeats — the board
+  /// re-admits the node on the first stamp (counted as a rejoin).
+  void recover();
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return handled_.load();
   }
@@ -131,6 +156,15 @@ class NodeServer {
  private:
   void serve_loop(const std::stop_token& token);
   void worker_loop(const std::stop_token& token, int index);
+  /// Stamps this node's liveness lease every heartbeat_period and runs the
+  /// board's failure detector over the peers.
+  void heartbeat_loop(const std::stop_token& token);
+  void launch_workers();
+  /// Stamps the first heartbeat synchronously (so the node is joined the
+  /// moment start()/recover() returns) and launches the heartbeat thread.
+  void start_heartbeat();
+  void stop_heartbeat();
+  void stop_serving();  // accept thread, workers, pending queue
   /// Queues the accepted stream for a worker, or sheds it with a 503 when
   /// the pending queue is at max_pending (all workers busy).
   void dispatch(TcpStream stream);
@@ -187,6 +221,13 @@ class NodeServer {
   std::atomic<std::uint64_t> handled_{0};
   std::atomic<std::uint64_t> local_ids_{1};  // fallback id source, no tracer
   std::chrono::steady_clock::time_point started_at_{};
+  // Liveness: the heartbeat thread sleeps on hb_cv_ so a stop request
+  // interrupts the wait mid-period instead of burning a whole tick.
+  std::jthread heartbeat_thread_;
+  std::mutex hb_mutex_;
+  std::condition_variable_any hb_cv_;
+  bool crashed_ = false;
+  bool hung_ = false;
 
   // Cached registry instruments (null when no registry attached).
   obs::Counter* requests_counter_ = nullptr;

@@ -119,6 +119,13 @@ class TcpListener {
   [[nodiscard]] std::optional<TcpStream> accept(
       std::chrono::milliseconds timeout);
 
+  /// Closes the listening socket (further connects are refused) but keeps
+  /// port() — fault injection for a crashed node. Join any thread blocked
+  /// in accept() before calling. A later `listener = TcpListener(port())`
+  /// rebinds the same port (SO_REUSEADDR).
+  void close() noexcept { fd_.reset(); }
+  [[nodiscard]] bool listening() const noexcept { return fd_.valid(); }
+
  private:
   FileDescriptor fd_;
   std::uint16_t port_ = 0;

@@ -44,6 +44,10 @@ struct NodeSample {
   std::uint64_t shed = 0;
   std::uint64_t served = 0;
   std::uint64_t redirected = 0;
+  bool available = true;  // this node's own availability, per its board
+  /// Every board entry's availability as this node sees it (node, avail) —
+  /// how peers vouch for (or condemn) a node we cannot reach ourselves.
+  std::vector<std::pair<int, bool>> board_available;
   double cache_hit_rate = -1.0;    // < 0: unknown (no registry counters)
   double predict_p50_s = -1.0;     // < 0: no prediction-error samples
   double predict_p95_s = -1.0;
@@ -96,11 +100,18 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
   if (const obs::JsonValue* board = doc->find("board");
       board != nullptr && board->is_array()) {
     for (const obs::JsonValue& entry : board->array) {
+      const obs::JsonValue* avail = entry.find("available");
+      const bool entry_available =
+          avail != nullptr && avail->type == obs::JsonValue::Type::kBool &&
+          avail->boolean;
+      sample.board_available.emplace_back(
+          static_cast<int>(entry.number_or("node", -1.0)), entry_available);
       const obs::JsonValue* self = entry.find("self");
       if (self == nullptr || self->type != obs::JsonValue::Type::kBool ||
           !self->boolean) {
         continue;
       }
+      sample.available = entry_available;
       sample.served =
           static_cast<std::uint64_t>(entry.number_or("served", 0.0));
       sample.redirected =
@@ -142,28 +153,46 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
   return buf;
 }
 
+/// The AVAIL cell for row `i`: a reachable node speaks for itself; an
+/// unreachable one is judged by its peers' board entries ("down" once any
+/// reachable peer's failure detector has marked it, "?" before that).
+[[nodiscard]] const char* avail_cell(const std::vector<NodeSample>& samples,
+                                     std::size_t i) {
+  const NodeSample& s = samples[i];
+  if (s.ok) return s.available ? "up" : "down";
+  for (const NodeSample& peer : samples) {
+    if (!peer.ok) continue;
+    for (const auto& [node, available] : peer.board_available) {
+      if (node == static_cast<int>(i) && !available) return "down";
+    }
+  }
+  return "?";
+}
+
 void render(const std::vector<NodeSample>& samples,
             const std::vector<std::uint64_t>& previous_handled,
             double interval_s, int poll, int total_polls) {
   std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
               total_polls);
-  std::printf("%-5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s\n", "NODE",
-              "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED", "SERVED",
-              "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
+  std::printf("%-5s %5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s\n", "NODE",
+              "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED",
+              "SERVED", "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
   double total_rps = 0.0;
   std::int64_t total_inflight = 0;
   std::int64_t total_busy = 0, total_queue = 0;
   std::uint64_t total_shed = 0;
   std::uint64_t total_served = 0, total_redirected = 0;
+  std::size_t total_up = 0;
   double worst_p50 = -1.0, worst_p95 = -1.0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const NodeSample& s = samples[i];
+    if (s.ok && s.available) ++total_up;
     if (!s.ok) {
       std::printf(
-          "%-5zu %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s   "
+          "%-5zu %5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s   "
           "(unreachable: %s)\n",
-          i, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-",
-          s.url.c_str());
+          i, avail_cell(samples, i), "-", "-", "-", "-", "-", "-", "-", "-",
+          "-", "-", s.url.c_str());
       continue;
     }
     const double rps =
@@ -181,9 +210,11 @@ void render(const std::vector<NodeSample>& samples,
     std::snprintf(workers_cell, sizeof workers_cell, "%lld/%lld",
                   static_cast<long long>(s.workers_busy),
                   static_cast<long long>(s.workers));
-    std::printf("%-5d %8.1f %9lld %7s %6lld %5llu %8llu %7s %7s %10s %10s\n",
-                s.node, rps, static_cast<long long>(s.inflight),
-                workers_cell, static_cast<long long>(s.queue_depth),
+    std::printf(
+        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %8llu %7s %7s %10s %10s\n",
+        s.node, avail_cell(samples, i), rps,
+        static_cast<long long>(s.inflight), workers_cell,
+        static_cast<long long>(s.queue_depth),
                 static_cast<unsigned long long>(s.shed),
                 static_cast<unsigned long long>(s.served),
                 fmt_pct(redirect_rate).c_str(),
@@ -205,14 +236,17 @@ void render(const std::vector<NodeSample>& samples,
       total_seen > 0 ? static_cast<double>(total_redirected) /
                            static_cast<double>(total_seen)
                      : 0.0;
-  std::printf("%-5s %8.1f %9lld %7lld %6lld %5llu %8llu %7s %7s %10s %10s\n",
-              "TOTAL", total_rps, static_cast<long long>(total_inflight),
-              static_cast<long long>(total_busy),
-              static_cast<long long>(total_queue),
-              static_cast<unsigned long long>(total_shed),
-              static_cast<unsigned long long>(total_served),
-              fmt_pct(total_redirect_rate).c_str(), "",
-              fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
+  char up_cell[32];
+  std::snprintf(up_cell, sizeof up_cell, "%zu/%zu", total_up, samples.size());
+  std::printf(
+      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %8llu %7s %7s %10s %10s\n",
+      "TOTAL", up_cell, total_rps, static_cast<long long>(total_inflight),
+      static_cast<long long>(total_busy),
+      static_cast<long long>(total_queue),
+      static_cast<unsigned long long>(total_shed),
+      static_cast<unsigned long long>(total_served),
+      fmt_pct(total_redirect_rate).c_str(), "",
+      fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
 }
 
 void append_jsonl(const std::string& path, double t_s,
@@ -225,6 +259,7 @@ void append_jsonl(const std::string& path, double t_s,
     w.begin_object();
     w.key("url").value(s.url);
     w.key("ok").value(s.ok);
+    w.key("available").value(s.ok && s.available);
     w.key("node").value(s.node);
     w.key("requests_handled").value(s.requests_handled);
     w.key("inflight").value(s.inflight);
@@ -263,6 +298,10 @@ int main(int argc, char** argv) {
       .option("demo", "0",
               "spin an in-process MiniCluster of N nodes, generate traffic, "
               "and scrape it")
+      .flag("demo-crash",
+            "with --demo: crash the last node after the traffic burst and "
+            "wait for the failure detector, so the AVAIL column shows a "
+            "downed node")
       .flag("once", "poll once and exit (same as --count 1)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.help_text("sweb-top").c_str());
@@ -274,6 +313,7 @@ int main(int argc, char** argv) {
   if (cli.get_flag("once")) count = 1;
   const std::string jsonl = cli.get("jsonl");
   const int demo_nodes = static_cast<int>(cli.get_int("demo"));
+  const bool demo_crash = cli.get_flag("demo-crash");
 
   // --demo: a live MiniCluster to scrape, with enough traffic through it
   // that redirects happen and the decision audit has joins to report.
@@ -283,7 +323,13 @@ int main(int argc, char** argv) {
     const fs::Docbase docbase = fs::make_uniform(
         24, 16 * 1024, demo_nodes, fs::Placement::kRoundRobin, nullptr,
         "/docs");
-    demo = std::make_unique<runtime::MiniCluster>(demo_nodes, docbase);
+    // Sub-second liveness so --demo-crash can show a detected failure
+    // without lingering for the paper-scale staleness window.
+    runtime::MiniClusterOptions demo_options;
+    demo_options.heartbeat_period = std::chrono::milliseconds(100);
+    demo_options.staleness_timeout = std::chrono::milliseconds(300);
+    demo = std::make_unique<runtime::MiniCluster>(demo_nodes, docbase,
+                                                  demo_options);
     demo->start();
     // Each round hammers ONE node with every document: two-thirds of the
     // lookups hit a non-owner, so owner-locality redirects (and therefore
@@ -295,6 +341,12 @@ int main(int argc, char** argv) {
       for (std::size_t d = 0; d < docbase.size(); ++d) {
         (void)runtime::fetch(base + docbase.documents()[d].path);
       }
+    }
+    if (demo_crash && demo_nodes > 1) {
+      // Kill the last node abruptly and give the survivors' failure
+      // detector one staleness window (plus slack) to mark it down.
+      demo->crash(demo_nodes - 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(800));
     }
     for (int n = 0; n < demo->num_nodes(); ++n) {
       urls.push_back("http://127.0.0.1:" + std::to_string(demo->port(n)));
