@@ -37,10 +37,32 @@ int main(int argc, char** argv) {
       .option("staleness", "6000",
               "staleness timeout in ms before a silent node is marked "
               "unavailable (~3x the heartbeat)")
+      .option("header-timeout", "0",
+              "per-request deadline in ms before a slow client gets 408 "
+              "(slowloris defense); 0 uses the general io timeout")
       .option("metrics-out", "",
               "append registry snapshots to this JSONL file (1 Hz)")
       .option("trace-out", "",
               "write a Chrome trace_event JSON of every request served")
+      // Degraded-link chaos: every connection the chosen node accepts is
+      // injected with these faults (see runtime/chaos.h).
+      .option("chaos-node", "-1",
+              "degrade this node's link with the --chaos-* faults below "
+              "(-1: chaos off)")
+      .option("chaos-read-delay", "0", "ms of latency before every read")
+      .option("chaos-write-delay", "0", "ms of latency before every write")
+      .option("chaos-jitter", "0", "uniform extra ms added to each delay")
+      .option("chaos-stall", "0",
+              "one-time stall in ms before a connection's first read")
+      .option("chaos-throttle", "0", "byte-rate ceiling (bytes/sec; 0 off)")
+      .option("chaos-torn", "0",
+              "tear writes: max bytes per send() segment (0 off)")
+      .option("chaos-reset-prob", "0",
+              "probability [0,1] a connection is reset mid-stream")
+      .option("chaos-reset-after", "0",
+              "bytes written before a doomed connection's RST fires")
+      .option("chaos-seed", "0",
+              "chaos RNG seed (0: the built-in default, reproducible)")
       .flag("serve", "keep serving after the demo session")
       .flag("status", "fetch and print GET /sweb/status, then linger");
   try {
@@ -64,7 +86,33 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(cli.get_int("heartbeat"));
   options.staleness_timeout =
       std::chrono::milliseconds(cli.get_int("staleness"));
+  options.header_timeout =
+      std::chrono::milliseconds(cli.get_int("header-timeout"));
+  options.chaos_node = static_cast<int>(cli.get_int("chaos-node"));
+  options.chaos.read_delay =
+      std::chrono::milliseconds(cli.get_int("chaos-read-delay"));
+  options.chaos.write_delay =
+      std::chrono::milliseconds(cli.get_int("chaos-write-delay"));
+  options.chaos.delay_jitter =
+      std::chrono::milliseconds(cli.get_int("chaos-jitter"));
+  options.chaos.first_read_stall =
+      std::chrono::milliseconds(cli.get_int("chaos-stall"));
+  options.chaos.throttle_bytes_per_sec =
+      static_cast<std::size_t>(cli.get_int("chaos-throttle"));
+  options.chaos.torn_write_max_bytes =
+      static_cast<std::size_t>(cli.get_int("chaos-torn"));
+  options.chaos.reset_probability = cli.get_double("chaos-reset-prob");
+  options.chaos.reset_after_bytes =
+      static_cast<std::uint64_t>(cli.get_int("chaos-reset-after"));
+  if (cli.get_int("chaos-seed") != 0) {
+    options.chaos_seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed"));
+  }
   runtime::MiniCluster cluster(nodes, docs, options);
+  if (options.chaos_node >= 0 && options.chaos_node < nodes &&
+      options.chaos.active()) {
+    std::printf("chaos: node %d degraded (seed %llu)\n", options.chaos_node,
+                static_cast<unsigned long long>(options.chaos_seed));
+  }
   if (!cli.get("trace-out").empty()) cluster.tracer().set_enabled(true);
   cluster.start();
 

@@ -1,9 +1,15 @@
 #include "runtime/client.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
 #include "http/parser.h"
 #include "util/strings.h"
 
 namespace sweb::runtime {
+
+using namespace std::chrono_literals;
 
 namespace {
 
@@ -65,12 +71,48 @@ namespace {
          (url.find('?') == std::string::npos ? "?sweb-hop=1" : "&sweb-hop=1");
 }
 
+/// A 503's Retry-After as a sleep; nullopt when absent or unparseable.
+/// Lenient delta-seconds: fractions accepted ("1.5"), dates are not.
+[[nodiscard]] std::optional<std::chrono::milliseconds> retry_after_of(
+    const http::Response& response) {
+  const auto header = response.headers.get("Retry-After");
+  if (!header) return std::nullopt;
+  const std::string text(*header);
+  char* end = nullptr;
+  const double seconds = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || seconds < 0.0 || seconds > 3600.0) {
+    return std::nullopt;
+  }
+  return std::chrono::ceil<std::chrono::milliseconds>(
+      std::chrono::duration<double>(seconds));
+}
+
 }  // namespace
 
 FetchSession::FetchSession(FetchOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), rng_(options_.retry.seed) {}
 
-std::optional<http::Response> FetchSession::exchange(const http::Url& url) {
+void FetchSession::count(const char* name) {
+  if (options_.registry != nullptr) options_.registry->counter(name).inc();
+}
+
+std::chrono::milliseconds FetchSession::next_backoff() {
+  const std::int64_t base =
+      std::max<std::int64_t>(1, options_.retry.base_backoff.count());
+  const std::int64_t cap =
+      std::max(base, options_.retry.max_backoff.count());
+  // Decorrelated jitter: uniform over [base, 3 * previous sleep], capped.
+  // Unlike plain exponential-with-jitter, consecutive sleeps decorrelate
+  // from each other, so a herd of clients shed at once spreads out.
+  const std::int64_t high = std::max(base, 3 * prev_backoff_ms_);
+  std::uniform_int_distribution<std::int64_t> dist(base, high);
+  prev_backoff_ms_ = std::min(cap, dist(rng_));
+  return std::chrono::milliseconds(prev_backoff_ms_);
+}
+
+std::optional<http::Response> FetchSession::exchange(const http::Url& url,
+                                                     ExchangeError& error) {
+  error = ExchangeError::kNone;
   if (options_.keep_alive && stream_.has_value() &&
       connected_port_ == url.port) {
     if (auto response = exchange_on(*stream_, url, options_)) {
@@ -78,13 +120,20 @@ std::optional<http::Response> FetchSession::exchange(const http::Url& url) {
       return response;
     }
     // The reused connection was stale (server hit its per-connection cap
-    // or idle-timed-out between requests): retry once on a fresh one.
+    // or idle-timed-out between requests). No hidden retry here: surface
+    // the failure and let the one retry policy recover on a fresh
+    // connection.
     stream_.reset();
+    error = ExchangeError::kIo;
+    return std::nullopt;
   }
   // Loopback-only client: the MiniCluster lives on 127.0.0.1.
   auto fresh = TcpStream::connect(SocketAddress::loopback(url.port),
                                   options_.timeout);
-  if (!fresh) return std::nullopt;
+  if (!fresh) {
+    error = ExchangeError::kConnect;
+    return std::nullopt;
+  }
   ++connections_opened_;
   stream_ = std::move(*fresh);
   connected_port_ = url.port;
@@ -92,51 +141,113 @@ std::optional<http::Response> FetchSession::exchange(const http::Url& url) {
   if (!response || !options_.keep_alive || !server_kept_alive(*response)) {
     stream_.reset();
   }
+  if (!response) error = ExchangeError::kIo;
   return response;
 }
 
-std::optional<FetchResult> FetchSession::fetch(const std::string& url) {
+FetchSession::Attempt FetchSession::attempt_once(const std::string& url) {
+  Attempt out;
   auto parsed = http::parse_url(url);
-  if (!parsed) return std::nullopt;
-
-  FetchResult result;
-  result.final_url = url;
+  if (!parsed) return out;  // kFatal
+  out.result.final_url = url;
   for (int hop = 0; hop <= options_.max_redirects; ++hop) {
-    auto response = exchange(*parsed);
+    ExchangeError error = ExchangeError::kNone;
+    auto response = exchange(*parsed, error);
     if (!response) {
-      // The origin itself is unreachable: nothing to fall back to.
-      if (hop == 0) return std::nullopt;
-      // A Location hop led to a dead target (the node crashed between
-      // issuing the 302 and our connect). Retry the origin once with the
-      // at-most-once marker set: it serves locally rather than strand the
-      // client against a dead port.
-      const std::string fallback_url = with_hop_marker(url);
-      const auto origin = http::parse_url(fallback_url);
-      if (!origin) return std::nullopt;
-      auto retry = exchange(*origin);
-      if (!retry) return std::nullopt;
-      result.final_url = fallback_url;
-      result.origin_fallback = true;
-      result.response = std::move(*retry);
-      return result;
+      if (hop > 0) {
+        // A Location hop led to a dead target (the node crashed between
+        // issuing the 302 and our connect): the origin-fallback case.
+        out.status = Attempt::Status::kDeadHop;
+      } else {
+        out.status = error == ExchangeError::kConnect
+                         ? Attempt::Status::kNoConnect
+                         : Attempt::Status::kTransport;
+      }
+      return out;
     }
     const int status = http::code(response->status);
     if (status >= 300 && status < 400) {
       const auto location = response->headers.get("Location");
       // A redirect without a Location header is malformed — there is
       // nowhere to go, so fail instead of dereferencing nothing.
-      if (!location) return std::nullopt;
+      if (!location) return out;  // kFatal
       auto next = http::parse_url(std::string(*location));
-      if (!next) return std::nullopt;
+      if (!next) return out;  // kFatal
       parsed = std::move(next);
-      result.final_url = std::string(*location);
-      ++result.redirects_followed;
+      out.result.final_url = std::string(*location);
+      ++out.result.redirects_followed;
       continue;
     }
-    result.response = std::move(*response);
-    return result;
+    out.status = Attempt::Status::kOk;
+    out.result.response = std::move(*response);
+    return out;
   }
-  return std::nullopt;  // too many redirects
+  return out;  // too many redirects: kFatal
+}
+
+std::optional<FetchResult> FetchSession::fetch(const std::string& url) {
+  const RetryPolicy& policy = options_.retry;
+  // Only idempotent requests are resent; the dead-hop origin fallback is
+  // exempt because the dead target provably never saw the request.
+  const bool idempotent = options_.post_body.empty();
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const Deadline budget = deadline_after(policy.total_deadline);
+  prev_backoff_ms_ = 0;
+
+  std::string attempt_url = url;
+  bool fell_back = false;
+  std::optional<FetchResult> shed_in_hand;  // last 503, returned on give-up
+  for (int attempts = 1;; ++attempts) {
+    Attempt attempt = attempt_once(attempt_url);
+    std::chrono::milliseconds floor{0};  // server-imposed minimum sleep
+    bool retryable = false;
+    switch (attempt.status) {
+      case Attempt::Status::kOk: {
+        attempt.result.attempts = attempts;
+        attempt.result.origin_fallback = fell_back;
+        if (http::code(attempt.result.response.status) != 503) {
+          return attempt.result;
+        }
+        // Shed. Retry after at least the server's Retry-After hint; on
+        // give-up the 503 is the answer, not a nullopt.
+        if (policy.honor_retry_after) {
+          if (const auto hint = retry_after_of(attempt.result.response)) {
+            floor = *hint;
+          }
+        }
+        shed_in_hand = std::move(attempt.result);
+        retryable = idempotent;
+        break;
+      }
+      case Attempt::Status::kFatal:
+        return std::nullopt;
+      case Attempt::Status::kDeadHop:
+        // Re-ask the origin, forced local — safe for any method.
+        attempt_url = with_hop_marker(url);
+        fell_back = true;
+        retryable = true;
+        break;
+      case Attempt::Status::kNoConnect:
+      case Attempt::Status::kTransport:
+        retryable = idempotent;
+        break;
+    }
+    if (!retryable || attempts >= max_attempts) break;
+    // The dead-hop fallback goes immediately — it targets a different
+    // (live) node, so there is no one to back off from. Everything else
+    // sleeps the jittered backoff, within the total deadline.
+    if (attempt.status != Attempt::Status::kDeadHop) {
+      const auto sleep = std::max(floor, next_backoff());
+      if (sleep >= time_remaining(budget)) break;  // budget exhausted
+      std::this_thread::sleep_for(sleep);
+    } else if (time_remaining(budget) <= 0ms) {
+      break;
+    }
+    count("client.retries");
+  }
+  if (shed_in_hand.has_value()) return shed_in_hand;
+  if (idempotent) count("client.retry_exhausted");
+  return std::nullopt;
 }
 
 std::optional<FetchResult> fetch(const std::string& url,

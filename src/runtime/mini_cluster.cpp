@@ -30,6 +30,12 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
     cfg.max_pending = options.max_pending;
     cfg.io_timeout = options.io_timeout;
     cfg.heartbeat_period = options.heartbeat_period;
+    cfg.header_timeout = options.header_timeout;
+    cfg.retry_after_hint = options.retry_after_hint;
+    if (n == options.chaos_node) {
+      cfg.chaos = options.chaos;
+      cfg.chaos_seed = options.chaos_seed;
+    }
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
     cfg.audit = &audit_;

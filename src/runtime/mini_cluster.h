@@ -38,6 +38,17 @@ struct MiniClusterOptions {
   /// never follows it stops counting as phantom load after this long.
   /// Zero (the default) derives 2x heartbeat_period.
   std::chrono::milliseconds inflation_expiry{0};
+  /// Slowloris defense per node: complete-request deadline before a 408
+  /// (NodeServer::Config::header_timeout). Zero falls back to io_timeout.
+  std::chrono::milliseconds header_timeout{0};
+  /// Retry-After hint attached to shed 503s.
+  std::chrono::milliseconds retry_after_hint{1000};
+  /// Degraded-link fault plan for ONE node (`chaos_node`), the "node behind
+  /// a lossy/slow link" drill. Inactive by default. Use
+  /// MiniCluster::set_chaos for per-node or mid-run changes.
+  FaultPlan chaos{};
+  int chaos_node = -1;
+  std::uint64_t chaos_seed = ChaosDirector::kDefaultSeed;
 };
 
 class MiniCluster {
@@ -69,6 +80,11 @@ class MiniCluster {
   void crash(int n) { node(n).crash(); }
   void hang(int n) { node(n).hang(); }
   void recover(int n) { node(n).recover(); }
+  /// Degrades (or, with an inactive plan, heals) node `n`'s link live.
+  void set_chaos(int n, const FaultPlan& plan,
+                 std::uint64_t seed = ChaosDirector::kDefaultSeed) {
+    node(n).set_chaos(plan, seed);
+  }
 
   /// Round-robin DNS: the next node's base URL ("http://127.0.0.1:PORT").
   [[nodiscard]] std::string next_base_url();

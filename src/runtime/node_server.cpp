@@ -68,6 +68,10 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     redirects_counter_ = &config_.registry->counter(prefix + ".redirects");
     errors_counter_ = &config_.registry->counter(prefix + ".errors");
     shed_counter_ = &config_.registry->counter(prefix + ".shed");
+    err400_counter_ = &config_.registry->counter(prefix + ".err.400");
+    err404_counter_ = &config_.registry->counter(prefix + ".err.404");
+    err408_counter_ = &config_.registry->counter(prefix + ".err.408");
+    err503_counter_ = &config_.registry->counter(prefix + ".err.503");
     inflight_gauge_ = &config_.registry->gauge(prefix + ".inflight");
     workers_busy_gauge_ =
         &config_.registry->gauge(prefix + ".workers_busy");
@@ -75,6 +79,10 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     response_histogram_ =
         &config_.registry->histogram("http.response_seconds");
   }
+  if (config_.chaos.active()) {
+    chaos_.configure(config_.chaos, config_.chaos_seed);
+  }
+  listener_.set_chaos(&chaos_);
 }
 
 NodeServer::~NodeServer() { stop(); }
@@ -171,6 +179,9 @@ void NodeServer::recover() {
   if (crashed_) {
     // Same port: every peer captured it in peer_ports_ at cluster build.
     listener_ = TcpListener(listener_.port());
+    // The rebind built a fresh listener with no chaos attachment — a node
+    // that recovered onto a still-degraded link must stay degraded.
+    listener_.set_chaos(&chaos_);
     launch_workers();
     thread_ = std::jthread(
         [this](const std::stop_token& token) { serve_loop(token); });
@@ -252,10 +263,18 @@ void NodeServer::shed(TcpStream stream) {
   // This connection never reaches connection_opened, so the Δ-inflation a
   // redirect placed on this (overloaded) node must be consumed here.
   board_.note_shed(config_.node_id);
+  if (err503_counter_ != nullptr) err503_counter_->inc();
   http::Response busy = http::make_error(http::Status::kServiceUnavailable,
                                          "all workers busy, queue full");
   busy.headers.add("Server", config_.server_name);
   busy.headers.set("Connection", "close");
+  // Whole seconds on the wire (HTTP/1.0 delta-seconds), rounded up so a
+  // sub-second hint never collapses to "retry immediately".
+  busy.headers.set(
+      "Retry-After",
+      std::to_string(std::chrono::ceil<std::chrono::seconds>(
+                         std::max(config_.retry_after_hint, 1ms))
+                         .count()));
   // Written from the accept thread: a fresh connection's send buffer is
   // empty, so this cannot block the loop for long.
   (void)stream.write_all(busy.serialize(), config_.io_timeout);
@@ -344,14 +363,20 @@ void NodeServer::handle_connection(TcpStream stream,
     // --- Preprocess: read and parse one request -------------------------
     // One overall deadline for the whole request head+body, however many
     // reads it takes — a client trickling bytes cannot hold the worker
-    // past io_timeout.
-    const Deadline read_deadline = deadline_after(config_.io_timeout);
+    // past the budget (the slowloris defense). header_timeout, when set,
+    // tightens this below the general io_timeout.
+    const auto read_budget =
+        config_.header_timeout > 0ms ? config_.header_timeout
+                                     : config_.io_timeout;
+    const Deadline read_deadline = deadline_after(read_budget);
     http::RequestParser parser;
     http::ParseResult state = http::ParseResult::kNeedMore;
+    bool got_bytes = false;  // any bytes of THIS request seen yet?
     if (!leftover.empty()) {
       std::size_t consumed = 0;
       state = parser.feed(leftover, consumed);
       leftover.erase(0, consumed);
+      got_bytes = true;
     }
     while (state == http::ParseResult::kNeedMore) {
       // Wait in short slices so a stop request interrupts an idle
@@ -365,10 +390,31 @@ void NodeServer::handle_connection(TcpStream stream,
           break;
         }
       }
-      if (!readable) return;  // stopping, timeout, or dead socket
+      if (!readable) {
+        // Graceful drain stays silent, as does a keep-alive connection
+        // that simply went idle between requests. A connection that ran
+        // out its budget mid-request (or never sent its first one) is a
+        // slow client: tell it so and take the worker back.
+        if (token.stop_requested()) return;
+        if (served > 0 && !got_bytes) return;
+        err408_.fetch_add(1, std::memory_order_relaxed);
+        if (err408_counter_ != nullptr) err408_counter_->inc();
+        if (errors_counter_ != nullptr) errors_counter_->inc();
+        http::Response timeout = http::make_error(
+            http::Status::kRequestTimeout,
+            "request not received within " +
+                std::to_string(read_budget.count()) + " ms");
+        timeout.headers.add("Server", config_.server_name);
+        timeout.headers.set("Connection", "close");
+        (void)stream.write_all(timeout.serialize(), config_.io_timeout);
+        stream.shutdown_write();
+        ++handled_;
+        return;
+      }
       const auto chunk = stream.read_some(16 * 1024, 0ms);
       if (!chunk.ok) return;  // error: drop the connection
       if (chunk.eof) return;  // client went away between/within requests
+      got_bytes = true;
       std::size_t consumed = 0;
       state = parser.feed(chunk.data, consumed);
       if (state == http::ParseResult::kComplete) {
@@ -403,8 +449,11 @@ void NodeServer::handle_connection(TcpStream stream,
     } inflight_guard{inflight_gauge_};
 
     if (state == http::ParseResult::kError) {
+      err400_.fetch_add(1, std::memory_order_relaxed);
+      if (err400_counter_ != nullptr) err400_counter_->inc();
       http::Response bad =
           http::make_error(http::Status::kBadRequest, parser.error());
+      bad.headers.add("Server", config_.server_name);
       bad.headers.add("Connection", "close");
       (void)stream.write_all(bad.serialize(), config_.io_timeout);
       stream.shutdown_write();
@@ -478,6 +527,8 @@ http::Response NodeServer::process_request(const http::Request& request,
 
   const DocStore::Entry* doc = docs_.find(canonical->path);
   if (doc == nullptr) {
+    err404_.fetch_add(1, std::memory_order_relaxed);
+    if (err404_counter_ != nullptr) err404_counter_->inc();
     if (errors_counter_ != nullptr) errors_counter_->inc();
     return finish(http::make_error(http::Status::kNotFound, canonical->path));
   }
@@ -707,6 +758,22 @@ http::Response NodeServer::status_response() const {
   w.key("max_pending").value(
       static_cast<std::int64_t>(std::max(1, config_.max_pending)));
   w.key("shed").value(shed_count());
+  // Which kind of degradation this node is suffering, not just how much:
+  // 400 = malformed input, 404 = misses, 408 = slow clients timed out,
+  // 503 = load shed. sweb-top sums these into its ERR column.
+  w.key("errors_by_reason").begin_object();
+  w.key("400").value(err400_.load());
+  w.key("404").value(err404_.load());
+  w.key("408").value(err408_.load());
+  w.key("503").value(shed_count());
+  w.end_object();
+  // Chaos: whether this node's link is artificially degraded, and the
+  // damage done so far (only present knobs; an inert node reports false/0).
+  w.key("chaos").begin_object();
+  w.key("enabled").value(chaos_.enabled());
+  w.key("connections_faulted").value(chaos_.connections_faulted());
+  w.key("resets_injected").value(chaos_.resets_injected());
+  w.end_object();
   // Liveness: this node's own availability (as the shared board sees it)
   // and the lease parameters the failure detector runs with.
   w.key("available")

@@ -39,6 +39,7 @@
 #include "obs/audit.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "runtime/chaos.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
 #include "runtime/socket.h"
@@ -93,6 +94,17 @@ class NodeServer {
     /// stamp also runs the board's failure detector, so peers whose stamps
     /// aged past the board's staleness timeout get marked unavailable.
     std::chrono::milliseconds heartbeat_period{2000};
+    /// Slowloris defense: one overall deadline for receiving a complete
+    /// request (header + body) before the worker answers 408 Request
+    /// Timeout and frees itself. Zero falls back to io_timeout.
+    std::chrono::milliseconds header_timeout{0};
+    /// The Retry-After hint attached to shed 503s (rounded up to whole
+    /// seconds on the wire; retry-capable clients honor it).
+    std::chrono::milliseconds retry_after_hint{1000};
+    /// Degraded-link fault injection applied to every connection this node
+    /// accepts (chaos drills); an inactive plan (the default) is free.
+    FaultPlan chaos{};
+    std::uint64_t chaos_seed = ChaosDirector::kDefaultSeed;
     /// Optional telemetry sinks (typically the MiniCluster's; may be null).
     obs::Registry* registry = nullptr;
     obs::SpanTracer* tracer = nullptr;
@@ -139,6 +151,16 @@ class NodeServer {
   void recover();
   [[nodiscard]] bool crashed() const noexcept { return crashed_; }
 
+  /// Installs (or replaces) the degraded-link fault plan live — every
+  /// connection accepted from now on is degraded per `plan`. An inactive
+  /// plan switches injection off.
+  void set_chaos(const FaultPlan& plan,
+                 std::uint64_t seed = ChaosDirector::kDefaultSeed) {
+    chaos_.configure(plan, seed);
+  }
+  /// The injector itself (tests read connections_faulted/resets_injected).
+  [[nodiscard]] ChaosDirector& chaos() noexcept { return chaos_; }
+
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return handled_.load();
   }
@@ -151,6 +173,17 @@ class NodeServer {
   /// Connections answered 503 because workers + queue were full.
   [[nodiscard]] std::uint64_t shed_count() const noexcept {
     return shed_.load();
+  }
+  /// Per-reason client-visible error counts (also in /sweb/status under
+  /// "errors_by_reason"; 503s are shed_count()).
+  [[nodiscard]] std::uint64_t bad_requests() const noexcept {
+    return err400_.load();
+  }
+  [[nodiscard]] std::uint64_t request_timeouts() const noexcept {
+    return err408_.load();
+  }
+  [[nodiscard]] std::uint64_t not_found() const noexcept {
+    return err404_.load();
   }
 
  private:
@@ -207,6 +240,7 @@ class NodeServer {
   Config config_;
   const DocStore& docs_;
   LoadBoard& board_;
+  ChaosDirector chaos_;
   TcpListener listener_;
   std::vector<std::uint16_t> peer_ports_;
   std::jthread thread_;
@@ -218,6 +252,9 @@ class NodeServer {
   std::deque<TcpStream> pending_;
   std::atomic<int> busy_workers_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> err400_{0};
+  std::atomic<std::uint64_t> err404_{0};
+  std::atomic<std::uint64_t> err408_{0};
   std::atomic<std::uint64_t> handled_{0};
   std::atomic<std::uint64_t> local_ids_{1};  // fallback id source, no tracer
   std::chrono::steady_clock::time_point started_at_{};
@@ -234,6 +271,12 @@ class NodeServer {
   obs::Counter* redirects_counter_ = nullptr;
   obs::Counter* errors_counter_ = nullptr;
   obs::Counter* shed_counter_ = nullptr;
+  // Per-reason error counters (node.N.err.400/404/408/503): which kind of
+  // degradation a node is suffering, not just how much.
+  obs::Counter* err400_counter_ = nullptr;
+  obs::Counter* err404_counter_ = nullptr;
+  obs::Counter* err408_counter_ = nullptr;
+  obs::Counter* err503_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
   obs::Gauge* workers_busy_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;

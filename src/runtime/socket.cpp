@@ -1,5 +1,7 @@
 #include "runtime/socket.h"
 
+#include "runtime/chaos.h"
+
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <poll.h>
@@ -128,6 +130,9 @@ TcpStream::ReadResult TcpStream::read_some(std::size_t max,
                                            std::chrono::milliseconds timeout) {
   ReadResult result;
   if (!fd_.valid()) return result;
+  // Chaos: injected latency/stall sleeps here, on purpose outside the
+  // caller's timeout — the degraded link does not honor anyone's budget.
+  if (faults_ != nullptr) max = faults_->before_read(max);
   if (!wait_ready(fd_.get(), POLLIN, timeout)) return result;
   result.data.resize(max);
   const ssize_t n = ::recv(fd_.get(), result.data.data(), max, 0);
@@ -138,6 +143,9 @@ TcpStream::ReadResult TcpStream::read_some(std::size_t max,
   result.data.resize(static_cast<std::size_t>(n));
   result.ok = true;
   result.eof = (n == 0);
+  if (faults_ != nullptr && n > 0) {
+    faults_->after_read(static_cast<std::size_t>(n));
+  }
   return result;
 }
 
@@ -149,14 +157,26 @@ bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
 bool TcpStream::write_all(std::string_view data,
                           std::chrono::milliseconds timeout) {
   if (!fd_.valid()) return false;
+  if (faults_ != nullptr) faults_->pre_write_delay();
   const Deadline deadline = deadline_after(timeout);
   std::size_t sent = 0;
   while (sent < data.size()) {
     if (!wait_ready_until(fd_.get(), POLLOUT, deadline)) return false;
+    std::size_t want = data.size() - sent;
+    if (faults_ != nullptr) {
+      // Torn writes / throttle clamp the chunk; a doomed connection that
+      // crossed its reset point dies here with an RST, mid-stream.
+      bool reset_now = false;
+      want = faults_->clamp_write(want, reset_now);
+      if (reset_now) {
+        hard_reset();
+        return false;
+      }
+    }
     // MSG_DONTWAIT: the fd is in blocking mode, and a blocking send() of
     // more than the free buffer space parks in the kernel with no regard
     // for our deadline. Write what fits now; poll covers the waiting.
-    const ssize_t n = ::send(fd_.get(), data.data() + sent, data.size() - sent,
+    const ssize_t n = ::send(fd_.get(), data.data() + sent, want,
                              MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
@@ -165,6 +185,7 @@ bool TcpStream::write_all(std::string_view data,
     // A zero-byte send made no progress and set no errno; treating it as
     // EINTR-like by consulting the stale errno could loop or misreport.
     if (n == 0) return false;
+    if (faults_ != nullptr) faults_->after_write(static_cast<std::size_t>(n));
     sent += static_cast<std::size_t>(n);
   }
   return true;
@@ -172,6 +193,16 @@ bool TcpStream::write_all(std::string_view data,
 
 void TcpStream::shutdown_write() noexcept {
   if (fd_.valid()) ::shutdown(fd_.get(), SHUT_WR);
+}
+
+void TcpStream::hard_reset() noexcept {
+  if (!fd_.valid()) return;
+  // Zero linger turns close() into an abortive RST instead of an orderly
+  // FIN — exactly how a mid-stream connection death looks on the wire.
+  const linger abort_on_close{1, 0};
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+               sizeof abort_on_close);
+  fd_.reset();
 }
 
 TcpListener::TcpListener(std::uint16_t port, int backlog) {
@@ -200,7 +231,10 @@ std::optional<TcpStream> TcpListener::accept(
   if (!wait_ready(fd_.get(), POLLIN, timeout)) return std::nullopt;
   const int client = ::accept(fd_.get(), nullptr, nullptr);
   if (client < 0) return std::nullopt;
-  return TcpStream(FileDescriptor(client));
+  TcpStream stream{FileDescriptor(client)};
+  // Chaos seam: a degraded node degrades every connection it accepts.
+  if (chaos_ != nullptr) stream.set_faults(chaos_->admit());
+  return stream;
 }
 
 }  // namespace sweb::runtime

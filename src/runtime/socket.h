@@ -10,12 +10,16 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <system_error>
 
 namespace sweb::runtime {
+
+class ChaosDirector;     // chaos.h
+class ConnectionFaults;  // chaos.h
 
 /// Absolute deadline for a multi-step I/O sequence. Loops that poll + read
 /// or poll + write repeatedly must budget ONE overall deadline, not a fresh
@@ -102,8 +106,20 @@ class TcpStream {
   void shutdown_write() noexcept;
   void close() noexcept { fd_.reset(); }
 
+  /// Aborts the connection with an RST (SO_LINGER 0 + close): the peer's
+  /// next read fails with ECONNRESET instead of seeing clean EOF. Used by
+  /// the chaos layer's mid-stream reset fault; valid for tests too.
+  void hard_reset() noexcept;
+
+  /// Attaches per-connection fault injection (see chaos.h); every later
+  /// read/write on this stream consults it. nullptr detaches.
+  void set_faults(std::shared_ptr<ConnectionFaults> faults) noexcept {
+    faults_ = std::move(faults);
+  }
+
  private:
   FileDescriptor fd_;
+  std::shared_ptr<ConnectionFaults> faults_;
 };
 
 /// A listening TCP socket bound to 127.0.0.1.
@@ -126,9 +142,16 @@ class TcpListener {
   void close() noexcept { fd_.reset(); }
   [[nodiscard]] bool listening() const noexcept { return fd_.valid(); }
 
+  /// Degrades every subsequently accepted connection via `director`
+  /// (nullptr detaches). The director must outlive the accepted streams;
+  /// note that move-assigning a fresh TcpListener (crash-recovery rebind)
+  /// drops the attachment — re-call set_chaos after a rebind.
+  void set_chaos(ChaosDirector* director) noexcept { chaos_ = director; }
+
  private:
   FileDescriptor fd_;
   std::uint16_t port_ = 0;
+  ChaosDirector* chaos_ = nullptr;
 };
 
 }  // namespace sweb::runtime

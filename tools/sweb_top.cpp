@@ -42,6 +42,9 @@ struct NodeSample {
   std::int64_t workers_busy = 0;
   std::int64_t queue_depth = 0;
   std::uint64_t shed = 0;
+  /// Sum of errors_by_reason (400 + 404 + 408 + 503): every client-visible
+  /// error this node answered, whatever the cause.
+  std::uint64_t errors = 0;
   std::uint64_t served = 0;
   std::uint64_t redirected = 0;
   bool available = true;  // this node's own availability, per its board
@@ -96,6 +99,13 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
   sample.queue_depth =
       static_cast<std::int64_t>(doc->number_or("queue_depth", 0.0));
   sample.shed = static_cast<std::uint64_t>(doc->number_or("shed", 0.0));
+  if (const obs::JsonValue* errors = doc->find("errors_by_reason");
+      errors != nullptr && errors->is_object()) {
+    for (const auto& [reason, value] : errors->members) {
+      (void)reason;
+      sample.errors += static_cast<std::uint64_t>(value.number);
+    }
+  }
 
   if (const obs::JsonValue* board = doc->find("board");
       board != nullptr && board->is_array()) {
@@ -174,13 +184,13 @@ void render(const std::vector<NodeSample>& samples,
             double interval_s, int poll, int total_polls) {
   std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
               total_polls);
-  std::printf("%-5s %5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s\n", "NODE",
-              "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED",
-              "SERVED", "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
+  std::printf("%-5s %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %10s %10s\n",
+              "NODE", "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED",
+              "ERR", "SERVED", "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
   double total_rps = 0.0;
   std::int64_t total_inflight = 0;
   std::int64_t total_busy = 0, total_queue = 0;
-  std::uint64_t total_shed = 0;
+  std::uint64_t total_shed = 0, total_errors = 0;
   std::uint64_t total_served = 0, total_redirected = 0;
   std::size_t total_up = 0;
   double worst_p50 = -1.0, worst_p95 = -1.0;
@@ -189,10 +199,10 @@ void render(const std::vector<NodeSample>& samples,
     if (s.ok && s.available) ++total_up;
     if (!s.ok) {
       std::printf(
-          "%-5zu %5s %8s %9s %7s %6s %5s %8s %7s %7s %10s %10s   "
+          "%-5zu %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %10s %10s   "
           "(unreachable: %s)\n",
           i, avail_cell(samples, i), "-", "-", "-", "-", "-", "-", "-", "-",
-          "-", "-", s.url.c_str());
+          "-", "-", "-", s.url.c_str());
       continue;
     }
     const double rps =
@@ -211,11 +221,13 @@ void render(const std::vector<NodeSample>& samples,
                   static_cast<long long>(s.workers_busy),
                   static_cast<long long>(s.workers));
     std::printf(
-        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %8llu %7s %7s %10s %10s\n",
+        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %5llu %8llu %7s %7s %10s "
+        "%10s\n",
         s.node, avail_cell(samples, i), rps,
         static_cast<long long>(s.inflight), workers_cell,
         static_cast<long long>(s.queue_depth),
                 static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.errors),
                 static_cast<unsigned long long>(s.served),
                 fmt_pct(redirect_rate).c_str(),
                 fmt_pct(s.cache_hit_rate).c_str(),
@@ -226,6 +238,7 @@ void render(const std::vector<NodeSample>& samples,
     total_busy += s.workers_busy;
     total_queue += s.queue_depth;
     total_shed += s.shed;
+    total_errors += s.errors;
     total_served += s.served;
     total_redirected += s.redirected;
     worst_p50 = std::max(worst_p50, s.predict_p50_s);
@@ -239,11 +252,13 @@ void render(const std::vector<NodeSample>& samples,
   char up_cell[32];
   std::snprintf(up_cell, sizeof up_cell, "%zu/%zu", total_up, samples.size());
   std::printf(
-      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %8llu %7s %7s %10s %10s\n",
+      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %5llu %8llu %7s %7s %10s "
+      "%10s\n",
       "TOTAL", up_cell, total_rps, static_cast<long long>(total_inflight),
       static_cast<long long>(total_busy),
       static_cast<long long>(total_queue),
       static_cast<unsigned long long>(total_shed),
+      static_cast<unsigned long long>(total_errors),
       static_cast<unsigned long long>(total_served),
       fmt_pct(total_redirect_rate).c_str(), "",
       fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
@@ -267,6 +282,7 @@ void append_jsonl(const std::string& path, double t_s,
     w.key("workers_busy").value(s.workers_busy);
     w.key("queue_depth").value(s.queue_depth);
     w.key("shed").value(s.shed);
+    w.key("errors").value(s.errors);
     w.key("served").value(s.served);
     w.key("redirected").value(s.redirected);
     w.key("cache_hit_rate").value(s.cache_hit_rate);
