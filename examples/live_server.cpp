@@ -44,6 +44,11 @@ int main(int argc, char** argv) {
               "append registry snapshots to this JSONL file (1 Hz)")
       .option("trace-out", "",
               "write a Chrome trace_event JSON of every request served")
+      .option("slow-log", "",
+              "append slow-request forensics records (JSONL) to this file")
+      .option("slow-budget", "0",
+              "slow budget in ms: a request whose total exceeds this leaves "
+              "a forensics record (0: only chaos-faulted requests do)")
       // Degraded-link chaos: every connection the chosen node accepts is
       // injected with these faults (see runtime/chaos.h).
       .option("chaos-node", "-1",
@@ -107,6 +112,8 @@ int main(int argc, char** argv) {
   if (cli.get_int("chaos-seed") != 0) {
     options.chaos_seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed"));
   }
+  options.slow_log_path = cli.get("slow-log");
+  options.slow_budget = std::chrono::milliseconds(cli.get_int("slow-budget"));
   runtime::MiniCluster cluster(nodes, docs, options);
   if (options.chaos_node >= 0 && options.chaos_node < nodes &&
       options.chaos.active()) {
@@ -182,6 +189,11 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::seconds(seconds));
   }
 
+  if (const std::string path = cli.get("slow-log"); !path.empty()) {
+    std::printf("slow-request forensics -> %s (%llu records)\n", path.c_str(),
+                static_cast<unsigned long long>(
+                    cluster.slow_log().total_recorded()));
+  }
   snapshots.reset();  // final snapshot line before the cluster stops
   if (const std::string path = cli.get("trace-out"); !path.empty()) {
     if (cluster.tracer().write_file(path)) {

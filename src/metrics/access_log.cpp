@@ -20,6 +20,15 @@ namespace {
   return buf;
 }
 
+/// The combined-format tail: `"-" "-" latency_ms bytes_written`.
+[[nodiscard]] std::string combined_tail(double latency_s,
+                                        long long bytes_written) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " \"-\" \"-\" %.3f %lld", latency_s * 1e3,
+                bytes_written);
+  return buf;
+}
+
 }  // namespace
 
 std::string clf_line(const RequestRecord& record,
@@ -45,6 +54,14 @@ std::string clf_line(const RequestRecord& record,
                      std::to_string(status) + " ";
   // CLF uses "-" for a zero/unknown byte count.
   line += bytes > 0 ? std::to_string(bytes) : std::string("-");
+  if (options.combined) {
+    // A request that never finished has no total latency; log the time it
+    // spent before the failure was declared (finish stays 0 for refusals,
+    // so clamp at 0).
+    const double latency_s =
+        record.finish > record.start ? record.response_time() : 0.0;
+    line += combined_tail(latency_s, bytes);
+  }
   return line;
 }
 
@@ -55,10 +72,17 @@ std::string clf_redirect_hop_line(const RequestRecord& record,
   const double hop_time = record.start + record.t_dns + record.t_connect +
                           record.t_queue + record.t_preprocess +
                           record.t_analysis;
-  return options.host_prefix +
-         std::to_string(record.first_node >= 0 ? record.first_node : 0) +
-         " - - " + clf_timestamp(options.epoch_base, hop_time) + " \"GET " +
-         record.path + " HTTP/1.0\" 302 -";
+  std::string line =
+      options.host_prefix +
+      std::to_string(record.first_node >= 0 ? record.first_node : 0) +
+      " - - " + clf_timestamp(options.epoch_base, hop_time) + " \"GET " +
+      record.path + " HTTP/1.0\" 302 -";
+  if (options.combined) {
+    // The hop's own latency: how long the origin node held the request
+    // before answering 302 (its body is empty — zero bytes written).
+    line += combined_tail(hop_time - record.start, 0);
+  }
+  return line;
 }
 
 void write_access_log(std::ostream& out,

@@ -1,13 +1,19 @@
-// NCSA Common Log Format writer.
+// NCSA Common/Combined Log Format writer.
 //
 // SWEB descends from NCSA httpd, whose access_log format became the
 // de-facto standard:
 //
 //   host ident authuser [date] "request" status bytes
 //
-// Simulated requests become CLF lines so existing log-analysis tooling
-// can chew on experiment output, and so a simulated run can be diffed
-// against a real server's log.
+// The default output is the *combined* variant plus the two timing
+// extension fields most real deployments append (Apache's %D/%B idiom):
+//
+//   ... status bytes "referer" "user-agent" latency_ms bytes_written
+//
+// so per-request total latency rides in the log itself — the flat-file
+// counterpart of the runtime's phase histograms. Simulated requests become
+// these lines so existing log-analysis tooling can chew on experiment
+// output, and so a simulated run can be diffed against a real server's log.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,14 @@ struct AccessLogOptions {
   /// target logs the fulfilled GET). Forwarded requests have no
   /// client-visible hop and never get one.
   bool log_redirect_hops = true;
+  /// NCSA combined format with timing extensions: append
+  /// `"referer" "user-agent" latency_ms bytes_written` to every line
+  /// (the sim has no browser headers, so both quoted fields are "-").
+  /// latency_ms is the request's total response time in milliseconds
+  /// (three decimals); bytes_written is what actually went to the client
+  /// (0 for failures — unlike the CLF bytes column it is always numeric).
+  /// Off: plain Common Log Format, as before.
+  bool combined = true;
 };
 
 /// Formats one record as a CLF line (no trailing newline).

@@ -1,0 +1,46 @@
+#include "obs/phase.h"
+
+#include <cmath>
+
+namespace sweb::obs {
+
+const char* phase_name(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kQueueWait: return "queue_wait";
+    case Phase::kHeaderRead: return "header_read";
+    case Phase::kParse: return "parse";
+    case Phase::kBrokerDecide: return "broker_decide";
+    case Phase::kDocRead: return "doc_read";
+    case Phase::kCgiExec: return "cgi_exec";
+    case Phase::kWrite: return "write";
+    case Phase::kTotal: return "total";
+  }
+  return "unknown";
+}
+
+const std::array<Phase, kPhaseCount>& all_phases() noexcept {
+  static const std::array<Phase, kPhaseCount> kAll = {
+      Phase::kQueueWait, Phase::kHeaderRead,   Phase::kParse,
+      Phase::kBrokerDecide, Phase::kDocRead,   Phase::kCgiExec,
+      Phase::kWrite,     Phase::kTotal,
+  };
+  return kAll;
+}
+
+std::vector<double> log_latency_bounds() {
+  // 1e-5 s · (√2)^k until the ladder clears 60 s. Bounds are computed as
+  // exact powers (not by repeated multiplication) so every call — and
+  // therefore every node — produces bit-identical bounds, which is what
+  // makes cross-node merges legal.
+  std::vector<double> bounds;
+  constexpr double kMin = 1e-5;   // 10 µs
+  constexpr double kMax = 60.0;   // 60 s
+  for (int k = 0;; ++k) {
+    const double bound = kMin * std::pow(2.0, 0.5 * static_cast<double>(k));
+    bounds.push_back(bound);
+    if (bound >= kMax) break;
+  }
+  return bounds;
+}
+
+}  // namespace sweb::obs

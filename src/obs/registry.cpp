@@ -2,13 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "obs/json.h"
 
 namespace sweb::obs {
 
+namespace {
+
+/// Relaxed atomic min/max via CAS — observation stays lock-free.
+void update_extreme(std::atomic<double>& slot, double v, bool want_min) {
+  double seen = slot.load(std::memory_order_relaxed);
+  while (want_min ? v < seen : v > seen) {
+    if (slot.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
@@ -19,6 +37,8 @@ void Histogram::observe(double v) noexcept {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  update_extreme(min_, v, /*want_min=*/true);
+  update_extreme(max_, v, /*want_min=*/false);
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -61,12 +81,7 @@ RegistrySnapshot Registry::snapshot() const {
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
-    RegistrySnapshot::HistogramValue v;
-    v.upper_bounds = h->upper_bounds();
-    v.bucket_counts = h->bucket_counts();
-    v.count = h->count();
-    v.sum = h->sum();
-    snap.histograms[name] = std::move(v);
+    snap.histograms[name] = histogram_value(*h);
   }
   return snap;
 }
@@ -87,6 +102,12 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
     w.key(name).begin_object();
     w.key("count").value(h.count);
     w.key("sum").value(h.sum);
+    // Extremes only exist once something was observed (the empty-histogram
+    // sentinels are infinities, which JSON cannot carry).
+    if (h.has_extremes()) {
+      w.key("min").value(h.min_value);
+      w.key("max").value(h.max_value);
+    }
     w.key("upper_bounds").begin_array();
     for (const double b : h.upper_bounds) w.value(b);
     w.end_array();
@@ -103,6 +124,15 @@ std::string snapshot_json(const RegistrySnapshot& snap) {
 double histogram_quantile(const RegistrySnapshot::HistogramValue& hist,
                           double q) {
   if (hist.count == 0 || hist.bucket_counts.empty()) return 0.0;
+  // Interpolation can wander past what was actually observed — every
+  // sample sitting exactly on a bound, or a single-bucket histogram,
+  // would otherwise report values no sample ever took. The observed
+  // extremes bound the answer exactly.
+  const auto clamp_observed = [&hist](double v) {
+    return hist.has_extremes()
+               ? std::clamp(v, hist.min_value, hist.max_value)
+               : v;
+  };
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * static_cast<double>(hist.count);
   std::uint64_t cumulative = 0;
@@ -114,15 +144,47 @@ double histogram_quantile(const RegistrySnapshot::HistogramValue& hist,
     if (static_cast<double>(cumulative) < target) continue;
     if (i >= hist.upper_bounds.size()) {
       // Overflow bucket: no finite upper edge to interpolate toward.
-      return hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back();
+      return clamp_observed(
+          hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back());
     }
     const double hi = hist.upper_bounds[i];
     const double lo = i == 0 ? 0.0 : hist.upper_bounds[i - 1];
     const double fraction =
         (target - before) / static_cast<double>(in_bucket);
-    return lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0);
+    return clamp_observed(lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0));
   }
-  return hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back();
+  return clamp_observed(
+      hist.upper_bounds.empty() ? 0.0 : hist.upper_bounds.back());
+}
+
+RegistrySnapshot::HistogramValue histogram_value(
+    const Histogram& histogram) {
+  RegistrySnapshot::HistogramValue v;
+  v.upper_bounds = histogram.upper_bounds();
+  v.bucket_counts = histogram.bucket_counts();
+  v.count = histogram.count();
+  v.sum = histogram.sum();
+  v.min_value = histogram.min_value();
+  v.max_value = histogram.max_value();
+  return v;
+}
+
+std::optional<RegistrySnapshot::HistogramValue> merge_histogram_values(
+    const RegistrySnapshot::HistogramValue& a,
+    const RegistrySnapshot::HistogramValue& b) {
+  if (a.upper_bounds != b.upper_bounds ||
+      a.bucket_counts.size() != b.bucket_counts.size()) {
+    return std::nullopt;
+  }
+  RegistrySnapshot::HistogramValue out = a;
+  for (std::size_t i = 0; i < out.bucket_counts.size(); ++i) {
+    out.bucket_counts[i] += b.bucket_counts[i];
+  }
+  out.count += b.count;
+  out.sum += b.sum;
+  out.min_value = std::min(out.min_value, b.min_value);
+  out.max_value = std::max(out.max_value, b.max_value);
+  return out;
 }
 
 }  // namespace sweb::obs

@@ -14,9 +14,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,17 @@ class Histogram {
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Smallest / largest value observed so far. Meaningful only when
+  /// count() > 0 (they start at +inf / -inf); histogram_quantile clamps
+  /// its interpolation into this range so a degenerate histogram (every
+  /// sample in one bucket, or exactly at a bound) reports the value that
+  /// was actually seen instead of a spread interpolated past it.
+  [[nodiscard]] double min_value() const noexcept {
+    return min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max_value() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] const std::vector<double>& upper_bounds() const noexcept {
     return bounds_;
   }
@@ -81,6 +94,8 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
 };
 
 /// Point-in-time copy of every instrument, safe to serialize or diff.
@@ -90,6 +105,14 @@ struct RegistrySnapshot {
     std::vector<std::uint64_t> bucket_counts;
     std::uint64_t count = 0;
     double sum = 0.0;
+    /// Observed extremes; valid only when count > 0 (min <= max). A value
+    /// parsed from an older snapshot keeps the infinities and simply
+    /// disables quantile clamping.
+    double min_value = std::numeric_limits<double>::infinity();
+    double max_value = -std::numeric_limits<double>::infinity();
+    [[nodiscard]] bool has_extremes() const noexcept {
+      return count > 0 && min_value <= max_value;
+    }
   };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
@@ -133,8 +156,26 @@ class Registry {
 /// Estimates the q-quantile (q in [0,1]) of a snapshotted histogram by
 /// linear interpolation within the bucket holding the target rank —
 /// Prometheus' histogram_quantile() semantics. Samples in the +inf overflow
-/// bucket clamp to the last finite bound. Returns 0 for an empty histogram.
+/// bucket clamp to the last finite bound. When the snapshot carries valid
+/// observed extremes (has_extremes()), the result is clamped into
+/// [min_value, max_value]: exact-bound samples and single-bucket
+/// histograms then report the observed value instead of interpolating past
+/// it. Returns 0 for an empty histogram.
 [[nodiscard]] double histogram_quantile(
     const RegistrySnapshot::HistogramValue& hist, double q);
+
+/// The point-in-time value of one live histogram (same shape snapshot()
+/// produces) — for quantiles over a free-standing Histogram outside any
+/// registry (benches, tests).
+[[nodiscard]] RegistrySnapshot::HistogramValue histogram_value(
+    const Histogram& histogram);
+
+/// Merges two snapshotted histograms with identical bucket bounds — the
+/// cross-node aggregation primitive (bucket counts, totals, and extremes
+/// all add/extremize component-wise, so the merge is associative and
+/// commutative). std::nullopt when the bounds differ.
+[[nodiscard]] std::optional<RegistrySnapshot::HistogramValue>
+merge_histogram_values(const RegistrySnapshot::HistogramValue& a,
+                       const RegistrySnapshot::HistogramValue& b);
 
 }  // namespace sweb::obs

@@ -1,0 +1,66 @@
+#include "obs/slow_log.h"
+
+#include "obs/json.h"
+
+namespace sweb::obs {
+
+double SlowRequestRecord::phase_sum() const noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < kPhaseCount; ++i) {
+    if (phase_s[i] >= 0.0) sum += phase_s[i];
+  }
+  return sum;
+}
+
+std::string slow_record_json(const SlowRequestRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("ts_s").value(record.ts_s);
+  w.key("rid").value(record.rid);
+  w.key("node").value(record.node);
+  w.key("method").value(record.method);
+  w.key("path").value(record.path);
+  w.key("status").value(record.status);
+  w.key("redirected").value(record.redirected);
+  w.key("chaos_faulted").value(record.chaos_faulted);
+  w.key("total_s").value(record.total_s);
+  w.key("budget_s").value(record.budget_s);
+  w.key("phases").begin_object();
+  for (const Phase phase : all_phases()) {
+    const double s = record.phase_s[static_cast<std::size_t>(phase)];
+    if (s >= 0.0) w.key(phase_name(phase)).value(s);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool SlowLog::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  file_.open(path, std::ios::app);
+  return file_.is_open();
+}
+
+void SlowLog::record(SlowRequestRecord record) {
+  const std::string line = slow_record_json(record);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (file_.is_open()) {
+    // Forensics must survive a crash: flush every line.
+    file_ << line << '\n' << std::flush;
+  }
+  ring_.push_back(std::move(record));
+  while (ring_.size() > max_records_) ring_.pop_front();
+}
+
+std::vector<SlowRequestRecord> SlowLog::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t SlowLog::total_recorded() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+}  // namespace sweb::obs

@@ -1,0 +1,77 @@
+// Slow-request forensics: one structured JSONL record per outlier.
+//
+// Percentiles say a node's p99 degraded; they cannot say WHY. The slow log
+// keeps the evidence: any request whose measured total exceeds a
+// configurable budget — or that rode a chaos-faulted connection — emits
+// one JSON line carrying the full phase vector (queue_wait .. write, see
+// obs/phase.h), the request id, status, and fault context. The rid is the
+// same id the Chrome-trace spans use as their tid and the 302 propagates
+// cross-node, so a slow record cross-links to its trace timeline and its
+// DecisionAudit entry directly.
+//
+// Sinks: an optional append-only JSONL file (flushed per record — this is
+// forensics, it must survive a crash) plus a bounded in-memory ring the
+// tests and /sweb/status read. Thread-safe; recording off the hot path
+// (only outliers pay).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/phase.h"
+
+namespace sweb::obs {
+
+struct SlowRequestRecord {
+  double ts_s = 0.0;        // completion time, shared (board) clock
+  std::uint64_t rid = 0;    // request id == trace span tid
+  int node = -1;
+  std::string method;       // empty when the request never parsed
+  std::string path;
+  int status = 0;
+  bool redirected = false;      // the response was a 302 hand-off
+  bool chaos_faulted = false;   // connection had fault injection attached
+  double total_s = 0.0;         // measured total (kTotal phase)
+  double budget_s = 0.0;        // the slow budget in force (0: chaos-only)
+  /// Per-phase seconds; < 0 marks a phase this request never entered.
+  std::array<double, kPhaseCount> phase_s{};
+
+  /// Sum of the entered phases except total — should match total_s ±5%.
+  [[nodiscard]] double phase_sum() const noexcept;
+};
+
+/// One record as a single JSON object (no trailing newline).
+[[nodiscard]] std::string slow_record_json(const SlowRequestRecord& record);
+
+class SlowLog {
+ public:
+  /// `max_records` bounds the in-memory ring (oldest evicted).
+  explicit SlowLog(std::size_t max_records = 1024)
+      : max_records_(max_records) {}
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// Attaches (appends to) a JSONL file sink; false if it cannot open.
+  bool open(const std::string& path);
+
+  void record(SlowRequestRecord record);
+
+  /// Copy of the in-memory ring, oldest first.
+  [[nodiscard]] std::vector<SlowRequestRecord> records() const;
+  /// Every record ever taken (ring evictions included).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept;
+
+ private:
+  std::size_t max_records_;
+  mutable std::mutex mutex_;
+  std::deque<SlowRequestRecord> ring_;
+  std::uint64_t total_ = 0;
+  std::ofstream file_;
+};
+
+}  // namespace sweb::obs

@@ -21,6 +21,9 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
                 std::chrono::duration<double>(options.heartbeat_period)
                     .count();
   board_.set_liveness(liveness);
+  if (!options.slow_log_path.empty()) {
+    (void)slow_log_.open(options.slow_log_path);
+  }
   std::vector<std::uint16_t> ports;
   for (int n = 0; n < num_nodes; ++n) {
     NodeServer::Config cfg;
@@ -39,6 +42,8 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
     cfg.audit = &audit_;
+    cfg.slow_log = &slow_log_;
+    cfg.slow_budget = options.slow_budget;
     servers_.push_back(std::make_unique<NodeServer>(cfg, docs_, board_));
     ports.push_back(servers_.back()->port());
   }
@@ -47,8 +52,11 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
 
 MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
                          RuntimeBrokerParams broker)
-    : MiniCluster(num_nodes, docbase,
-                  MiniClusterOptions{.broker = broker}) {}
+    : MiniCluster(num_nodes, docbase, [&broker] {
+        MiniClusterOptions options;
+        options.broker = broker;
+        return options;
+      }()) {}
 
 MiniCluster::~MiniCluster() { stop(); }
 

@@ -11,6 +11,7 @@
 #include "fs/docbase.h"
 #include "obs/audit.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
@@ -49,6 +50,13 @@ struct MiniClusterOptions {
   FaultPlan chaos{};
   int chaos_node = -1;
   std::uint64_t chaos_seed = ChaosDirector::kDefaultSeed;
+  /// Slow-request forensics: a request whose measured total exceeds this
+  /// budget leaves one JSONL record in the cluster's shared SlowLog (zero:
+  /// only chaos-faulted requests are recorded).
+  std::chrono::milliseconds slow_budget{0};
+  /// Append-only JSONL sink for the slow log; empty keeps records
+  /// in-memory only (MiniCluster::slow_log().records()).
+  std::string slow_log_path;
 };
 
 class MiniCluster {
@@ -111,6 +119,12 @@ class MiniCluster {
   [[nodiscard]] const obs::DecisionAudit& audit() const noexcept {
     return audit_;
   }
+  /// Shared slow-request forensics log: every node's outliers (budget
+  /// breaches, chaos-faulted requests) land here, rid-linked to the trace.
+  [[nodiscard]] obs::SlowLog& slow_log() noexcept { return slow_log_; }
+  [[nodiscard]] const obs::SlowLog& slow_log() const noexcept {
+    return slow_log_;
+  }
 
  private:
   DocStore docs_;
@@ -118,6 +132,7 @@ class MiniCluster {
   obs::Registry registry_;
   obs::SpanTracer tracer_{/*enabled=*/false};
   obs::DecisionAudit audit_;
+  obs::SlowLog slow_log_;
   std::vector<std::unique_ptr<NodeServer>> servers_;
   std::size_t rotation_ = 0;
 };

@@ -76,8 +76,17 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     workers_busy_gauge_ =
         &config_.registry->gauge(prefix + ".workers_busy");
     queue_depth_gauge_ = &config_.registry->gauge(prefix + ".queue_depth");
-    response_histogram_ =
-        &config_.registry->histogram("http.response_seconds");
+    // The response histogram and every per-phase histogram share the
+    // log-bucket ladder so cross-node merges stay legal (identical bounds)
+    // and one bucket vocabulary covers 10 µs CGI bursts and 60 s stalls.
+    response_histogram_ = &config_.registry->histogram(
+        "http.response_seconds", obs::log_latency_bounds());
+    for (const obs::Phase phase : obs::all_phases()) {
+      phase_hist_[static_cast<std::size_t>(phase)] =
+          &config_.registry->histogram(
+              prefix + ".phase." + obs::phase_name(phase),
+              obs::log_latency_bounds());
+    }
   }
   if (config_.chaos.active()) {
     chaos_.configure(config_.chaos, config_.chaos_seed);
@@ -245,7 +254,8 @@ void NodeServer::dispatch(TcpStream stream) {
     const auto cap = static_cast<std::size_t>(
         std::max(1, config_.max_pending));
     if (pending_.size() < cap) {
-      pending_.push_back(std::move(stream));
+      pending_.push_back(
+          PendingConn{std::move(stream), std::chrono::steady_clock::now()});
       if (queue_depth_gauge_ != nullptr) {
         queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
       }
@@ -285,22 +295,26 @@ void NodeServer::worker_loop(const std::stop_token& token, int index) {
   util::set_thread_log_context("node " + std::to_string(config_.node_id) +
                                "/w" + std::to_string(index));
   for (;;) {
-    TcpStream stream;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       if (!queue_cv_.wait(lock, token,
                           [this] { return !pending_.empty(); })) {
         break;  // stop requested while idle
       }
-      stream = std::move(pending_.front());
+      conn = std::move(pending_.front());
       pending_.pop_front();
       if (queue_depth_gauge_ != nullptr) {
         queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
       }
     }
+    const double queue_wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      conn.enqueued_at)
+            .count();
     busy_workers_.fetch_add(1, std::memory_order_relaxed);
     if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(1);
-    handle_connection(std::move(stream), token);
+    handle_connection(std::move(conn.stream), token, queue_wait_s);
     if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(-1);
     busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -347,18 +361,35 @@ int NodeServer::choose_node(int owner) const {
 }
 
 void NodeServer::handle_connection(TcpStream stream,
-                                   const std::stop_token& token) {
+                                   const std::stop_token& token,
+                                   double queue_wait_s) {
   // HTTP/1.0 keep-alive: serve requests on this connection until the
   // client omits "Connection: Keep-Alive", an error occurs, the
   // per-connection cap is reached, or the server is stopping.
   std::string leftover;
+  const bool conn_faulted = stream.faulted();
   for (int served = 0; served < config_.max_requests_per_connection &&
                        !token.stop_requested();
        ++served) {
     const bool tracing_on = tracing();
     const double t_parse_start =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
-    const auto wall_start = std::chrono::steady_clock::now();
+
+    // The request's phase scratchpad. queue_wait belongs to the first
+    // request only — later requests on the connection never re-queued.
+    obs::PhaseClock clock;
+    if (served == 0) clock.add(obs::Phase::kQueueWait, queue_wait_s);
+    auto request_start = std::chrono::steady_clock::now();
+    // Lap timer: each call attributes the time since the previous mark to
+    // one phase, so the read/feed alternation below splits cleanly into
+    // header_read (socket waits + reads) and parse (RequestParser::feed).
+    auto phase_mark = request_start;
+    const auto lap = [&](obs::Phase phase) {
+      const auto now = std::chrono::steady_clock::now();
+      clock.add(phase,
+                std::chrono::duration<double>(now - phase_mark).count());
+      phase_mark = now;
+    };
 
     // --- Preprocess: read and parse one request -------------------------
     // One overall deadline for the whole request head+body, however many
@@ -377,6 +408,7 @@ void NodeServer::handle_connection(TcpStream stream,
       state = parser.feed(leftover, consumed);
       leftover.erase(0, consumed);
       got_bytes = true;
+      lap(obs::Phase::kParse);
     }
     while (state == http::ParseResult::kNeedMore) {
       // Wait in short slices so a stop request interrupts an idle
@@ -397,6 +429,7 @@ void NodeServer::handle_connection(TcpStream stream,
         // slow client: tell it so and take the worker back.
         if (token.stop_requested()) return;
         if (served > 0 && !got_bytes) return;
+        lap(obs::Phase::kHeaderRead);
         err408_.fetch_add(1, std::memory_order_relaxed);
         if (err408_counter_ != nullptr) err408_counter_->inc();
         if (errors_counter_ != nullptr) errors_counter_->inc();
@@ -407,16 +440,34 @@ void NodeServer::handle_connection(TcpStream stream,
         timeout.headers.add("Server", config_.server_name);
         timeout.headers.set("Connection", "close");
         (void)stream.write_all(timeout.serialize(), config_.io_timeout);
+        lap(obs::Phase::kWrite);
         stream.shutdown_write();
         ++handled_;
+        clock.add(obs::Phase::kTotal,
+                  (served == 0 ? queue_wait_s : 0.0) +
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - request_start)
+                          .count());
+        record_phases(clock,
+                      config_.slow_log != nullptr ? next_request_id() : 0,
+                      std::string(), std::string(), 408, conn_faulted);
         return;
+      }
+      if (served > 0 && !got_bytes) {
+        // Keep-alive idle: the wait before request N's first byte is
+        // client think time, not service — restart the clocks at the
+        // moment work actually arrives.
+        request_start = std::chrono::steady_clock::now();
+        phase_mark = request_start;
       }
       const auto chunk = stream.read_some(16 * 1024, 0ms);
       if (!chunk.ok) return;  // error: drop the connection
       if (chunk.eof) return;  // client went away between/within requests
       got_bytes = true;
+      lap(obs::Phase::kHeaderRead);
       std::size_t consumed = 0;
       state = parser.feed(chunk.data, consumed);
+      lap(obs::Phase::kParse);
       if (state == http::ParseResult::kComplete) {
         leftover.assign(chunk.data, consumed,
                         chunk.data.size() - consumed);
@@ -425,9 +476,11 @@ void NodeServer::handle_connection(TcpStream stream,
     // Resolve the request id only once the request is parsed: a redirected
     // request carries the id its origin node assigned (header or query
     // param), and reusing it is what stitches the two nodes' spans — and
-    // the audit's decision/outcome — into one logical request.
+    // the audit's decision/outcome — and the slow log's forensics — into
+    // one logical request.
     std::uint64_t trace_id = 0;
-    if (tracing_on || config_.audit != nullptr) {
+    if (tracing_on || config_.audit != nullptr ||
+        config_.slow_log != nullptr) {
       if (state == http::ParseResult::kComplete) {
         const auto incoming = incoming_request_id(parser.message());
         trace_id = incoming ? *incoming : next_request_id();
@@ -455,10 +508,19 @@ void NodeServer::handle_connection(TcpStream stream,
           http::make_error(http::Status::kBadRequest, parser.error());
       bad.headers.add("Server", config_.server_name);
       bad.headers.add("Connection", "close");
+      phase_mark = std::chrono::steady_clock::now();
       (void)stream.write_all(bad.serialize(), config_.io_timeout);
+      lap(obs::Phase::kWrite);
       stream.shutdown_write();
       ++handled_;
       if (errors_counter_ != nullptr) errors_counter_->inc();
+      clock.add(obs::Phase::kTotal,
+                (served == 0 ? queue_wait_s : 0.0) +
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - request_start)
+                        .count());
+      record_phases(clock, trace_id, std::string(), std::string(), 400,
+                    conn_faulted);
       return;
     }
 
@@ -473,22 +535,49 @@ void NodeServer::handle_connection(TcpStream stream,
         client_keep_alive &&
         served + 1 < config_.max_requests_per_connection;
 
-    http::Response response = process_request(request, trace_id);
+    const double attributed_before = clock.measured_sum();
+    const auto process_start = std::chrono::steady_clock::now();
+    http::Response response = process_request(request, trace_id, clock);
+    // Tile the decomposition: whatever process_request spent outside its
+    // timed windows (target analysis, hop detection, completion
+    // bookkeeping, error paths) lands in broker_decide — the paper's
+    // "SWEB analysis" bucket — so the phase vector sums to the total.
+    const double process_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      process_start)
+            .count();
+    const double attributed = clock.measured_sum() - attributed_before;
+    if (process_wall > attributed) {
+      clock.add(obs::Phase::kBrokerDecide, process_wall - attributed);
+    }
     response.headers.set("Connection", keep_alive ? "Keep-Alive" : "close");
 
     const double t_send_start =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
+    phase_mark = std::chrono::steady_clock::now();
     const bool wrote =
         stream.write_all(response.serialize(), config_.io_timeout);
+    lap(obs::Phase::kWrite);
     if (tracing_on) {
       trace_span("send", trace_id, t_send_start,
                  config_.tracer->now_seconds() - t_send_start);
     }
+    const double total_s =
+        (served == 0 ? queue_wait_s : 0.0) +
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      request_start)
+            .count();
+    clock.add(obs::Phase::kTotal, total_s);
     if (response_histogram_ != nullptr) {
-      response_histogram_->observe(
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        wall_start)
-              .count());
+      response_histogram_->observe(total_s);
+    }
+    // Introspection polls (/sweb/status, /sweb/metrics) are excluded so a
+    // dashboard scraping every 250 ms cannot pollute the latency story.
+    if (request.target.rfind("/sweb/", 0) != 0) {
+      record_phases(clock, trace_id,
+                    std::string(http::to_string(request.method)),
+                    request.target, static_cast<int>(response.status),
+                    conn_faulted);
     }
     if (!wrote) return;
     ++handled_;
@@ -500,7 +589,8 @@ void NodeServer::handle_connection(TcpStream stream,
 }
 
 http::Response NodeServer::process_request(const http::Request& request,
-                                           std::uint64_t trace_id) {
+                                           std::uint64_t trace_id,
+                                           obs::PhaseClock& clock) {
   const int self = config_.node_id;
   const auto finish = [&](http::Response response) {
     response.headers.add("Server", config_.server_name);
@@ -559,11 +649,16 @@ http::Response NodeServer::process_request(const http::Request& request,
     const bool tracing_on = tracing();
     const double t_analysis =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
+    const auto decide_start = std::chrono::steady_clock::now();
     const int target = choose_node(doc->owner);
     if (config_.audit != nullptr && trace_id != 0) {
       record_audit_decision(trace_id, target,
                             static_cast<double>(doc->content.size()));
     }
+    clock.add(obs::Phase::kBrokerDecide,
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - decide_start)
+                  .count());
     if (tracing_on) {
       trace_span("analysis", trace_id, t_analysis,
                  config_.tracer->now_seconds() - t_analysis);
@@ -605,15 +700,32 @@ http::Response NodeServer::process_request(const http::Request& request,
   // Shared-clock service start: joined with the origin node's decision
   // timestamp, this is the observed t_redirection.
   const double service_start = board_.now_seconds();
+  const auto fulfill_start = std::chrono::steady_clock::now();
+  // Fulfill splits by kind: a dynamic request's handler time is cgi_exec
+  // (the paper's t_cpu), a static request's content assembly is doc_read
+  // (t_data) — each request touches exactly one of the two.
+  const auto lap_fulfill = [&] {
+    clock.add(cgi != nullptr ? obs::Phase::kCgiExec : obs::Phase::kDocRead,
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - fulfill_start)
+                  .count());
+  };
   const auto record_outcome = [&] {
     if (config_.audit == nullptr || trace_id == 0) return;
     obs::Observation observation;
     observation.service_start_ts_s = service_start;
     observation.completion_ts_s = board_.now_seconds();
-    // The whole fulfill phase (content fetch/CGI) stands in for t_data;
-    // the runtime has no separate CPU-burst measurement (t_cpu stays
-    // unmeasured).
-    observation.t_data = observation.completion_ts_s - service_start;
+    // Join the measured phases: doc_read is the observed t_data, cgi_exec
+    // the observed t_cpu. A phase the request never entered reports 0 (the
+    // cost genuinely not paid), matching the predictor's cost terms.
+    observation.t_data =
+        clock.touched(obs::Phase::kDocRead)
+            ? clock.seconds(obs::Phase::kDocRead)
+            : 0.0;
+    observation.t_cpu =
+        clock.touched(obs::Phase::kCgiExec)
+            ? clock.seconds(obs::Phase::kCgiExec)
+            : 0.0;
     config_.audit->record_outcome(trace_id, observation);
   };
   http::Response ok;
@@ -639,6 +751,7 @@ http::Response NodeServer::process_request(const http::Request& request,
             "Last-Modified", http::format_http_date(doc->last_modified));
         not_modified.headers.add("X-Sweb-Node", std::to_string(self));
         board_.note_served(self);
+        lap_fulfill();
         record_outcome();
         return finish(std::move(not_modified));
       }
@@ -652,6 +765,7 @@ http::Response NodeServer::process_request(const http::Request& request,
     ok.headers.add("Last-Modified",
                    http::format_http_date(doc->last_modified));
   }
+  lap_fulfill();
   if (tracing_on) {
     trace_span("data", trace_id, t_data,
                config_.tracer->now_seconds() - t_data);
@@ -663,6 +777,43 @@ http::Response NodeServer::process_request(const http::Request& request,
   board_.note_served(self);
   record_outcome();
   return finish(ok);
+}
+
+void NodeServer::record_phases(const obs::PhaseClock& clock,
+                               std::uint64_t trace_id,
+                               const std::string& method,
+                               const std::string& path, int status,
+                               bool chaos_faulted) {
+  for (const obs::Phase phase : obs::all_phases()) {
+    const auto i = static_cast<std::size_t>(phase);
+    if (phase_hist_[i] != nullptr && clock.touched(phase)) {
+      phase_hist_[i]->observe(clock.seconds(phase));
+    }
+  }
+  if (config_.slow_log == nullptr) return;
+  const double budget_s =
+      std::chrono::duration<double>(config_.slow_budget).count();
+  const double total_s = clock.seconds(obs::Phase::kTotal);
+  const bool over_budget = budget_s > 0.0 && total_s > budget_s;
+  // Only outliers pay for forensics: budget breaches, plus every request
+  // that rode a chaos-faulted connection (the drill's evidence trail).
+  if (!over_budget && !chaos_faulted) return;
+  obs::SlowRequestRecord record;
+  record.ts_s = board_.now_seconds();
+  record.rid = trace_id;
+  record.node = config_.node_id;
+  record.method = method;
+  record.path = path;
+  record.status = status;
+  record.redirected = status == 302;
+  record.chaos_faulted = chaos_faulted;
+  record.total_s = total_s;
+  record.budget_s = budget_s;
+  for (const obs::Phase phase : obs::all_phases()) {
+    const auto i = static_cast<std::size_t>(phase);
+    record.phase_s[i] = clock.touched(phase) ? clock.seconds(phase) : -1.0;
+  }
+  config_.slow_log->record(std::move(record));
 }
 
 std::uint64_t NodeServer::next_request_id() {
@@ -781,6 +932,40 @@ http::Response NodeServer::status_response() const {
   w.key("heartbeat_period_s")
       .value(std::chrono::duration<double>(config_.heartbeat_period).count());
   w.key("staleness_timeout_s").value(board_.liveness().staleness_timeout_s);
+  // Per-phase latency breakdown: the streaming log-bucket histograms
+  // compressed to count + p50/p95/p99. All eight phases always appear
+  // (count 0 when nothing recorded yet) so scrapers key on a fixed shape.
+  w.key("phases").begin_object();
+  for (const obs::Phase phase : obs::all_phases()) {
+    const obs::Histogram* hist =
+        phase_hist_[static_cast<std::size_t>(phase)];
+    w.key(obs::phase_name(phase)).begin_object();
+    if (hist != nullptr) {
+      const auto value = obs::histogram_value(*hist);
+      w.key("count").value(value.count);
+      w.key("p50_s").value(obs::histogram_quantile(value, 0.50));
+      w.key("p95_s").value(obs::histogram_quantile(value, 0.95));
+      w.key("p99_s").value(obs::histogram_quantile(value, 0.99));
+    } else {
+      w.key("count").value(std::uint64_t{0});
+      w.key("p50_s").value(0.0);
+      w.key("p95_s").value(0.0);
+      w.key("p99_s").value(0.0);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  // Slow-request forensics: how many outliers the attached slow log has
+  // taken cluster-wide, and the budget this node enforces.
+  w.key("slow").begin_object();
+  w.key("budget_s")
+      .value(std::chrono::duration<double>(config_.slow_budget).count());
+  if (config_.slow_log != nullptr) {
+    w.key("records").value(config_.slow_log->total_recorded());
+  } else {
+    w.key("records").value(std::uint64_t{0});
+  }
+  w.end_object();
   w.key("board").begin_array();
   for (std::size_t n = 0; n < loads.size(); ++n) {
     const NodeLoad& l = loads[n];

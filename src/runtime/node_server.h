@@ -37,7 +37,9 @@
 
 #include "http/message.h"
 #include "obs/audit.h"
+#include "obs/phase.h"
 #include "obs/registry.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 #include "runtime/chaos.h"
 #include "runtime/doc_store.h"
@@ -114,6 +116,13 @@ class NodeServer {
     /// so cross-node joins land; timestamps come from the shared
     /// LoadBoard clock.
     obs::DecisionAudit* audit = nullptr;
+    /// Slow-request forensics sink (typically the MiniCluster's; may be
+    /// null). A request whose measured total exceeds `slow_budget` — or
+    /// that rode a chaos-faulted connection — leaves one JSONL record
+    /// carrying its full phase vector and request id.
+    obs::SlowLog* slow_log = nullptr;
+    /// The slow budget. Zero: only chaos-faulted requests are recorded.
+    std::chrono::milliseconds slow_budget{0};
   };
 
   /// Binds an ephemeral loopback port immediately; serving starts at
@@ -202,11 +211,23 @@ class NodeServer {
   /// the pending queue is at max_pending (all workers busy).
   void dispatch(TcpStream stream);
   void shed(TcpStream stream);
-  void handle_connection(TcpStream stream, const std::stop_token& token);
+  /// `queue_wait_s`: how long the connection sat in pending_ before a
+  /// worker picked it up — the first request's queue_wait phase.
+  void handle_connection(TcpStream stream, const std::stop_token& token,
+                         double queue_wait_s);
   /// Parses/serves one request; Connection header is set by the caller.
   /// `trace_id` labels this request's spans (0 when tracing is off).
+  /// Phase durations (broker_decide, doc_read/cgi_exec) accumulate into
+  /// `clock`.
   [[nodiscard]] http::Response process_request(const http::Request& request,
-                                               std::uint64_t trace_id);
+                                               std::uint64_t trace_id,
+                                               obs::PhaseClock& clock);
+  /// Flushes a finished request's phase vector into the per-phase
+  /// histograms and, when it blew the slow budget or rode a chaos-faulted
+  /// connection, into the slow log.
+  void record_phases(const obs::PhaseClock& clock, std::uint64_t trace_id,
+                     const std::string& method, const std::string& path,
+                     int status, bool chaos_faulted);
 
   /// The /sweb/status introspection body: this node's view of the world.
   [[nodiscard]] http::Response status_response() const;
@@ -246,10 +267,16 @@ class NodeServer {
   std::jthread thread_;
   // Worker pool: the accept loop feeds pending_, workers drain it. The
   // condition variable is _any so it can wait on the workers' stop token.
+  // Each pending connection keeps its enqueue instant so the worker that
+  // picks it up can attribute the wait to the queue_wait phase.
+  struct PendingConn {
+    TcpStream stream;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
   std::vector<std::jthread> workers_;
   mutable std::mutex queue_mutex_;
   std::condition_variable_any queue_cv_;
-  std::deque<TcpStream> pending_;
+  std::deque<PendingConn> pending_;
   std::atomic<int> busy_workers_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> err400_{0};
@@ -281,6 +308,9 @@ class NodeServer {
   obs::Gauge* workers_busy_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Histogram* response_histogram_ = nullptr;
+  // Per-phase streaming histograms (node.N.phase.<name>, log-bucketed
+  // √2 ladder); null when no registry is attached.
+  std::array<obs::Histogram*, obs::kPhaseCount> phase_hist_{};
 };
 
 }  // namespace sweb::runtime

@@ -116,6 +116,9 @@ class TcpStream {
   void set_faults(std::shared_ptr<ConnectionFaults> faults) noexcept {
     faults_ = std::move(faults);
   }
+  /// Whether chaos fault injection is attached — requests served over a
+  /// faulted connection are flagged in the slow-request forensics log.
+  [[nodiscard]] bool faulted() const noexcept { return faults_ != nullptr; }
 
  private:
   FileDescriptor fd_;

@@ -130,6 +130,43 @@ TEST(AccessLog, ForwardedRequestsHaveNoClientVisibleHop) {
   EXPECT_EQ(log.find(" 302 "), std::string::npos) << log;
 }
 
+TEST(AccessLog, CombinedFormatAppendsLatencyAndBytesWritten) {
+  // Default = NCSA combined + timing extensions: "-" "-" latency_ms
+  // bytes_written after the CLF columns. finish - start = 2 s -> 2000 ms.
+  const std::string line = clf_line(completed_record());
+  EXPECT_NE(line.find("16384 \"-\" \"-\" 2000.000 16384"),
+            std::string::npos)
+      << line;
+}
+
+TEST(AccessLog, CombinedFailureLogsZeroBytesWritten) {
+  RequestRecord r;
+  r.path = "/x";
+  r.outcome = Outcome::kRefused;
+  r.start = 1.0;  // never finished: latency 0, nothing written
+  const std::string line = clf_line(r);
+  EXPECT_NE(line.find("\" 0 - \"-\" \"-\" 0.000 0"), std::string::npos)
+      << line;
+}
+
+TEST(AccessLog, CombinedHopLineCarriesTimeToRedirect) {
+  RequestRecord r = completed_record();
+  r.redirected = true;
+  r.t_preprocess = 1.0;  // the 302 left the origin 1 s in; zero bytes
+  const std::string hop = clf_redirect_hop_line(r);
+  EXPECT_NE(hop.find("302 - \"-\" \"-\" 1000.000 0"), std::string::npos)
+      << hop;
+}
+
+TEST(AccessLog, PlainClfWhenCombinedDisabled) {
+  AccessLogOptions options;
+  options.combined = false;
+  const std::string line = clf_line(completed_record(), options);
+  EXPECT_EQ(line.find("\"-\""), std::string::npos) << line;
+  EXPECT_NE(line.rfind("200 16384"), std::string::npos);
+  EXPECT_TRUE(line.ends_with("200 16384")) << line;
+}
+
 TEST(AccessLog, HostPrefixConfigurable) {
   AccessLogOptions options;
   options.host_prefix = "subnet-";

@@ -1,0 +1,228 @@
+// Streaming log-bucket histogram semantics: the √2 bounds ladder, exact
+// bucket-boundary placement, merge algebra, quantile accuracy against a
+// sorted-sample oracle, and the observed-extremes clamp. These properties
+// are what let per-phase digests replace stored-sample latency tracking:
+// bounded memory only pays off if the quantiles stay trustworthy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/phase.h"
+#include "obs/registry.h"
+#include "util/rng.h"
+
+namespace sweb::obs {
+namespace {
+
+TEST(LogLatencyBounds, PowerOfSqrt2LadderFrom10usTo60s) {
+  const std::vector<double> bounds = log_latency_bounds();
+  ASSERT_GE(bounds.size(), 40u);
+  ASSERT_LE(bounds.size(), 50u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-5);
+  // Strictly increasing with a √2 ratio between every adjacent pair.
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    ASSERT_LT(bounds[i - 1], bounds[i]);
+    EXPECT_NEAR(bounds[i] / bounds[i - 1], std::sqrt(2.0), 1e-9)
+        << "between bounds " << i - 1 << " and " << i;
+  }
+  // The ladder covers a full minute (slowest request we care to resolve).
+  EXPECT_GE(bounds.back(), 60.0);
+  EXPECT_LT(bounds.back(), 120.0);
+}
+
+TEST(LogLatencyBounds, LadderIsDeterministic) {
+  // Two independently computed ladders must be bit-identical — that is
+  // what makes cross-node merges legal without transmitting the bounds.
+  const std::vector<double> a = log_latency_bounds();
+  const std::vector<double> b = log_latency_bounds();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(PhaseHistogram, ExactBoundSampleLandsInItsOwnBucket) {
+  // Cumulative-le semantics: a sample exactly at bound k counts in bucket
+  // k, not k+1. An off-by-one here shifts every quantile a whole bucket.
+  const std::vector<double> bounds = log_latency_bounds();
+  for (const std::size_t probe : {std::size_t{0}, std::size_t{7},
+                                  bounds.size() - 1}) {
+    Histogram hist(bounds);
+    hist.observe(bounds[probe]);
+    const std::vector<std::uint64_t> counts = hist.bucket_counts();
+    ASSERT_EQ(counts.size(), bounds.size() + 1);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i], i == probe ? 1u : 0u)
+          << "sample at bound " << probe << ", bucket " << i;
+    }
+  }
+}
+
+TEST(PhaseHistogram, OverflowSampleLandsInInfBucket) {
+  Histogram hist(log_latency_bounds());
+  hist.observe(1e6);  // ~11.5 days — far beyond the ladder
+  const std::vector<std::uint64_t> counts = hist.bucket_counts();
+  EXPECT_EQ(counts.back(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_DOUBLE_EQ(hist.max_value(), 1e6);
+}
+
+TEST(PhaseHistogram, MergeIsAssociativeAndCommutative) {
+  Histogram a(log_latency_bounds());
+  Histogram b(log_latency_bounds());
+  Histogram c(log_latency_bounds());
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    a.observe(rng.uniform(1e-5, 0.01));
+    b.observe(rng.uniform(0.001, 1.0));
+    c.observe(rng.uniform(0.1, 70.0));  // includes overflow samples
+  }
+  const auto va = histogram_value(a);
+  const auto vb = histogram_value(b);
+  const auto vc = histogram_value(c);
+
+  const auto left = merge_histogram_values(*merge_histogram_values(va, vb),
+                                           vc);
+  const auto right = merge_histogram_values(va,
+                                            *merge_histogram_values(vb, vc));
+  const auto flipped = merge_histogram_values(*merge_histogram_values(vc, vb),
+                                              va);
+  ASSERT_TRUE(left && right && flipped);
+  for (const auto* merged : {&*right, &*flipped}) {
+    EXPECT_EQ(left->count, merged->count);
+    EXPECT_DOUBLE_EQ(left->sum, merged->sum);
+    EXPECT_DOUBLE_EQ(left->min_value, merged->min_value);
+    EXPECT_DOUBLE_EQ(left->max_value, merged->max_value);
+    ASSERT_EQ(left->bucket_counts.size(), merged->bucket_counts.size());
+    for (std::size_t i = 0; i < left->bucket_counts.size(); ++i) {
+      EXPECT_EQ(left->bucket_counts[i], merged->bucket_counts[i]);
+    }
+  }
+  EXPECT_EQ(left->count, 600u);
+}
+
+TEST(PhaseHistogram, MergeRejectsMismatchedBounds) {
+  Histogram ladder(log_latency_bounds());
+  Histogram coarse(std::vector<double>{0.1, 1.0, 10.0});
+  ladder.observe(0.5);
+  coarse.observe(0.5);
+  EXPECT_FALSE(merge_histogram_values(histogram_value(ladder),
+                                      histogram_value(coarse))
+                   .has_value());
+}
+
+TEST(PhaseHistogram, QuantileErrorStaysUnderOneBucketRatio) {
+  // The digest's promise: any quantile it reports is within one bucket
+  // ratio (√2) of the exact sorted-sample answer. Log-uniform samples
+  // spread across the whole ladder make this the hard case.
+  Histogram hist(log_latency_bounds());
+  std::vector<double> samples;
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-4.5, 1.5));  // 32µs..32s
+    samples.push_back(v);
+    hist.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto value = histogram_value(hist);
+  for (const double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double oracle =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double estimate = histogram_quantile(value, q);
+    EXPECT_GT(estimate, oracle / std::sqrt(2.0))
+        << "q=" << q << " estimate " << estimate << " oracle " << oracle;
+    EXPECT_LT(estimate, oracle * std::sqrt(2.0))
+        << "q=" << q << " estimate " << estimate << " oracle " << oracle;
+  }
+}
+
+TEST(PhaseHistogram, QuantileClampsToObservedValueOnExactBound) {
+  // Regression: every sample exactly at one bound used to interpolate a
+  // spread across the whole bucket; the extremes clamp pins it.
+  const std::vector<double> bounds = log_latency_bounds();
+  Histogram hist(bounds);
+  for (int i = 0; i < 100; ++i) hist.observe(bounds[10]);
+  const auto value = histogram_value(hist);
+  for (const double q : {0.01, 0.50, 0.99}) {
+    EXPECT_DOUBLE_EQ(histogram_quantile(value, q), bounds[10]) << "q=" << q;
+  }
+}
+
+TEST(PhaseHistogram, QuantileClampsIntoSingleBucketRange) {
+  // All samples inside one bucket: the quantile may not leave the observed
+  // [min, max] even though the bucket is wider than that range.
+  Histogram hist(log_latency_bounds());
+  hist.observe(0.0105);
+  hist.observe(0.0106);
+  hist.observe(0.0107);
+  const auto value = histogram_value(hist);
+  const double p99 = histogram_quantile(value, 0.99);
+  EXPECT_GE(p99, 0.0105);
+  EXPECT_LE(p99, 0.0107);
+  const double p1 = histogram_quantile(value, 0.01);
+  EXPECT_GE(p1, 0.0105);
+  EXPECT_LE(p1, 0.0107);
+}
+
+TEST(PhaseHistogram, EmptyHistogramQuantileIsZero) {
+  Histogram hist(log_latency_bounds());
+  EXPECT_DOUBLE_EQ(histogram_quantile(histogram_value(hist), 0.99), 0.0);
+}
+
+TEST(PhaseHistogram, ConcurrentObservationLosesNothing) {
+  // The whole point of the streaming digest is lock-free recording from
+  // every worker thread; under TSan this is also the data-race check.
+  Histogram hist(log_latency_bounds());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      util::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.observe(rng.uniform(1e-5, 10.0));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<std::uint64_t> counts = hist.bucket_counts();
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, hist.count());
+  EXPECT_GT(hist.min_value(), 0.0);
+  EXPECT_LE(hist.max_value(), 10.0);
+}
+
+TEST(PhaseClockTest, TouchedTracksOnlyAddedPhases) {
+  PhaseClock clock;
+  clock.add(Phase::kHeaderRead, 0.001);
+  clock.add(Phase::kParse, 0.002);
+  clock.add(Phase::kParse, 0.003);  // accumulates across feed() calls
+  EXPECT_TRUE(clock.touched(Phase::kParse));
+  EXPECT_DOUBLE_EQ(clock.seconds(Phase::kParse), 0.005);
+  EXPECT_FALSE(clock.touched(Phase::kCgiExec));
+  EXPECT_DOUBLE_EQ(clock.seconds(Phase::kCgiExec), 0.0);
+  EXPECT_DOUBLE_EQ(clock.measured_sum(), 0.006);
+  clock.add(Phase::kTotal, 1.0);  // total is excluded from the sum
+  EXPECT_DOUBLE_EQ(clock.measured_sum(), 0.006);
+  clock.reset();
+  EXPECT_FALSE(clock.touched(Phase::kParse));
+  EXPECT_DOUBLE_EQ(clock.measured_sum(), 0.0);
+}
+
+TEST(PhaseNames, StableWireNamesCoverAllPhases) {
+  EXPECT_STREQ(phase_name(Phase::kQueueWait), "queue_wait");
+  EXPECT_STREQ(phase_name(Phase::kTotal), "total");
+  ASSERT_EQ(all_phases().size(), kPhaseCount);
+  // Names must be unique — they key histogram registrations.
+  std::vector<std::string> names;
+  for (const Phase p : all_phases()) names.emplace_back(phase_name(p));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+}  // namespace
+}  // namespace sweb::obs

@@ -1,0 +1,231 @@
+// bench-compare: validate and diff the committed BENCH_PRn.json trajectory.
+//
+// Every PR lands one machine-readable bench report at the repo root; this
+// tool is the gatekeeper and the reader. Given the reports in PR order it
+//
+//   1. hard-fails (exit 2) on malformed input — unreadable file, invalid
+//      JSON, a missing "pr" number, or a "schema":"sweb-bench/1" report
+//      whose required scenario fields are absent — so a broken report can
+//      never silently join the trajectory, and
+//   2. prints the PR-over-PR table of headline metrics, warning (exit 0 —
+//      perf is advisory, schema is not) when a successor regresses
+//      throughput or p99 latency beyond the tolerance.
+//
+// Legacy reports (PR2-PR5, no "schema" key) are validated as JSON + pr
+// number only; the standardized scenario checks begin with sweb-bench/1.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/phase.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace sweb;
+
+/// Headline numbers pulled from one report (absent metrics stay < 0).
+struct Report {
+  std::string path;
+  int pr = -1;
+  bool standardized = false;  // carries "schema": "sweb-bench/1"
+  double rps = -1.0;
+  double p50_s = -1.0;
+  double p99_s = -1.0;
+  double detect_s = -1.0;
+  std::uint64_t requests_failed = 0;
+  std::uint64_t slow_records = 0;
+};
+
+void complain(const std::string& path, const char* what) {
+  std::fprintf(stderr, "bench-compare: %s: %s\n", path.c_str(), what);
+}
+
+/// Loads + validates one report; std::nullopt means hard failure.
+std::optional<Report> load_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    complain(path, "cannot open");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = obs::json_parse(buffer.str());
+  if (!doc || !doc->is_object()) {
+    complain(path, "not a valid JSON object");
+    return std::nullopt;
+  }
+  Report report;
+  report.path = path;
+  report.pr = static_cast<int>(doc->number_or("pr", -1.0));
+  if (report.pr < 0) {
+    complain(path, "missing \"pr\" number");
+    return std::nullopt;
+  }
+
+  const obs::JsonValue* schema = doc->find("schema");
+  if (schema == nullptr) {
+    // Legacy shape: scrape what headline numbers it happens to carry.
+    if (const obs::JsonValue* latency = doc->find("latency");
+        latency != nullptr && latency->is_object()) {
+      report.p50_s = latency->number_or("p50_s", -1.0);
+      report.p99_s = latency->number_or("p99_s", -1.0);
+    }
+    report.rps = doc->number_or("rps", doc->number_or("pooled_rps", -1.0));
+    report.detect_s = doc->number_or("detect_s", -1.0);
+    return report;
+  }
+  if (schema->type != obs::JsonValue::Type::kString ||
+      schema->string != "sweb-bench/1") {
+    complain(path, "unknown \"schema\" (expected \"sweb-bench/1\")");
+    return std::nullopt;
+  }
+  report.standardized = true;
+
+  const obs::JsonValue* scenarios = doc->find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_object()) {
+    complain(path, "sweb-bench/1 report without a \"scenarios\" object");
+    return std::nullopt;
+  }
+  const obs::JsonValue* baseline = scenarios->find("baseline");
+  if (baseline == nullptr || !baseline->is_object()) {
+    complain(path, "missing \"baseline\" scenario");
+    return std::nullopt;
+  }
+  report.rps = baseline->number_or("rps", -1.0);
+  if (report.rps < 0.0) {
+    complain(path, "baseline scenario without a numeric \"rps\"");
+    return std::nullopt;
+  }
+  const obs::JsonValue* latency = baseline->find("latency");
+  if (latency == nullptr || !latency->is_object() ||
+      latency->find("p50_s") == nullptr ||
+      latency->find("p95_s") == nullptr ||
+      latency->find("p99_s") == nullptr) {
+    complain(path, "baseline latency must carry p50_s/p95_s/p99_s");
+    return std::nullopt;
+  }
+  report.p50_s = latency->number_or("p50_s", -1.0);
+  report.p99_s = latency->number_or("p99_s", -1.0);
+  // The full phase taxonomy must be present — a report missing a phase
+  // would silently break every cross-PR phase diff downstream.
+  const obs::JsonValue* phases = baseline->find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    complain(path, "baseline scenario without a \"phases\" object");
+    return std::nullopt;
+  }
+  for (const obs::Phase phase : obs::all_phases()) {
+    const obs::JsonValue* entry = phases->find(obs::phase_name(phase));
+    if (entry == nullptr || !entry->is_object() ||
+        entry->find("count") == nullptr) {
+      std::string what = "baseline phases missing \"";
+      what += obs::phase_name(phase);
+      what += "\" (with a count)";
+      complain(path, what.c_str());
+      return std::nullopt;
+    }
+  }
+  if (const obs::JsonValue* crash = scenarios->find("crash_drill");
+      crash != nullptr && crash->is_object()) {
+    report.detect_s = crash->number_or("detect_s", -1.0);
+  }
+  if (const obs::JsonValue* degraded = scenarios->find("degraded_link");
+      degraded != nullptr && degraded->is_object()) {
+    report.requests_failed = static_cast<std::uint64_t>(
+        degraded->number_or("requests_failed", 0.0));
+    report.slow_records = static_cast<std::uint64_t>(
+        degraded->number_or("slow_records", 0.0));
+  }
+  return report;
+}
+
+[[nodiscard]] std::string cell(double v, const char* suffix) {
+  if (v < 0.0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%s", v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.option("regress-tolerance", "0.25",
+             "fractional drop in baseline rps (or rise in p99) between "
+             "consecutive standardized reports that triggers a warning");
+  bool parsed = false;
+  try {
+    parsed = cli.parse(argc, argv);
+  } catch (const util::CliError& e) {
+    std::fprintf(stderr, "bench-compare: %s\n", e.what());
+    return 2;
+  }
+  if (!parsed || cli.positional().empty()) {
+    std::printf("%s", cli.help_text("bench-compare").c_str());
+    std::printf("\nusage: bench-compare [options] BENCH_PR2.json "
+                "[BENCH_PR3.json ...]\n"
+                "exit 2 on any malformed report; perf regressions only "
+                "warn.\n");
+    return parsed && cli.positional().empty() ? 2 : 0;
+  }
+  const double tolerance = cli.get_double("regress-tolerance");
+
+  std::vector<Report> reports;
+  bool malformed = false;
+  for (const std::string& path : cli.positional()) {
+    if (auto report = load_report(path)) {
+      reports.push_back(std::move(*report));
+    } else {
+      malformed = true;
+    }
+  }
+  if (malformed) return 2;
+
+  std::printf("%-18s %4s %7s %10s %10s %10s %8s %6s\n", "REPORT", "PR",
+              "SCHEMA", "RPS", "P50", "P99", "DETECT", "SLOW");
+  for (const Report& r : reports) {
+    std::printf("%-18s %4d %7s %10s %10s %10s %8s %6llu\n", r.path.c_str(),
+                r.pr, r.standardized ? "v1" : "legacy",
+                cell(r.rps, "").c_str(), cell(r.p50_s * 1e3, "ms").c_str(),
+                cell(r.p99_s * 1e3, "ms").c_str(),
+                cell(r.detect_s * 1e3, "ms").c_str(),
+                static_cast<unsigned long long>(r.slow_records));
+  }
+
+  // PR-over-PR regression scan: standardized reports only (legacy shapes
+  // measured different scenarios, so a cross-shape delta means nothing).
+  int warnings = 0;
+  const Report* previous = nullptr;
+  for (const Report& r : reports) {
+    if (!r.standardized) continue;
+    if (previous != nullptr) {
+      if (previous->rps > 0.0 &&
+          r.rps < previous->rps * (1.0 - tolerance)) {
+        std::printf("warn: PR%d baseline rps %.1f fell >%.0f%% below "
+                    "PR%d's %.1f\n",
+                    r.pr, r.rps, 100.0 * tolerance, previous->pr,
+                    previous->rps);
+        ++warnings;
+      }
+      if (previous->p99_s > 0.0 && r.p99_s >= 0.0 &&
+          r.p99_s > previous->p99_s * (1.0 + tolerance)) {
+        std::printf("warn: PR%d baseline p99 %.0fms rose >%.0f%% above "
+                    "PR%d's %.0fms\n",
+                    r.pr, 1e3 * r.p99_s, 100.0 * tolerance, previous->pr,
+                    1e3 * previous->p99_s);
+        ++warnings;
+      }
+    }
+    previous = &r;
+  }
+  if (warnings == 0) {
+    std::printf("trajectory ok: %zu report(s), no regression beyond "
+                "%.0f%% tolerance\n",
+                reports.size(), 100.0 * tolerance);
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 // --demo N spins an in-process MiniCluster of N nodes, fires a burst of
 // traffic at it, and scrapes that — the CI smoke path and a one-command way
 // to see the display without a deployment.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +21,7 @@
 
 #include "fs/docbase.h"
 #include "obs/json.h"
+#include "obs/phase.h"
 #include "obs/registry.h"
 #include "runtime/client.h"
 #include "runtime/mini_cluster.h"
@@ -55,6 +57,16 @@ struct NodeSample {
   double predict_p50_s = -1.0;     // < 0: no prediction-error samples
   double predict_p95_s = -1.0;
   std::uint64_t predict_count = 0;
+  /// Per-phase latency digest from the status "phases" object (one entry
+  /// per obs::Phase, indexed by its enum value). count 0 <=> no samples.
+  struct PhaseStat {
+    std::uint64_t count = 0;
+    double p50_s = -1.0;
+    double p95_s = -1.0;
+    double p99_s = -1.0;
+  };
+  std::array<PhaseStat, obs::kPhaseCount> phases{};
+  std::uint64_t slow_records = 0;  // slow-log forensics records taken
 };
 
 [[nodiscard]] std::optional<obs::RegistrySnapshot::HistogramValue>
@@ -129,6 +141,27 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
     }
   }
 
+  if (const obs::JsonValue* phases = doc->find("phases");
+      phases != nullptr && phases->is_object()) {
+    for (const obs::Phase phase : obs::all_phases()) {
+      const obs::JsonValue* entry = phases->find(obs::phase_name(phase));
+      if (entry == nullptr || !entry->is_object()) continue;
+      NodeSample::PhaseStat& stat =
+          sample.phases[static_cast<std::size_t>(phase)];
+      stat.count = static_cast<std::uint64_t>(entry->number_or("count", 0.0));
+      if (stat.count > 0) {
+        stat.p50_s = entry->number_or("p50_s", -1.0);
+        stat.p95_s = entry->number_or("p95_s", -1.0);
+        stat.p99_s = entry->number_or("p99_s", -1.0);
+      }
+    }
+  }
+  if (const obs::JsonValue* slow = doc->find("slow");
+      slow != nullptr && slow->is_object()) {
+    sample.slow_records =
+        static_cast<std::uint64_t>(slow->number_or("records", 0.0));
+  }
+
   if (const obs::JsonValue* metrics = doc->find("metrics");
       metrics != nullptr && metrics->is_object()) {
     if (const obs::JsonValue* counters = metrics->find("counters")) {
@@ -184,25 +217,30 @@ void render(const std::vector<NodeSample>& samples,
             double interval_s, int poll, int total_polls) {
   std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
               total_polls);
-  std::printf("%-5s %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %10s %10s\n",
-              "NODE", "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED",
-              "ERR", "SERVED", "REDIR%", "CACHE%", "PERR-P50", "PERR-P95");
+  std::printf(
+      "%-5s %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s %5s %10s "
+      "%10s\n",
+      "NODE", "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED", "ERR",
+      "SERVED", "REDIR%", "CACHE%", "LAT-P50", "LAT-P95", "LAT-P99", "SLOW",
+      "PERR-P50", "PERR-P95");
   double total_rps = 0.0;
   std::int64_t total_inflight = 0;
   std::int64_t total_busy = 0, total_queue = 0;
   std::uint64_t total_shed = 0, total_errors = 0;
   std::uint64_t total_served = 0, total_redirected = 0;
+  std::uint64_t total_slow = 0;
   std::size_t total_up = 0;
   double worst_p50 = -1.0, worst_p95 = -1.0;
+  double worst_lat50 = -1.0, worst_lat95 = -1.0, worst_lat99 = -1.0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const NodeSample& s = samples[i];
     if (s.ok && s.available) ++total_up;
     if (!s.ok) {
       std::printf(
-          "%-5zu %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %10s %10s   "
-          "(unreachable: %s)\n",
+          "%-5zu %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s %5s "
+          "%10s %10s   (unreachable: %s)\n",
           i, avail_cell(samples, i), "-", "-", "-", "-", "-", "-", "-", "-",
-          "-", "-", "-", s.url.c_str());
+          "-", "-", "-", "-", "-", "-", "-", s.url.c_str());
       continue;
     }
     const double rps =
@@ -220,9 +258,11 @@ void render(const std::vector<NodeSample>& samples,
     std::snprintf(workers_cell, sizeof workers_cell, "%lld/%lld",
                   static_cast<long long>(s.workers_busy),
                   static_cast<long long>(s.workers));
+    const NodeSample::PhaseStat& lat =
+        s.phases[static_cast<std::size_t>(obs::Phase::kTotal)];
     std::printf(
-        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %5llu %8llu %7s %7s %10s "
-        "%10s\n",
+        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %5llu %8llu %7s %7s %9s %9s "
+        "%9s %5llu %10s %10s\n",
         s.node, avail_cell(samples, i), rps,
         static_cast<long long>(s.inflight), workers_cell,
         static_cast<long long>(s.queue_depth),
@@ -231,6 +271,9 @@ void render(const std::vector<NodeSample>& samples,
                 static_cast<unsigned long long>(s.served),
                 fmt_pct(redirect_rate).c_str(),
                 fmt_pct(s.cache_hit_rate).c_str(),
+                fmt_ms(lat.p50_s).c_str(), fmt_ms(lat.p95_s).c_str(),
+                fmt_ms(lat.p99_s).c_str(),
+                static_cast<unsigned long long>(s.slow_records),
                 fmt_ms(s.predict_p50_s).c_str(),
                 fmt_ms(s.predict_p95_s).c_str());
     total_rps += rps;
@@ -241,8 +284,12 @@ void render(const std::vector<NodeSample>& samples,
     total_errors += s.errors;
     total_served += s.served;
     total_redirected += s.redirected;
+    total_slow = std::max(total_slow, s.slow_records);  // shared slow log
     worst_p50 = std::max(worst_p50, s.predict_p50_s);
     worst_p95 = std::max(worst_p95, s.predict_p95_s);
+    worst_lat50 = std::max(worst_lat50, lat.p50_s);
+    worst_lat95 = std::max(worst_lat95, lat.p95_s);
+    worst_lat99 = std::max(worst_lat99, lat.p99_s);
   }
   const std::uint64_t total_seen = total_served + total_redirected;
   const double total_redirect_rate =
@@ -252,8 +299,8 @@ void render(const std::vector<NodeSample>& samples,
   char up_cell[32];
   std::snprintf(up_cell, sizeof up_cell, "%zu/%zu", total_up, samples.size());
   std::printf(
-      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %5llu %8llu %7s %7s %10s "
-      "%10s\n",
+      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %5llu %8llu %7s %7s %9s %9s "
+      "%9s %5llu %10s %10s\n",
       "TOTAL", up_cell, total_rps, static_cast<long long>(total_inflight),
       static_cast<long long>(total_busy),
       static_cast<long long>(total_queue),
@@ -261,7 +308,40 @@ void render(const std::vector<NodeSample>& samples,
       static_cast<unsigned long long>(total_errors),
       static_cast<unsigned long long>(total_served),
       fmt_pct(total_redirect_rate).c_str(), "",
+      fmt_ms(worst_lat50).c_str(), fmt_ms(worst_lat95).c_str(),
+      fmt_ms(worst_lat99).c_str(),
+      static_cast<unsigned long long>(total_slow),
       fmt_ms(worst_p50).c_str(), fmt_ms(worst_p95).c_str());
+}
+
+/// --phases: the per-phase latency breakdown, one row per node, one column
+/// per lifecycle phase (p95 ms; "-" marks a phase with no samples yet).
+void render_phases(const std::vector<NodeSample>& samples) {
+  std::printf("\nper-phase p95 latency (ms):\n");
+  std::printf("%-5s", "NODE");
+  for (const obs::Phase phase : obs::all_phases()) {
+    std::printf(" %12s", obs::phase_name(phase));
+  }
+  std::printf("\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const NodeSample& s = samples[i];
+    if (!s.ok) {
+      std::printf("%-5zu", i);
+      for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+        std::printf(" %12s", "-");
+      }
+      std::printf("\n");
+      continue;
+    }
+    std::printf("%-5d", s.node);
+    for (const obs::Phase phase : obs::all_phases()) {
+      const NodeSample::PhaseStat& stat =
+          s.phases[static_cast<std::size_t>(phase)];
+      std::printf(" %12s",
+                  stat.count > 0 ? fmt_ms(stat.p95_s).c_str() : "-");
+    }
+    std::printf("\n");
+  }
 }
 
 void append_jsonl(const std::string& path, double t_s,
@@ -289,6 +369,19 @@ void append_jsonl(const std::string& path, double t_s,
     w.key("predict_error_p50_s").value(s.predict_p50_s);
     w.key("predict_error_p95_s").value(s.predict_p95_s);
     w.key("predict_error_count").value(s.predict_count);
+    w.key("slow_records").value(s.slow_records);
+    w.key("phases").begin_object();
+    for (const obs::Phase phase : obs::all_phases()) {
+      const NodeSample::PhaseStat& stat =
+          s.phases[static_cast<std::size_t>(phase)];
+      w.key(obs::phase_name(phase)).begin_object();
+      w.key("count").value(stat.count);
+      w.key("p50_s").value(stat.p50_s);
+      w.key("p95_s").value(stat.p95_s);
+      w.key("p99_s").value(stat.p99_s);
+      w.end_object();
+    }
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -318,6 +411,9 @@ int main(int argc, char** argv) {
             "with --demo: crash the last node after the traffic burst and "
             "wait for the failure detector, so the AVAIL column shows a "
             "downed node")
+      .flag("phases",
+            "also render the per-phase latency table (queue_wait .. total, "
+            "p95 per phase per node) under each poll")
       .flag("once", "poll once and exit (same as --count 1)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.help_text("sweb-top").c_str());
@@ -388,6 +484,7 @@ int main(int argc, char** argv) {
     // First poll has no delta baseline; report rps over the node's uptime.
     const double effective_interval = poll == 1 ? 0.0 : interval_s;
     render(samples, previous_handled, effective_interval, poll, count);
+    if (cli.get_flag("phases")) render_phases(samples);
     const double t_s = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count();
