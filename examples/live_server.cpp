@@ -40,6 +40,13 @@ int main(int argc, char** argv) {
       .option("header-timeout", "0",
               "per-request deadline in ms before a slow client gets 408 "
               "(slowloris defense); 0 uses the general io timeout")
+      .option("cache-bytes", "8388608",
+              "per-node page-cache byte budget; resident documents are "
+              "served zero-copy (writev), 0 disables the cache")
+      .option("cache-discount", "0",
+              "connection units subtracted from a node's apparent load "
+              "when it holds the requested document resident (cache-aware "
+              "redirects; 0 keeps placement purely load-based)")
       .option("metrics-out", "",
               "append registry snapshots to this JSONL file (1 Hz)")
       .option("trace-out", "",
@@ -93,6 +100,9 @@ int main(int argc, char** argv) {
       std::chrono::milliseconds(cli.get_int("staleness"));
   options.header_timeout =
       std::chrono::milliseconds(cli.get_int("header-timeout"));
+  options.cache_bytes_per_node =
+      static_cast<std::uint64_t>(cli.get_int("cache-bytes"));
+  options.broker.cache_hit_discount = cli.get_double("cache-discount");
   options.chaos_node = static_cast<int>(cli.get_int("chaos-node"));
   options.chaos.read_delay =
       std::chrono::milliseconds(cli.get_int("chaos-read-delay"));

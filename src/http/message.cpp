@@ -28,6 +28,7 @@ std::string_view reason_phrase(Status s) noexcept {
     case Status::kOk: return "OK";
     case Status::kMovedPermanently: return "Moved Permanently";
     case Status::kFound: return "Found";
+    case Status::kNotModified: return "Not Modified";
     case Status::kBadRequest: return "Bad Request";
     case Status::kForbidden: return "Forbidden";
     case Status::kNotFound: return "Not Found";
@@ -85,13 +86,16 @@ std::string Request::serialize() const {
   return out.str();
 }
 
-std::string Response::serialize() const {
+std::string Response::serialize_head() const {
   std::ostringstream out;
   out << "HTTP/" << version_major << '.' << version_minor << ' '
       << code(status) << ' ' << reason_phrase(status) << "\r\n";
   serialize_headers(out, headers);
-  out << body;
   return out.str();
+}
+
+std::string Response::serialize() const {
+  return serialize_head() + body;
 }
 
 bool Response::is_redirect() const noexcept {

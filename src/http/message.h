@@ -28,6 +28,7 @@ enum class Status : int {
   kOk = 200,
   kMovedPermanently = 301,
   kFound = 302,  // URL redirection: SWEB's request re-assignment mechanism
+  kNotModified = 304,  // conditional GET: If-Modified-Since says "still fresh"
   kBadRequest = 400,
   kForbidden = 403,
   kNotFound = 404,
@@ -81,6 +82,11 @@ struct Response {
   std::string body;
 
   [[nodiscard]] std::string serialize() const;
+
+  /// The status line + headers + terminating CRLF, without the body — the
+  /// preserialized header block a zero-copy sender gathers (writev) with a
+  /// shared body buffer. serialize() == serialize_head() + body.
+  [[nodiscard]] std::string serialize_head() const;
 
   /// True for 3xx with a Location header.
   [[nodiscard]] bool is_redirect() const noexcept;

@@ -14,16 +14,18 @@ DocStore::DocStore(const fs::Docbase& docbase,
     entry.last_modified = stamp;
     stamp += 60;
     const std::uint64_t size = std::min(doc.size, max_bytes_per_doc);
-    entry.content.reserve(static_cast<std::size_t>(size));
+    std::string content;
+    content.reserve(static_cast<std::size_t>(size));
     // Deterministic filler derived from the path, so responses are
     // distinguishable in tests.
     const std::string stamp = "<!-- " + doc.path + " -->";
-    while (entry.content.size() < size) {
-      entry.content.append(
+    while (content.size() < size) {
+      content.append(
           stamp, 0,
           std::min(stamp.size(),
-                   static_cast<std::size_t>(size) - entry.content.size()));
+                   static_cast<std::size_t>(size) - content.size()));
     }
+    entry.content = std::make_shared<const std::string>(std::move(content));
     entries_.emplace(doc.path, std::move(entry));
   }
 }
@@ -49,6 +51,7 @@ void DocStore::register_cgi(std::string path, fs::NodeId owner,
   Entry entry;
   entry.owner = owner;
   entry.cgi = true;
+  entry.content = std::make_shared<const std::string>();
   entries_.insert_or_assign(path, std::move(entry));
   handlers_.insert_or_assign(std::move(path), std::move(handler));
 }

@@ -38,12 +38,21 @@ class DocStore {
                     std::uint64_t max_bytes_per_doc = 4 * 1024 * 1024);
 
   struct Entry {
-    std::string content;
+    /// The document body as a shared immutable buffer: the zero-copy send
+    /// path hands this straight to writev while other workers serve the
+    /// same buffer concurrently — no per-request copy, no ownership race.
+    /// Never null (CGI entries hold an empty buffer; their bodies come
+    /// from the handler).
+    std::shared_ptr<const std::string> content;
     fs::NodeId owner = 0;
     bool cgi = false;
     /// Unix time the document "was last modified" (synthesized
     /// deterministically) — drives Last-Modified / If-Modified-Since.
     std::time_t last_modified = 0;
+
+    [[nodiscard]] std::uint64_t size() const noexcept {
+      return content == nullptr ? 0 : content->size();
+    }
   };
 
   [[nodiscard]] const Entry* find(std::string_view path) const;

@@ -6,10 +6,13 @@ namespace sweb::runtime {
 
 MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
                          MiniClusterOptions options)
-    : docs_(docbase), board_(num_nodes) {
+    : docs_(docbase),
+      board_(num_nodes),
+      caches_(num_nodes, options.cache_bytes_per_node) {
   assert(num_nodes > 0);
   docs_.bind_registry(registry_);
   board_.bind_registry(registry_);
+  if (caches_.enabled()) caches_.bind_registry(registry_);
   audit_.bind_registry(registry_);
   LivenessParams liveness;
   liveness.staleness_timeout_s =
@@ -39,6 +42,7 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
       cfg.chaos = options.chaos;
       cfg.chaos_seed = options.chaos_seed;
     }
+    cfg.caches = &caches_;
     cfg.registry = &registry_;
     cfg.tracer = &tracer_;
     cfg.audit = &audit_;
@@ -74,7 +78,10 @@ std::uint16_t MiniCluster::port(int node) const {
 }
 
 std::string MiniCluster::next_base_url() {
-  const std::size_t n = rotation_++ % servers_.size();
+  // fetch_add hands every caller a unique ordinal, so concurrent client
+  // threads round-robin without ever sharing a node unfairly.
+  const std::size_t n =
+      rotation_.fetch_add(1, std::memory_order_relaxed) % servers_.size();
   return "http://127.0.0.1:" + std::to_string(servers_[n]->port());
 }
 

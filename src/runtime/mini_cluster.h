@@ -3,7 +3,9 @@
 // of threads on one machine.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +17,7 @@
 #include "obs/trace.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
+#include "runtime/node_cache.h"
 #include "runtime/node_server.h"
 
 namespace sweb::runtime {
@@ -57,6 +60,11 @@ struct MiniClusterOptions {
   /// Append-only JSONL sink for the slow log; empty keeps records
   /// in-memory only (MiniCluster::slow_log().records()).
   std::string slow_log_path;
+  /// Per-node runtime page-cache byte budget (the paper's aggregate-memory
+  /// claim: N nodes hold N budgets' worth of the hot set). Cache-resident
+  /// documents ship over the zero-copy writev path; 0 disables the cache
+  /// (every response takes the copy path).
+  std::uint64_t cache_bytes_per_node = 8ull * 1024 * 1024;
 };
 
 class MiniCluster {
@@ -103,6 +111,12 @@ class MiniCluster {
   /// For registering CGI handlers — only before start() (the servers read
   /// the store concurrently once running).
   [[nodiscard]] DocStore& docs_mutable() noexcept { return docs_; }
+  /// Every node's residency cache (tests and benches read hit/miss/bytes;
+  /// the brokers read residency through the same directory).
+  [[nodiscard]] CacheDirectory& caches() noexcept { return caches_; }
+  [[nodiscard]] const CacheDirectory& caches() const noexcept {
+    return caches_;
+  }
 
   /// Live metrics shared by every node (node.N.requests, cache.hits, ...).
   [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
@@ -129,12 +143,15 @@ class MiniCluster {
  private:
   DocStore docs_;
   LoadBoard board_;
+  CacheDirectory caches_;
   obs::Registry registry_;
   obs::SpanTracer tracer_{/*enabled=*/false};
   obs::DecisionAudit audit_;
   obs::SlowLog slow_log_;
   std::vector<std::unique_ptr<NodeServer>> servers_;
-  std::size_t rotation_ = 0;
+  /// Round-robin cursor; atomic because concurrent client threads all call
+  /// next_base_url() (a plain size_t here was a data race).
+  std::atomic<std::size_t> rotation_{0};
 };
 
 }  // namespace sweb::runtime

@@ -321,10 +321,16 @@ void NodeServer::worker_loop(const std::stop_token& token, int index) {
   util::set_thread_log_context({});
 }
 
-int NodeServer::choose_node(int owner) const {
+int NodeServer::choose_node(int owner, std::string_view path) const {
   const int self = config_.node_id;
   if (!config_.broker.enable_redirects) return self;
   const std::vector<NodeLoad> loads = board_.snapshot_all();
+  // Cache-aware placement: a candidate holding the document resident
+  // serves it from RAM over the zero-copy path, so its apparent load gets
+  // a configurable discount (the heterogeneous-balancing literature's
+  // "affinity" term). Off unless a directory is attached and the knob set.
+  const CacheDirectory* caches =
+      config_.broker.cache_hit_discount > 0.0 ? config_.caches : nullptr;
   // Δ-inflation included: redirects already aimed at a node count as load
   // even before their connections arrive (the unsynchronized-herd guard).
   // Bytes in flight weigh in too, scaled to connection units, so a node
@@ -335,6 +341,9 @@ int NodeServer::choose_node(int owner) const {
     if (config_.broker.bytes_per_connection > 0.0) {
       load += static_cast<double>(l.bytes_in_flight) /
               config_.broker.bytes_per_connection;
+    }
+    if (caches != nullptr && caches->resident(n, path)) {
+      load -= config_.broker.cache_hit_discount;
     }
     return load;
   };
@@ -537,7 +546,7 @@ void NodeServer::handle_connection(TcpStream stream,
 
     const double attributed_before = clock.measured_sum();
     const auto process_start = std::chrono::steady_clock::now();
-    http::Response response = process_request(request, trace_id, clock);
+    ServeAction action = process_request(request, trace_id, clock);
     // Tile the decomposition: whatever process_request spent outside its
     // timed windows (target analysis, hop detection, completion
     // bookkeeping, error paths) lands in broker_decide — the paper's
@@ -550,13 +559,23 @@ void NodeServer::handle_connection(TcpStream stream,
     if (process_wall > attributed) {
       clock.add(obs::Phase::kBrokerDecide, process_wall - attributed);
     }
+    http::Response& response = action.response;
     response.headers.set("Connection", keep_alive ? "Keep-Alive" : "close");
 
     const double t_send_start =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
     phase_mark = std::chrono::steady_clock::now();
+    // Zero-copy hot path: a cache-resident body is gather-written straight
+    // from the DocStore's shared buffer (header block + body, one writev
+    // loop) — it is never copied into the response. Everything else ships
+    // as the single serialized string it always was.
+    const std::string wire = action.body != nullptr
+                                 ? response.serialize_head()
+                                 : response.serialize();
     const bool wrote =
-        stream.write_all(response.serialize(), config_.io_timeout);
+        action.body != nullptr
+            ? stream.write_all_v({wire, *action.body}, config_.io_timeout)
+            : stream.write_all(wire, config_.io_timeout);
     lap(obs::Phase::kWrite);
     if (tracing_on) {
       trace_span("send", trace_id, t_send_start,
@@ -588,13 +607,15 @@ void NodeServer::handle_connection(TcpStream stream,
   }
 }
 
-http::Response NodeServer::process_request(const http::Request& request,
-                                           std::uint64_t trace_id,
-                                           obs::PhaseClock& clock) {
+NodeServer::ServeAction NodeServer::process_request(
+    const http::Request& request, std::uint64_t trace_id,
+    obs::PhaseClock& clock) {
   const int self = config_.node_id;
+  ServeAction action;
   const auto finish = [&](http::Response response) {
     response.headers.add("Server", config_.server_name);
-    return response;
+    action.response = std::move(response);
+    return std::move(action);
   };
 
   const bool is_post = request.method == http::Method::kPost;
@@ -636,7 +657,24 @@ http::Response NodeServer::process_request(const http::Request& request,
   const bool already_redirected =
       request.headers.has("X-Sweb-Redirected") ||
       canonical->query.find("sweb-hop=1") != std::string::npos;
-  const std::uint64_t expected = doc->content.size();
+  const bool is_head = request.method == http::Method::kHead;
+  // Conditional-GET freshness is decided up front because it changes what
+  // this request costs, not just what it answers.
+  bool not_modified = false;
+  if (cgi == nullptr && !is_head) {
+    if (const auto ims = request.headers.get("If-Modified-Since")) {
+      const auto since = http::parse_http_date(*ims);
+      not_modified = since.has_value() && doc->last_modified <= *since;
+    }
+  }
+  // Charge the board the body bytes this node will actually write: HEAD
+  // and 304 answers move headers only, and a CGI entry's static size is
+  // zero (its body is the handler's business). Charging doc->size()
+  // unconditionally left phantom bytes_in_flight on every HEAD/304 —
+  // skewing each peer's redirect arithmetic and the audit's t_data
+  // prediction.
+  const std::uint64_t expected =
+      (is_head || not_modified) ? 0 : doc->size();
   board_.connection_opened(self, expected);
   struct ConnectionGuard {
     LoadBoard& board;
@@ -650,10 +688,10 @@ http::Response NodeServer::process_request(const http::Request& request,
     const double t_analysis =
         tracing_on ? config_.tracer->now_seconds() : 0.0;
     const auto decide_start = std::chrono::steady_clock::now();
-    const int target = choose_node(doc->owner);
+    const int target = choose_node(doc->owner, canonical->path);
     if (config_.audit != nullptr && trace_id != 0) {
       record_audit_decision(trace_id, target,
-                            static_cast<double>(doc->content.size()));
+                            static_cast<double>(expected));
     }
     clock.add(obs::Phase::kBrokerDecide,
               std::chrono::duration<double>(
@@ -733,7 +771,7 @@ http::Response NodeServer::process_request(const http::Request& request,
     // Dynamic content: execute the registered handler with the query (GET)
     // or body (POST) as its input.
     ok = (*cgi)(request, canonical->query);
-    if (request.method == http::Method::kHead) {
+    if (is_head) {
       // HEAD gets the headers the GET would have had, body stripped —
       // same contract as the static-document path below.
       ok.headers.set("Content-Length", std::to_string(ok.body.size()));
@@ -742,25 +780,39 @@ http::Response NodeServer::process_request(const http::Request& request,
   } else {
     // Conditional GET: an If-Modified-Since at or after the document's
     // mtime earns a body-less 304 (NCSA httpd supported this in 1994).
-    if (const auto ims = request.headers.get("If-Modified-Since")) {
-      const auto since = http::parse_http_date(*ims);
-      if (since && doc->last_modified <= *since) {
-        http::Response not_modified;
-        not_modified.status = static_cast<http::Status>(304);
-        not_modified.headers.add(
-            "Last-Modified", http::format_http_date(doc->last_modified));
-        not_modified.headers.add("X-Sweb-Node", std::to_string(self));
-        board_.note_served(self);
-        lap_fulfill();
-        record_outcome();
-        return finish(std::move(not_modified));
-      }
+    if (not_modified) {
+      http::Response fresh;
+      fresh.status = http::Status::kNotModified;
+      fresh.headers.add("Last-Modified",
+                        http::format_http_date(doc->last_modified));
+      fresh.headers.add("X-Sweb-Node", std::to_string(self));
+      board_.note_served(self);
+      lap_fulfill();
+      record_outcome();
+      return finish(std::move(fresh));
     }
-    ok = http::make_ok(
-        request.method == http::Method::kHead ? std::string() : doc->content,
-        std::string(http::mime_type_for_path(canonical->path)));
-    if (request.method == http::Method::kHead) {
-      ok.headers.set("Content-Length", std::to_string(doc->content.size()));
+    const std::string mime(http::mime_type_for_path(canonical->path));
+    NodeCache* cache =
+        config_.caches != nullptr && config_.caches->enabled()
+            ? &config_.caches->node(self)
+            : nullptr;
+    if (is_head) {
+      ok = http::make_ok(std::string(), mime);
+      ok.headers.set("Content-Length", std::to_string(doc->size()));
+    } else if (cache != nullptr && cache->lookup(canonical->path)) {
+      // Hot path: the document is resident, so the response carries no
+      // body of its own — the caller gather-writes the preserialized
+      // header block and the DocStore's shared buffer (zero copies).
+      ok.status = http::Status::kOk;
+      ok.headers.add("Content-Type", mime);
+      ok.headers.add("Content-Length", std::to_string(doc->size()));
+      action.body = doc->content;
+    } else {
+      // Cold/evicted: the per-request copy stands in for the disk read
+      // (this is the doc_read cost a cache hit skips), then the document
+      // is admitted so the next request hits.
+      ok = http::make_ok(std::string(*doc->content), mime);
+      if (cache != nullptr) cache->insert(canonical->path, doc->size());
     }
     ok.headers.add("Last-Modified",
                    http::format_http_date(doc->last_modified));
@@ -954,6 +1006,26 @@ http::Response NodeServer::status_response() const {
     }
     w.end_object();
   }
+  w.end_object();
+  // Runtime page cache: this node's residency budget and hit/miss history
+  // — the zero-copy hot path's scoreboard (sweb-top's CACHE column reads
+  // hits/misses; the broker's discount reads residency live).
+  w.key("cache").begin_object();
+  const NodeCache* cache =
+      config_.caches != nullptr && config_.caches->enabled()
+          ? &config_.caches->node(config_.node_id)
+          : nullptr;
+  w.key("enabled").value(cache != nullptr);
+  w.key("capacity_bytes").value(cache != nullptr ? cache->capacity()
+                                                 : std::uint64_t{0});
+  w.key("used_bytes").value(cache != nullptr ? cache->used()
+                                             : std::uint64_t{0});
+  w.key("entries").value(cache != nullptr ? cache->entries()
+                                          : std::uint64_t{0});
+  w.key("hits").value(cache != nullptr ? cache->hits() : std::uint64_t{0});
+  w.key("misses").value(cache != nullptr ? cache->misses()
+                                         : std::uint64_t{0});
+  w.key("hit_rate").value(cache != nullptr ? cache->hit_rate() : 0.0);
   w.end_object();
   // Slow-request forensics: how many outliers the attached slow log has
   // taken cluster-wide, and the budget this node enforces.

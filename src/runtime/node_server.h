@@ -31,7 +31,9 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -44,6 +46,7 @@
 #include "runtime/chaos.h"
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
+#include "runtime/node_cache.h"
 #include "runtime/socket.h"
 
 namespace sweb::runtime {
@@ -61,6 +64,13 @@ struct RuntimeBrokerParams {
   /// stops looking idle next to one serving many small ones. <= 0 disables
   /// the bytes term (connection counts only).
   double bytes_per_connection = 64.0 * 1024.0;
+  /// Cache-aware placement: connection units subtracted from a candidate's
+  /// apparent load when the requested document is resident in its page
+  /// cache — a warm peer serves from RAM (zero-copy), so it may be worth a
+  /// redirect even against a modest connection deficit. <= 0 (the default)
+  /// keeps placement purely load-based; needs a CacheDirectory attached to
+  /// take effect.
+  double cache_hit_discount = 0.0;
 
   // Cost-prediction constants for the decision audit. The runtime broker
   // decides on connection counts; these let it also express that decision
@@ -107,6 +117,10 @@ class NodeServer {
     /// accepts (chaos drills); an inactive plan (the default) is free.
     FaultPlan chaos{};
     std::uint64_t chaos_seed = ChaosDirector::kDefaultSeed;
+    /// Cluster-shared residency caches (typically the MiniCluster's; may
+    /// be null — every static response then takes the copy path and the
+    /// broker applies no cache discount).
+    CacheDirectory* caches = nullptr;
     /// Optional telemetry sinks (typically the MiniCluster's; may be null).
     obs::Registry* registry = nullptr;
     obs::SpanTracer* tracer = nullptr;
@@ -215,13 +229,23 @@ class NodeServer {
   /// worker picked it up — the first request's queue_wait phase.
   void handle_connection(TcpStream stream, const std::stop_token& token,
                          double queue_wait_s);
+
+  /// What process_request hands back: the response, plus the zero-copy
+  /// body when the document was cache-resident.
+  struct ServeAction {
+    http::Response response;
+    /// When set, the caller gather-writes response.serialize_head() +
+    /// *body (the response's own body is empty) — the zero-copy hot path.
+    std::shared_ptr<const std::string> body;
+  };
+
   /// Parses/serves one request; Connection header is set by the caller.
   /// `trace_id` labels this request's spans (0 when tracing is off).
   /// Phase durations (broker_decide, doc_read/cgi_exec) accumulate into
   /// `clock`.
-  [[nodiscard]] http::Response process_request(const http::Request& request,
-                                               std::uint64_t trace_id,
-                                               obs::PhaseClock& clock);
+  [[nodiscard]] ServeAction process_request(const http::Request& request,
+                                            std::uint64_t trace_id,
+                                            obs::PhaseClock& clock);
   /// Flushes a finished request's phase vector into the per-phase
   /// histograms and, when it blew the slow budget or rode a chaos-faulted
   /// connection, into the slow log.
@@ -235,7 +259,8 @@ class NodeServer {
   [[nodiscard]] http::Response metrics_response() const;
 
   /// Chooses the serving node for `path` owned by `owner`; may be self.
-  [[nodiscard]] int choose_node(int owner) const;
+  /// The path feeds the broker's cache-residency discount.
+  [[nodiscard]] int choose_node(int owner, std::string_view path) const;
 
   /// The runtime cost prediction for serving `size_bytes` on `candidate`
   /// (board loads included) — audit bookkeeping only, never a decision

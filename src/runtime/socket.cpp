@@ -6,8 +6,11 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -156,16 +159,33 @@ bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
 
 bool TcpStream::write_all(std::string_view data,
                           std::chrono::milliseconds timeout) {
+  return write_all_v({data}, timeout);
+}
+
+bool TcpStream::write_all_v(std::initializer_list<std::string_view> segments,
+                            std::chrono::milliseconds timeout) {
   if (!fd_.valid()) return false;
   if (faults_ != nullptr) faults_->pre_write_delay();
   const Deadline deadline = deadline_after(timeout);
-  std::size_t sent = 0;
-  while (sent < data.size()) {
+  // Working copy of the non-empty segments; consumed ones are dropped by
+  // advancing `first`, the partially-sent head is narrowed in place.
+  std::array<std::string_view, 8> pending{};
+  std::size_t count = 0;
+  for (const std::string_view segment : segments) {
+    if (segment.empty()) continue;
+    if (count == pending.size()) return false;  // caller exceeded the fan-in
+    pending[count++] = segment;
+  }
+  std::size_t first = 0;
+  while (first < count) {
     if (!wait_ready_until(fd_.get(), POLLOUT, deadline)) return false;
-    std::size_t want = data.size() - sent;
+    std::size_t want = 0;
+    for (std::size_t i = first; i < count; ++i) want += pending[i].size();
     if (faults_ != nullptr) {
       // Torn writes / throttle clamp the chunk; a doomed connection that
-      // crossed its reset point dies here with an RST, mid-stream.
+      // crossed its reset point dies here with an RST, mid-stream. The
+      // clamp sees the same remaining-byte count a single-buffer send
+      // would offer, so fault behavior is identical on both paths.
       bool reset_now = false;
       want = faults_->clamp_write(want, reset_now);
       if (reset_now) {
@@ -173,11 +193,25 @@ bool TcpStream::write_all(std::string_view data,
         return false;
       }
     }
-    // MSG_DONTWAIT: the fd is in blocking mode, and a blocking send() of
+    // Trim the gather list to the clamped byte budget.
+    std::array<iovec, 8> iov{};
+    std::size_t iov_count = 0;
+    std::size_t budget = want;
+    for (std::size_t i = first; i < count && budget > 0; ++i) {
+      const std::size_t len = std::min(budget, pending[i].size());
+      iov[iov_count].iov_base =
+          const_cast<char*>(pending[i].data());  // sendmsg never writes it
+      iov[iov_count].iov_len = len;
+      ++iov_count;
+      budget -= len;
+    }
+    // MSG_DONTWAIT: the fd is in blocking mode, and a blocking send of
     // more than the free buffer space parks in the kernel with no regard
     // for our deadline. Write what fits now; poll covers the waiting.
-    const ssize_t n = ::send(fd_.get(), data.data() + sent, want,
-                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = iov_count;
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return false;
@@ -186,7 +220,12 @@ bool TcpStream::write_all(std::string_view data,
     // EINTR-like by consulting the stale errno could loop or misreport.
     if (n == 0) return false;
     if (faults_ != nullptr) faults_->after_write(static_cast<std::size_t>(n));
-    sent += static_cast<std::size_t>(n);
+    std::size_t sent = static_cast<std::size_t>(n);
+    while (first < count && sent >= pending[first].size()) {
+      sent -= pending[first].size();
+      ++first;
+    }
+    if (first < count) pending[first].remove_prefix(sent);
   }
   return true;
 }

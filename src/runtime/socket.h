@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <optional>
 #include <string>
@@ -101,6 +102,17 @@ class TcpStream {
   /// sends it takes.
   [[nodiscard]] bool write_all(std::string_view data,
                                std::chrono::milliseconds timeout);
+
+  /// Gather-write: sends `segments` back to back as if they were one
+  /// buffer, without ever concatenating them — the zero-copy hot path
+  /// hands a preserialized header block plus a shared body buffer straight
+  /// to the kernel (sendmsg/writev). Same contract as write_all (one
+  /// overall deadline, false on error/timeout), and the chaos seam clamps
+  /// each send to the same torn-write/throttle byte counts it would clamp
+  /// a single-buffer send to: the iovec set is trimmed to the clamp.
+  [[nodiscard]] bool write_all_v(
+      std::initializer_list<std::string_view> segments,
+      std::chrono::milliseconds timeout);
 
   /// Half-closes the write side (signals EOF to the peer — HTTP/1.0 framing).
   void shutdown_write() noexcept;

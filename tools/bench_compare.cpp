@@ -13,6 +13,7 @@
 //
 // Legacy reports (PR2-PR5, no "schema" key) are validated as JSON + pr
 // number only; the standardized scenario checks begin with sweb-bench/1.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -37,6 +38,7 @@ struct Report {
   double p50_s = -1.0;
   double p99_s = -1.0;
   double detect_s = -1.0;
+  double cache_hit_rate = -1.0;  // best point of the cache_sweep scenario
   std::uint64_t requests_failed = 0;
   std::uint64_t slow_records = 0;
 };
@@ -140,6 +142,18 @@ std::optional<Report> load_report(const std::string& path) {
     report.slow_records = static_cast<std::uint64_t>(
         degraded->number_or("slow_records", 0.0));
   }
+  // Optional since PR8: the zero-copy page-cache Zipf sweep. Reported as
+  // the best hit rate across the swept budgets (the warm point).
+  if (const obs::JsonValue* sweep = scenarios->find("cache_sweep");
+      sweep != nullptr && sweep->is_object()) {
+    if (const obs::JsonValue* points = sweep->find("points");
+        points != nullptr && points->is_array()) {
+      for (const obs::JsonValue& point : points->array) {
+        report.cache_hit_rate =
+            std::max(report.cache_hit_rate, point.number_or("hit_rate", -1.0));
+      }
+    }
+  }
   return report;
 }
 
@@ -185,15 +199,16 @@ int main(int argc, char** argv) {
   }
   if (malformed) return 2;
 
-  std::printf("%-18s %4s %7s %10s %10s %10s %8s %6s\n", "REPORT", "PR",
-              "SCHEMA", "RPS", "P50", "P99", "DETECT", "SLOW");
+  std::printf("%-18s %4s %7s %10s %10s %10s %8s %6s %6s\n", "REPORT", "PR",
+              "SCHEMA", "RPS", "P50", "P99", "DETECT", "SLOW", "CACHE");
   for (const Report& r : reports) {
-    std::printf("%-18s %4d %7s %10s %10s %10s %8s %6llu\n", r.path.c_str(),
-                r.pr, r.standardized ? "v1" : "legacy",
+    std::printf("%-18s %4d %7s %10s %10s %10s %8s %6llu %6s\n",
+                r.path.c_str(), r.pr, r.standardized ? "v1" : "legacy",
                 cell(r.rps, "").c_str(), cell(r.p50_s * 1e3, "ms").c_str(),
                 cell(r.p99_s * 1e3, "ms").c_str(),
                 cell(r.detect_s * 1e3, "ms").c_str(),
-                static_cast<unsigned long long>(r.slow_records));
+                static_cast<unsigned long long>(r.slow_records),
+                cell(r.cache_hit_rate * 1e2, "%").c_str());
   }
 
   // PR-over-PR regression scan: standardized reports only (legacy shapes

@@ -53,7 +53,13 @@ struct NodeSample {
   /// Every board entry's availability as this node sees it (node, avail) —
   /// how peers vouch for (or condemn) a node we cannot reach ourselves.
   std::vector<std::pair<int, bool>> board_available;
-  double cache_hit_rate = -1.0;    // < 0: unknown (no registry counters)
+  /// Runtime page-cache hit rate from the node's own "cache" status object
+  /// (hits / (hits + misses)); older nodes without one fall back to the
+  /// cluster-global docs.* counters. < 0: unknown.
+  double cache_hit_rate = -1.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bytes = 0;   // resident bytes (the "cache.bytes" gauge)
   double predict_p50_s = -1.0;     // < 0: no prediction-error samples
   double predict_p95_s = -1.0;
   std::uint64_t predict_count = 0;
@@ -161,10 +167,36 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
     sample.slow_records =
         static_cast<std::uint64_t>(slow->number_or("records", 0.0));
   }
+  // The node's own runtime page cache (per-node residency + hit history,
+  // the CACHE column's source of truth since the zero-copy serve path).
+  bool have_node_cache = false;
+  if (const obs::JsonValue* cache = doc->find("cache");
+      cache != nullptr && cache->is_object()) {
+    const obs::JsonValue* enabled = cache->find("enabled");
+    if (enabled != nullptr && enabled->type == obs::JsonValue::Type::kBool &&
+        enabled->boolean) {
+      have_node_cache = true;
+      sample.cache_hits =
+          static_cast<std::uint64_t>(cache->number_or("hits", 0.0));
+      sample.cache_misses =
+          static_cast<std::uint64_t>(cache->number_or("misses", 0.0));
+      sample.cache_bytes =
+          static_cast<std::uint64_t>(cache->number_or("used_bytes", 0.0));
+      const double probes =
+          static_cast<double>(sample.cache_hits + sample.cache_misses);
+      if (probes > 0.0) {
+        sample.cache_hit_rate =
+            static_cast<double>(sample.cache_hits) / probes;
+      }
+    }
+  }
 
   if (const obs::JsonValue* metrics = doc->find("metrics");
       metrics != nullptr && metrics->is_object()) {
-    if (const obs::JsonValue* counters = metrics->find("counters")) {
+    if (const obs::JsonValue* counters = metrics->find("counters");
+        counters != nullptr && !have_node_cache) {
+      // Fallback for nodes predating the per-node cache object: the
+      // cluster-global DocStore lookup counters.
       const double lookups = counters->number_or("docs.lookups", 0.0);
       const double misses = counters->number_or("docs.misses", 0.0);
       if (lookups > 0.0) sample.cache_hit_rate = 1.0 - misses / lookups;
@@ -366,6 +398,9 @@ void append_jsonl(const std::string& path, double t_s,
     w.key("served").value(s.served);
     w.key("redirected").value(s.redirected);
     w.key("cache_hit_rate").value(s.cache_hit_rate);
+    w.key("cache_hits").value(s.cache_hits);
+    w.key("cache_misses").value(s.cache_misses);
+    w.key("cache_bytes").value(s.cache_bytes);
     w.key("predict_error_p50_s").value(s.predict_p50_s);
     w.key("predict_error_p95_s").value(s.predict_p95_s);
     w.key("predict_error_count").value(s.predict_count);
