@@ -28,9 +28,15 @@ using namespace sweb;
 int main(int argc, char** argv) {
   util::Cli cli;
   cli.option("nodes", "4", "number of server nodes")
-      .option("workers", "16", "worker threads per node (concurrency)")
+      .option("workers", "16",
+              "CGI worker threads per node (the reactor's CPU-bound stage; "
+              "socket I/O is event-driven and not bounded by this)")
       .option("queue", "32",
-              "pending connections held per node before 503 load shedding")
+              "legacy pool depth folded into the derived connection cap "
+              "when --max-connections is 0")
+      .option("max-connections", "0",
+              "concurrent connections per node before 503 load shedding; "
+              "0 derives workers + queue (the old pool admission bound)")
       .option("serve-seconds", "60", "how long --serve/--status linger")
       .option("heartbeat", "2000",
               "heartbeat period in ms (the loadd tick; paper uses 2-3 s)")
@@ -94,6 +100,7 @@ int main(int argc, char** argv) {
   runtime::MiniClusterOptions options;
   options.max_workers = static_cast<int>(cli.get_int("workers"));
   options.max_pending = static_cast<int>(cli.get_int("queue"));
+  options.max_connections = static_cast<int>(cli.get_int("max-connections"));
   options.heartbeat_period =
       std::chrono::milliseconds(cli.get_int("heartbeat"));
   options.staleness_timeout =

@@ -38,9 +38,17 @@ std::chrono::milliseconds ConnectionFaults::jittered(
 std::size_t ConnectionFaults::throttle_clamp(
     std::size_t want) const noexcept {
   if (plan_.throttle_bytes_per_sec == 0) return want;
-  const std::size_t slice = std::max<std::size_t>(
-      1, plan_.throttle_bytes_per_sec / kThrottleSlicesPerSecond);
+  // Rates under one byte per slice clamp to 0: the caller must pace one
+  // throttle_slice() and retry with a minimum of one byte, never treat the
+  // empty transfer as connection death (see TcpStream::write_all_v).
+  const std::size_t slice =
+      plan_.throttle_bytes_per_sec / kThrottleSlicesPerSecond;
   return std::min(want, slice);
+}
+
+std::chrono::milliseconds ConnectionFaults::throttle_slice() const noexcept {
+  if (plan_.throttle_bytes_per_sec == 0) return 0ms;
+  return std::chrono::milliseconds(1000 / kThrottleSlicesPerSecond);
 }
 
 void ConnectionFaults::pace(std::size_t bytes) {
@@ -85,7 +93,7 @@ std::size_t ConnectionFaults::clamp_write(std::size_t want, bool& reset_now) {
         clamped,
         static_cast<std::size_t>(plan_.reset_after_bytes - bytes_written_));
   }
-  return std::max<std::size_t>(1, clamped);
+  return clamped;
 }
 
 void ConnectionFaults::after_read(std::size_t bytes) { pace(bytes); }
@@ -93,6 +101,50 @@ void ConnectionFaults::after_read(std::size_t bytes) { pace(bytes); }
 void ConnectionFaults::after_write(std::size_t bytes) {
   bytes_written_ += bytes;
   pace(bytes);
+}
+
+std::chrono::milliseconds ConnectionFaults::pacing_debt() const noexcept {
+  if (plan_.throttle_bytes_per_sec == 0) return 0ms;
+  const auto now = std::chrono::steady_clock::now();
+  if (paced_until_ <= now) return 0ms;
+  return std::chrono::ceil<std::chrono::milliseconds>(paced_until_ - now);
+}
+
+void ConnectionFaults::accrue_pacing(std::size_t bytes) noexcept {
+  if (plan_.throttle_bytes_per_sec == 0 || bytes == 0) return;
+  const auto debt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(
+          static_cast<double>(bytes) /
+          static_cast<double>(plan_.throttle_bytes_per_sec)));
+  paced_until_ = std::max(paced_until_, std::chrono::steady_clock::now()) +
+                 debt;
+}
+
+std::chrono::milliseconds ConnectionFaults::read_defer() {
+  std::chrono::milliseconds delay = plan_.read_delay;
+  if (!stalled_ && plan_.first_read_stall > 0ms) {
+    stalled_ = true;
+    delay += plan_.first_read_stall;
+  }
+  if (delay > 0ms) delay = jittered(delay);
+  return delay + pacing_debt();
+}
+
+std::chrono::milliseconds ConnectionFaults::write_defer(bool first_send) {
+  std::chrono::milliseconds delay{0};
+  if (first_send && plan_.write_delay > 0ms) {
+    delay = jittered(plan_.write_delay);
+  }
+  return delay + pacing_debt();
+}
+
+void ConnectionFaults::note_read_nb(std::size_t bytes) noexcept {
+  accrue_pacing(bytes);
+}
+
+void ConnectionFaults::note_write_nb(std::size_t bytes) noexcept {
+  bytes_written_ += bytes;
+  accrue_pacing(bytes);
 }
 
 void ChaosDirector::configure(FaultPlan plan, std::uint64_t seed) {

@@ -80,18 +80,52 @@ class ConnectionFaults {
   void after_read(std::size_t bytes);   // throttle pacing
   void after_write(std::size_t bytes);  // throttle pacing + reset bookkeeping
 
+  // --- Non-blocking gate API (reactor event loop) --------------------------
+  // The blocking calls above sleep the injected delays inline, which would
+  // stall every connection sharing a reactor thread. The event loop instead
+  // asks how long an operation must be *deferred*, arms a timer for that
+  // long, and performs the I/O when it fires — then reports completed bytes
+  // so throttle pacing accrues as debt instead of a sleep.
+  //
+  // Contract: call {read,write}_defer() once per intended I/O op. If it
+  // returns >0ms, wait that long and then perform the op WITHOUT asking
+  // again (a second call would re-charge the per-op delay).
+
+  /// Delay to apply before the next read: per-read latency + the one-time
+  /// first-read stall (consumed by this call) + outstanding pacing debt.
+  [[nodiscard]] std::chrono::milliseconds read_defer();
+  /// Delay before the next send; the per-write delay is charged only when
+  /// `first_send` (one write_all-equivalent, i.e. one response).
+  [[nodiscard]] std::chrono::milliseconds write_defer(bool first_send);
+  /// Throttle clamp on a read size, without the blocking sleeps.
+  [[nodiscard]] std::size_t clamp_read(std::size_t max) const noexcept {
+    return throttle_clamp(max);
+  }
+  /// Completed-I/O bookkeeping: accrues pacing debt (surfaced by the next
+  /// *_defer call); note_write_nb also advances the reset byte count.
+  void note_read_nb(std::size_t bytes) noexcept;
+  void note_write_nb(std::size_t bytes) noexcept;
+  /// One throttle pacing slice — the wait to schedule when a clamp comes
+  /// back 0 because the per-slice byte budget rounds down to nothing
+  /// (rates under one byte per slice). 0ms when unthrottled.
+  [[nodiscard]] std::chrono::milliseconds throttle_slice() const noexcept;
+
  private:
   [[nodiscard]] std::chrono::milliseconds jittered(
       std::chrono::milliseconds base);
   /// Throttle chunk clamp shared by reads and writes.
   [[nodiscard]] std::size_t throttle_clamp(std::size_t want) const noexcept;
   void pace(std::size_t bytes);
+  /// Outstanding non-blocking pacing debt, rounded up to whole ms.
+  [[nodiscard]] std::chrono::milliseconds pacing_debt() const noexcept;
+  void accrue_pacing(std::size_t bytes) noexcept;
 
   FaultPlan plan_;
   std::mt19937_64 rng_;
   bool doomed_;
   bool stalled_ = false;
   std::uint64_t bytes_written_ = 0;
+  std::chrono::steady_clock::time_point paced_until_{};
   ChaosDirector* director_;
 };
 

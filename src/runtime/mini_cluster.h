@@ -30,6 +30,9 @@ struct MiniClusterOptions {
   /// Pending-connection queue cap per node before 503 load shedding
   /// (NodeServer::Config::max_pending).
   int max_pending = 32;
+  /// Per-node concurrent-connection cap (NodeServer::Config::max_connections);
+  /// 0 derives max_workers + max_pending, the old pool admission bound.
+  int max_connections = 0;
   /// Per-request I/O deadline (NodeServer::Config::io_timeout).
   std::chrono::milliseconds io_timeout{2000};
   /// Liveness lease period per node (NodeServer::Config::heartbeat_period):

@@ -1,5 +1,7 @@
 #include "runtime/node_server.h"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
 #include <charconv>
 #include <limits>
@@ -8,7 +10,6 @@
 #include "http/message.h"
 #include "http/date.h"
 #include "http/mime.h"
-#include "http/parser.h"
 #include "http/url.h"
 #include "obs/json.h"
 #include "obs/prometheus.h"
@@ -20,6 +21,15 @@ namespace sweb::runtime {
 using namespace std::chrono_literals;
 
 namespace {
+
+// Epoll tags 0 and 1 are the listener and the wakeup eventfd; connection
+// ids start at 2 (NodeServer::next_conn_id_).
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::size_t kReadChunk = 16 * 1024;
+// Upper bound on one epoll_wait so the loop re-checks its stop token even
+// with no timers armed.
+constexpr std::chrono::milliseconds kLoopTick{100};
 
 [[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) {
   std::uint64_t value = 0;
@@ -92,19 +102,10 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     chaos_.configure(config_.chaos, config_.chaos_seed);
   }
   listener_.set_chaos(&chaos_);
+  pool_ = std::make_unique<CgiPool>(std::max(1, config_.max_workers), wake_);
 }
 
 NodeServer::~NodeServer() { stop(); }
-
-void NodeServer::launch_workers() {
-  const int pool = std::max(1, config_.max_workers);
-  workers_.reserve(static_cast<std::size_t>(pool));
-  for (int w = 0; w < pool; ++w) {
-    workers_.emplace_back([this, w](const std::stop_token& token) {
-      worker_loop(token, w);
-    });
-  }
-}
 
 void NodeServer::start_heartbeat() {
   // First stamp before the thread exists: the node is in the pool the
@@ -123,24 +124,17 @@ void NodeServer::stop_heartbeat() {
 }
 
 void NodeServer::stop_serving() {
-  // Accept thread first so no new connections enter the queue, then the
-  // workers: each finishes (or promptly abandons, via its stop token) the
-  // connection it is serving. Streams still queued never reached a worker;
-  // destroying them closes the sockets — that is the drain.
+  // The reactor thread first (the wake makes its epoll_wait return
+  // promptly), then the CGI pool — a running handler finishes, its result
+  // is simply never collected. Admitted connections are cleared strictly
+  // after the join; destroying them closes the sockets — that is the drain.
   if (thread_.joinable()) {
     thread_.request_stop();
+    wake_.notify();
     thread_.join();
   }
-  for (auto& worker : workers_) worker.request_stop();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    pending_.clear();
-    if (queue_depth_gauge_ != nullptr) queue_depth_gauge_->set(0);
-  }
+  pool_->stop();
+  clear_conns();
 }
 
 void NodeServer::start() {
@@ -150,15 +144,15 @@ void NodeServer::start() {
     config_.tracer->set_process_name(
         config_.node_id, "node " + std::to_string(config_.node_id));
   }
-  launch_workers();
+  pool_->start();
   thread_ = std::jthread(
-      [this](const std::stop_token& token) { serve_loop(token); });
+      [this](const std::stop_token& token) { reactor_loop(token); });
   start_heartbeat();
 }
 
 void NodeServer::stop() {
-  const bool was_active = thread_.joinable() ||
-                          heartbeat_thread_.joinable() || !workers_.empty();
+  const bool was_active =
+      thread_.joinable() || heartbeat_thread_.joinable();
   stop_heartbeat();
   stop_serving();
   // Graceful leave: the node announces its departure instead of letting
@@ -170,9 +164,10 @@ void NodeServer::stop() {
 }
 
 void NodeServer::crash() {
-  // Order matters: join the accept thread before closing its fd so it is
-  // never polling a dead descriptor. The board is deliberately NOT told —
-  // discovering the silence is the failure detector's job.
+  // Order matters: join the reactor thread before closing its listener fd
+  // so the loop is never polling a dead descriptor. The board is
+  // deliberately NOT told — discovering the silence is the failure
+  // detector's job.
   stop_heartbeat();
   stop_serving();
   listener_.close();
@@ -191,9 +186,9 @@ void NodeServer::recover() {
     // The rebind built a fresh listener with no chaos attachment — a node
     // that recovered onto a still-degraded link must stay degraded.
     listener_.set_chaos(&chaos_);
-    launch_workers();
+    pool_->start();
     thread_ = std::jthread(
-        [this](const std::stop_token& token) { serve_loop(token); });
+        [this](const std::stop_token& token) { reactor_loop(token); });
   }
   if (!heartbeat_thread_.joinable()) start_heartbeat();
   crashed_ = false;
@@ -216,9 +211,28 @@ void NodeServer::heartbeat_loop(const std::stop_token& token) {
   util::set_thread_log_context({});
 }
 
-std::size_t NodeServer::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(queue_mutex_);
-  return pending_.size();
+int NodeServer::connection_cap() const noexcept {
+  if (config_.max_connections > 0) return config_.max_connections;
+  // Back-compat default: the old bounded pool admitted max_workers serving
+  // plus max_pending queued connections.
+  return std::max(1, config_.max_workers) + std::max(1, config_.max_pending);
+}
+
+int NodeServer::workers_busy() const noexcept {
+  return std::min(active_conns_.load(std::memory_order_relaxed),
+                  std::max(1, config_.max_workers));
+}
+
+std::size_t NodeServer::queue_depth() const noexcept {
+  const int beyond = active_conns_.load(std::memory_order_relaxed) -
+                     std::max(1, config_.max_workers);
+  return static_cast<std::size_t>(
+      std::clamp(beyond, 0, std::max(1, config_.max_pending)));
+}
+
+std::chrono::milliseconds NodeServer::read_budget() const noexcept {
+  return config_.header_timeout > 0ms ? config_.header_timeout
+                                      : config_.io_timeout;
 }
 
 void NodeServer::trace_span(const char* name, std::uint64_t trace_id,
@@ -233,38 +247,107 @@ void NodeServer::trace_span(const char* name, std::uint64_t trace_id,
   config_.tracer->add_span(std::move(span));
 }
 
-void NodeServer::serve_loop(const std::stop_token& token) {
+// --- The reactor loop ------------------------------------------------------
+
+void NodeServer::reactor_loop(const std::stop_token& token) {
   // Availability is not set here: joining the pool is the heartbeat's job
   // (start_heartbeat stamps it), and leaving is either stop()'s explicit
   // announcement or — after a crash — the failure detector's discovery.
   util::set_thread_log_context("node " + std::to_string(config_.node_id));
+  epoller_ = std::make_unique<Epoller>();
+  timers_ = TimerHeap{};
+  listener_.set_nonblocking(true);
+  // The listener and the wakeup stay level-triggered: a backlog left
+  // behind by a transient accept error re-fires on the next wait instead
+  // of starving until the next fresh connect.
+  (void)epoller_->add(listener_.fd(), EPOLLIN, kListenerTag);
+  (void)epoller_->add(wake_.fd(), EPOLLIN, kWakeTag);
+  std::vector<Epoller::Event> events;
+  events.reserve(64);
   while (!token.stop_requested()) {
-    auto stream = listener_.accept(100ms);
-    if (!stream) continue;  // timeout: re-check the stop token
-    dispatch(std::move(*stream));
+    events.clear();
+    epoller_->wait(events, timers_.next_delay(kLoopTick));
+    if (token.stop_requested()) break;
+    for (const Epoller::Event& event : events) {
+      if (event.tag == kListenerTag) {
+        accept_ready();
+        continue;
+      }
+      if (event.tag == kWakeTag) {
+        wake_.drain();
+        for (CgiPool::Result& result : pool_->drain_results()) {
+          finish_cgi(std::move(result));
+        }
+        continue;
+      }
+      const auto it = conns_.find(event.tag);
+      if (it == conns_.end()) continue;  // closed before its event drained
+      Conn& conn = *it->second;
+      attend(conn);
+      if ((event.events & (EPOLLERR | EPOLLHUP)) != 0) {
+        // Force both directions live so the next syscall surfaces the
+        // error instead of the state machine parking forever.
+        conn.can_read = true;
+        conn.can_write = true;
+      }
+      if ((event.events & (EPOLLIN | EPOLLRDHUP)) != 0) conn.can_read = true;
+      if ((event.events & EPOLLOUT) != 0) conn.can_write = true;
+      bool alive = true;
+      if (conn.state == Conn::State::kReading) {
+        alive = drive_read(conn);
+      } else if (conn.state == Conn::State::kWriting) {
+        alive = drive_write(conn);
+      }
+      // Deferred states wait for their timer; kCgiWait for its handback.
+      if (alive) arm_conn_timer(conn);
+    }
+    TimerHeap::Entry due;
+    const auto now = std::chrono::steady_clock::now();
+    while (timers_.pop_due(now, due)) {
+      const auto it = conns_.find(due.conn_id);
+      if (it == conns_.end() || it->second->timer_gen != due.generation) {
+        continue;  // stale entry: superseded, or the connection is gone
+      }
+      if (on_timer(*it->second)) arm_conn_timer(*it->second);
+    }
   }
+  epoller_.reset();
   util::set_thread_log_context({});
 }
 
-void NodeServer::dispatch(TcpStream stream) {
-  {
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    // max_pending clamps to >= 1: workers only take work from the queue,
-    // so a zero-length queue could never hand an idle worker anything.
-    const auto cap = static_cast<std::size_t>(
-        std::max(1, config_.max_pending));
-    if (pending_.size() < cap) {
-      pending_.push_back(
-          PendingConn{std::move(stream), std::chrono::steady_clock::now()});
-      if (queue_depth_gauge_ != nullptr) {
-        queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
-      }
-      lock.unlock();
-      queue_cv_.notify_one();
-      return;
+void NodeServer::accept_ready() {
+  for (;;) {
+    auto stream = listener_.accept_nb();
+    if (!stream) return;
+    if (static_cast<int>(conns_.size()) >= connection_cap()) {
+      shed(std::move(*stream));
+      continue;
     }
+    admit(std::move(*stream));
   }
-  shed(std::move(stream));
+}
+
+void NodeServer::admit(TcpStream stream) {
+  auto conn = std::make_unique<Conn>();
+  Conn& c = *conn;
+  c.stream = std::move(stream);
+  c.id = next_conn_id_++;
+  c.conn_faulted = c.stream.faulted();
+  c.stream.set_nonblocking(true);
+  c.parser = std::make_unique<http::RequestParser>();
+  const auto now = std::chrono::steady_clock::now();
+  c.accepted_at = now;
+  c.phase_mark = now;
+  c.read_deadline = deadline_after(read_budget());
+  if (!epoller_->add(c.stream.fd(),
+                     EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, c.id)) {
+    return;  // registration failed: drop the connection
+  }
+  conns_.emplace(c.id, std::move(conn));
+  active_conns_.store(static_cast<int>(conns_.size()),
+                      std::memory_order_relaxed);
+  update_pool_gauges();
+  arm_conn_timer(c);
 }
 
 void NodeServer::shed(TcpStream stream) {
@@ -275,7 +358,7 @@ void NodeServer::shed(TcpStream stream) {
   board_.note_shed(config_.node_id);
   if (err503_counter_ != nullptr) err503_counter_->inc();
   http::Response busy = http::make_error(http::Status::kServiceUnavailable,
-                                         "all workers busy, queue full");
+                                         "connection limit reached");
   busy.headers.add("Server", config_.server_name);
   busy.headers.set("Connection", "close");
   // Whole seconds on the wire (HTTP/1.0 delta-seconds), rounded up so a
@@ -285,40 +368,563 @@ void NodeServer::shed(TcpStream stream) {
       std::to_string(std::chrono::ceil<std::chrono::seconds>(
                          std::max(config_.retry_after_hint, 1ms))
                          .count()));
-  // Written from the accept thread: a fresh connection's send buffer is
-  // empty, so this cannot block the loop for long.
+  // Written synchronously from the loop: a fresh connection's send buffer
+  // is empty, so this cannot block for long.
   (void)stream.write_all(busy.serialize(), config_.io_timeout);
   stream.shutdown_write();
 }
 
-void NodeServer::worker_loop(const std::stop_token& token, int index) {
-  util::set_thread_log_context("node " + std::to_string(config_.node_id) +
-                               "/w" + std::to_string(index));
-  for (;;) {
-    PendingConn conn;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      if (!queue_cv_.wait(lock, token,
-                          [this] { return !pending_.empty(); })) {
-        break;  // stop requested while idle
+void NodeServer::destroy_conn(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (c.charge_open) {
+    board_.connection_closed(config_.node_id, c.board_charge);
+    c.charge_open = false;
+  }
+  if (c.inflight_marked && inflight_gauge_ != nullptr) {
+    inflight_gauge_->add(-1);
+  }
+  if (epoller_ != nullptr) epoller_->remove(c.stream.fd());
+  conns_.erase(it);
+  active_conns_.store(static_cast<int>(conns_.size()),
+                      std::memory_order_relaxed);
+  update_pool_gauges();
+}
+
+void NodeServer::clear_conns() {
+  for (auto& [id, conn] : conns_) {
+    if (conn->charge_open) {
+      board_.connection_closed(config_.node_id, conn->board_charge);
+      conn->charge_open = false;
+    }
+    if (conn->inflight_marked && inflight_gauge_ != nullptr) {
+      inflight_gauge_->add(-1);
+    }
+  }
+  conns_.clear();
+  active_conns_.store(0, std::memory_order_relaxed);
+  update_pool_gauges();
+}
+
+void NodeServer::update_pool_gauges() {
+  if (workers_busy_gauge_ != nullptr) {
+    workers_busy_gauge_->set(workers_busy());
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set(static_cast<std::int64_t>(queue_depth()));
+  }
+}
+
+void NodeServer::attend(Conn& c) {
+  const auto now = std::chrono::steady_clock::now();
+  if (c.first_attention) {
+    // The accept→first-readiness gap is the reactor's queue_wait: time a
+    // ready connection spent waiting for the loop's attention.
+    c.first_attention = false;
+    c.queue_wait_s =
+        std::chrono::duration<double>(now - c.accepted_at).count();
+    c.clock.add(obs::Phase::kQueueWait, c.queue_wait_s);
+    c.request_start = now;
+    c.phase_mark = now;
+    c.wait_phase = obs::Phase::kHeaderRead;
+    c.t_parse_start = tracing() ? config_.tracer->now_seconds() : 0.0;
+    return;
+  }
+  if (c.idle_wait) {
+    // Keep-alive think time is the client's, not service — the clocks
+    // restart when the next request's first byte arrives.
+    c.phase_mark = now;
+    return;
+  }
+  c.clock.add(c.wait_phase,
+              std::chrono::duration<double>(now - c.phase_mark).count());
+  c.phase_mark = now;
+}
+
+void NodeServer::lap(Conn& c, obs::Phase phase) {
+  const auto now = std::chrono::steady_clock::now();
+  c.clock.add(phase,
+              std::chrono::duration<double>(now - c.phase_mark).count());
+  c.phase_mark = now;
+}
+
+void NodeServer::begin_request_clock(Conn& c) {
+  if (!c.idle_wait) return;
+  const auto now = std::chrono::steady_clock::now();
+  c.request_start = now;
+  c.phase_mark = now;
+  c.idle_wait = false;
+  c.t_parse_start = tracing() ? config_.tracer->now_seconds() : 0.0;
+}
+
+void NodeServer::start_defer(Conn& c, Conn::State state,
+                             std::chrono::milliseconds delay,
+                             obs::Phase wait_phase) {
+  c.state = state;
+  c.defer_until = std::chrono::steady_clock::now() + delay;
+  c.wait_phase = wait_phase;
+}
+
+void NodeServer::arm_conn_timer(Conn& c) {
+  TimerHeap::TimePoint when;
+  bool want = true;
+  switch (c.state) {
+    case Conn::State::kReading:
+      when = c.read_deadline;
+      break;
+    case Conn::State::kDeferredRead:
+    case Conn::State::kDeferredWrite:
+      when = c.defer_until;
+      break;
+    case Conn::State::kWriting:
+      if (c.has_write_deadline) {
+        when = c.write_deadline;
+      } else {
+        want = false;
       }
-      conn = std::move(pending_.front());
-      pending_.pop_front();
-      if (queue_depth_gauge_ != nullptr) {
-        queue_depth_gauge_->set(static_cast<std::int64_t>(pending_.size()));
+      break;
+    case Conn::State::kCgiWait:
+      want = false;  // woken by the pool's handback, not a deadline
+      break;
+  }
+  if (!want) {
+    ++c.timer_gen;  // invalidate whatever entry is still in the heap
+    c.timer_armed = false;
+    return;
+  }
+  if (c.timer_armed && c.timer_when == when) return;  // already armed
+  ++c.timer_gen;
+  c.timer_armed = true;
+  c.timer_when = when;
+  timers_.arm(c.id, c.timer_gen, when);
+}
+
+bool NodeServer::on_timer(Conn& c) {
+  attend(c);
+  c.timer_armed = false;  // this generation's entry was just consumed
+  const auto now = std::chrono::steady_clock::now();
+  switch (c.state) {
+    case Conn::State::kDeferredRead:
+      if (now < c.defer_until) return true;  // rounding; re-arm
+      c.state = Conn::State::kReading;
+      return drive_read(c);
+    case Conn::State::kDeferredWrite:
+      if (now < c.defer_until) return true;
+      c.state = Conn::State::kWriting;
+      return drive_write(c);
+    case Conn::State::kReading:
+      if (now < c.read_deadline) return true;
+      return read_timed_out(c);
+    case Conn::State::kWriting:
+      if (!c.has_write_deadline || now < c.write_deadline) return true;
+      return write_complete(c, false);
+    case Conn::State::kCgiWait:
+      return true;
+  }
+  return true;
+}
+
+bool NodeServer::read_timed_out(Conn& c) {
+  // Graceful silence for a keep-alive connection that simply went idle
+  // between requests; a connection that ran out its budget mid-request (or
+  // never sent its first one) is a slow client: tell it so and take the
+  // slot back (the slowloris defense).
+  if (c.served > 0 && !c.got_bytes) {
+    destroy_conn(c.id);
+    return false;
+  }
+  err408_.fetch_add(1, std::memory_order_relaxed);
+  if (err408_counter_ != nullptr) err408_counter_->inc();
+  if (errors_counter_ != nullptr) errors_counter_->inc();
+  http::Response timeout = http::make_error(
+      http::Status::kRequestTimeout,
+      "request not received within " +
+          std::to_string(read_budget().count()) + " ms");
+  timeout.headers.add("Server", config_.server_name);
+  timeout.headers.set("Connection", "close");
+  c.trace_id = config_.slow_log != nullptr ? next_request_id() : 0;
+  c.keep_alive = false;
+  c.status = 408;
+  c.method.clear();
+  c.path.clear();
+  c.suppress_record = false;
+  c.count_handled_on_success = false;  // a 408 counts even if the write fails
+  c.observe_response_hist = false;
+  return start_write(c, std::move(timeout), nullptr);
+}
+
+bool NodeServer::drive_read(Conn& c) {
+  for (;;) {
+    // Pipelined bytes first: a complete next request may already be here.
+    if (!c.leftover.empty()) {
+      begin_request_clock(c);
+      c.got_bytes = true;
+      std::size_t consumed = 0;
+      const auto state = c.parser->feed(c.leftover, consumed);
+      c.leftover.erase(0, consumed);
+      lap(c, obs::Phase::kParse);
+      if (state != http::ParseResult::kNeedMore) {
+        return finish_parse(c, state);
       }
     }
-    const double queue_wait_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      conn.enqueued_at)
-            .count();
-    busy_workers_.fetch_add(1, std::memory_order_relaxed);
-    if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(1);
-    handle_connection(std::move(conn.stream), token, queue_wait_s);
-    if (workers_busy_gauge_ != nullptr) workers_busy_gauge_->add(-1);
-    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    if (!c.can_read) return true;  // parked until the next EPOLLIN edge
+    ConnectionFaults* faults = c.stream.faults_state();
+    std::size_t max = kReadChunk;
+    if (faults != nullptr) {
+      if (!c.read_gate_passed) {
+        const auto delay = faults->read_defer();
+        c.read_gate_passed = true;
+        if (delay > 0ms) {
+          start_defer(c, Conn::State::kDeferredRead, delay,
+                      obs::Phase::kHeaderRead);
+          return true;
+        }
+      }
+      max = faults->clamp_read(max);
+      if (max == 0 && !c.throttled_min_read) {
+        // A throttle slice below one byte paces instead of spinning: wait
+        // one slice, then move at least one byte.
+        c.throttled_min_read = true;
+        start_defer(c, Conn::State::kDeferredRead, faults->throttle_slice(),
+                    obs::Phase::kHeaderRead);
+        return true;
+      }
+      if (max == 0) max = 1;
+      c.throttled_min_read = false;
+    }
+    auto r = c.stream.read_nb(max);
+    c.read_gate_passed = false;  // the gated op happened; next op re-asks
+    if (!r.ok) {
+      destroy_conn(c.id);
+      return false;
+    }
+    if (r.would_block) {
+      c.can_read = false;
+      return true;
+    }
+    if (r.eof) {
+      // Client went away between or within requests: drop silently.
+      destroy_conn(c.id);
+      return false;
+    }
+    if (faults != nullptr) faults->note_read_nb(r.data.size());
+    begin_request_clock(c);
+    c.got_bytes = true;
+    lap(c, obs::Phase::kHeaderRead);
+    std::size_t consumed = 0;
+    const auto state = c.parser->feed(r.data, consumed);
+    lap(c, obs::Phase::kParse);
+    if (state != http::ParseResult::kNeedMore) {
+      if (state == http::ParseResult::kComplete) {
+        c.leftover.assign(r.data, consumed, r.data.size() - consumed);
+      }
+      return finish_parse(c, state);
+    }
   }
-  util::set_thread_log_context({});
+}
+
+bool NodeServer::finish_parse(Conn& c, http::ParseResult state) {
+  const bool tracing_on = tracing();
+  // Resolve the request id only once the request is parsed: a redirected
+  // request carries the id its origin node assigned (header or query
+  // param), and reusing it is what stitches the two nodes' spans — and
+  // the audit's decision/outcome — and the slow log's forensics — into
+  // one logical request.
+  c.trace_id = 0;
+  if (tracing_on || config_.audit != nullptr ||
+      config_.slow_log != nullptr) {
+    if (state == http::ParseResult::kComplete) {
+      const auto incoming = incoming_request_id(c.parser->message());
+      c.trace_id = incoming ? *incoming : next_request_id();
+    } else {
+      c.trace_id = next_request_id();
+    }
+  }
+  if (tracing_on) {
+    trace_span("preprocess", c.trace_id, c.t_parse_start,
+               config_.tracer->now_seconds() - c.t_parse_start);
+  }
+  if (requests_counter_ != nullptr) requests_counter_->inc();
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->add(1);
+    c.inflight_marked = true;
+  }
+
+  if (state == http::ParseResult::kError) {
+    err400_.fetch_add(1, std::memory_order_relaxed);
+    if (err400_counter_ != nullptr) err400_counter_->inc();
+    if (errors_counter_ != nullptr) errors_counter_->inc();
+    http::Response bad =
+        http::make_error(http::Status::kBadRequest, c.parser->error());
+    bad.headers.add("Server", config_.server_name);
+    bad.headers.add("Connection", "close");
+    c.keep_alive = false;
+    c.status = 400;
+    c.method.clear();
+    c.path.clear();
+    c.suppress_record = false;
+    c.count_handled_on_success = false;
+    c.observe_response_hist = false;
+    c.phase_mark = std::chrono::steady_clock::now();
+    return start_write(c, std::move(bad), nullptr);
+  }
+
+  const http::Request& request = c.parser->message();
+  // HTTP/1.0: keep-alive only on explicit request (and not for the
+  // headerless 0.9 simple requests).
+  const auto connection_header = request.headers.get("Connection");
+  const bool client_keep_alive =
+      request.version_major >= 1 && connection_header.has_value() &&
+      util::iequals(*connection_header, "keep-alive");
+  c.keep_alive = client_keep_alive &&
+                 c.served + 1 < config_.max_requests_per_connection;
+  c.method = std::string(http::to_string(request.method));
+  c.path = request.target;
+  // Introspection polls (/sweb/status, /sweb/metrics) are excluded from
+  // phase recording so a dashboard scraping every 250 ms cannot pollute
+  // the latency story.
+  c.suppress_record = request.target.rfind("/sweb/", 0) == 0;
+  c.count_handled_on_success = true;
+  c.observe_response_hist = true;
+
+  const double attributed_before = c.clock.measured_sum();
+  const auto process_start = std::chrono::steady_clock::now();
+  ProcessOutcome out = process_request(request, c.trace_id, c.clock);
+  // Tile the decomposition: whatever process_request spent outside its
+  // timed windows (target analysis, hop detection, completion bookkeeping,
+  // error paths) lands in broker_decide — the paper's "SWEB analysis"
+  // bucket — so the phase vector sums to the total.
+  const double process_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    process_start)
+          .count();
+  const double attributed = c.clock.measured_sum() - attributed_before;
+  if (process_wall > attributed) {
+    c.clock.add(obs::Phase::kBrokerDecide, process_wall - attributed);
+  }
+  c.phase_mark = std::chrono::steady_clock::now();
+
+  if (out.cgi_pending) {
+    // Offload the CPU-bound stage; the loop resumes at finish_cgi. The
+    // request is copied into the job — the parser (and the connection)
+    // could be gone before the handler runs.
+    c.state = Conn::State::kCgiWait;
+    c.wait_phase = obs::Phase::kCgiExec;
+    c.is_head_cgi = out.is_head;
+    c.board_charge = out.board_charge;
+    c.charge_open = true;
+    c.service_start_s = out.service_start_s;
+    c.t_data_trace_s = out.t_data_trace_s;
+    pool_->submit(CgiPool::Job{
+        c.id, [cgi = out.cgi, req = request, query = std::move(out.query)] {
+          return (*cgi)(req, query);
+        }});
+    return true;
+  }
+
+  out.action.response.headers.set("Connection",
+                                  c.keep_alive ? "Keep-Alive" : "close");
+  c.status = static_cast<int>(out.action.response.status);
+  return start_write(c, std::move(out.action.response),
+                     std::move(out.action.body));
+}
+
+void NodeServer::finish_cgi(CgiPool::Result result) {
+  const auto it = conns_.find(result.conn_id);
+  if (it == conns_.end()) return;  // connection died; its charge is closed
+  Conn& c = *it->second;
+  if (c.state != Conn::State::kCgiWait) return;
+  attend(c);  // the async execution span lands in cgi_exec
+  http::Response ok = std::move(result.response);
+  if (c.is_head_cgi) {
+    // HEAD gets the headers the GET would have had, body stripped — same
+    // contract as the static-document path.
+    ok.headers.set("Content-Length", std::to_string(ok.body.size()));
+    ok.body.clear();
+  }
+  if (tracing()) {
+    trace_span("data", c.trace_id, c.t_data_trace_s,
+               config_.tracer->now_seconds() - c.t_data_trace_s);
+  }
+  ok.headers.add("X-Sweb-Node", std::to_string(config_.node_id));
+  if (c.trace_id != 0) {
+    ok.headers.set("X-SWEB-Request-Id", std::to_string(c.trace_id));
+  }
+  board_.note_served(config_.node_id);
+  if (config_.audit != nullptr && c.trace_id != 0) {
+    obs::Observation observation;
+    observation.service_start_ts_s = c.service_start_s;
+    observation.completion_ts_s = board_.now_seconds();
+    observation.t_data = c.clock.touched(obs::Phase::kDocRead)
+                             ? c.clock.seconds(obs::Phase::kDocRead)
+                             : 0.0;
+    observation.t_cpu = c.clock.touched(obs::Phase::kCgiExec)
+                            ? c.clock.seconds(obs::Phase::kCgiExec)
+                            : 0.0;
+    config_.audit->record_outcome(c.trace_id, observation);
+  }
+  if (c.charge_open) {
+    board_.connection_closed(config_.node_id, c.board_charge);
+    c.charge_open = false;
+  }
+  ok.headers.add("Server", config_.server_name);
+  ok.headers.set("Connection", c.keep_alive ? "Keep-Alive" : "close");
+  c.status = static_cast<int>(ok.status);
+  if (start_write(c, std::move(ok), nullptr)) arm_conn_timer(c);
+}
+
+bool NodeServer::start_write(Conn& c, http::Response response,
+                             std::shared_ptr<const std::string> body) {
+  // Zero-copy hot path: a cache-resident body is gather-written straight
+  // from the DocStore's shared buffer (header block + body, one sendmsg at
+  // a time) — it is never copied into the response. Everything else ships
+  // as the single serialized string it always was.
+  c.head = body != nullptr ? response.serialize_head() : response.serialize();
+  c.body = std::move(body);
+  c.written = 0;
+  c.response_started = false;
+  c.write_gate_passed = false;
+  c.throttled_min_write = false;
+  c.has_write_deadline = false;
+  c.state = Conn::State::kWriting;
+  c.wait_phase = obs::Phase::kWrite;
+  c.phase_mark = std::chrono::steady_clock::now();
+  c.t_send_start = tracing() ? config_.tracer->now_seconds() : 0.0;
+  if (c.stream.faults_state() == nullptr) {
+    c.write_deadline = deadline_after(config_.io_timeout);
+    c.has_write_deadline = true;
+  }
+  // With faults attached, the deadline starts after the first-send defer
+  // resolves (chaos delays deliberately don't eat the write budget).
+  return drive_write(c);
+}
+
+bool NodeServer::drive_write(Conn& c) {
+  for (;;) {
+    const std::size_t total =
+        c.head.size() + (c.body != nullptr ? c.body->size() : 0);
+    if (c.written >= total) return write_complete(c, true);
+    if (!c.can_write) return true;  // parked until the next EPOLLOUT edge
+    ConnectionFaults* faults = c.stream.faults_state();
+    std::size_t want = total - c.written;
+    if (faults != nullptr) {
+      if (!c.write_gate_passed) {
+        const auto delay = faults->write_defer(!c.response_started);
+        c.write_gate_passed = true;
+        if (delay > 0ms) {
+          start_defer(c, Conn::State::kDeferredWrite, delay,
+                      obs::Phase::kWrite);
+          return true;
+        }
+      }
+      if (!c.has_write_deadline) {
+        c.write_deadline = deadline_after(config_.io_timeout);
+        c.has_write_deadline = true;
+      }
+      bool reset_now = false;
+      want = faults->clamp_write(want, reset_now);
+      if (reset_now) {
+        c.stream.hard_reset();
+        return write_complete(c, false);
+      }
+      if (want == 0 && !c.throttled_min_write) {
+        // Sub-byte throttle slice: pace one slice, then move one byte —
+        // a zero clamp must never starve (or kill) the connection.
+        c.throttled_min_write = true;
+        start_defer(c, Conn::State::kDeferredWrite, faults->throttle_slice(),
+                    obs::Phase::kWrite);
+        return true;
+      }
+      if (want == 0) want = 1;
+      c.throttled_min_write = false;
+    }
+    // Gather the remainder: serialized head first, then the shared body.
+    std::string_view segments[2];
+    std::size_t count = 0;
+    std::size_t budget = want;
+    if (c.written < c.head.size()) {
+      const auto chunk = std::string_view(c.head).substr(c.written, budget);
+      segments[count++] = chunk;
+      budget -= chunk.size();
+    }
+    if (budget > 0 && c.body != nullptr) {
+      const std::size_t body_off =
+          c.written > c.head.size() ? c.written - c.head.size() : 0;
+      const auto chunk = std::string_view(*c.body).substr(body_off, budget);
+      if (!chunk.empty()) segments[count++] = chunk;
+    }
+    const auto w = c.stream.write_some_v_nb(segments, count);
+    c.write_gate_passed = false;
+    if (!w.ok) return write_complete(c, false);
+    if (w.would_block) {
+      c.can_write = false;
+      continue;  // loop top parks on !can_write
+    }
+    c.response_started = true;
+    if (faults != nullptr) faults->note_write_nb(w.written);
+    c.written += w.written;
+  }
+}
+
+bool NodeServer::write_complete(Conn& c, bool ok) {
+  lap(c, obs::Phase::kWrite);
+  if (tracing()) {
+    trace_span("send", c.trace_id, c.t_send_start,
+               config_.tracer->now_seconds() - c.t_send_start);
+  }
+  const double total_s =
+      (c.served == 0 ? c.queue_wait_s : 0.0) +
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    c.request_start)
+          .count();
+  c.clock.add(obs::Phase::kTotal, total_s);
+  if (c.observe_response_hist && response_histogram_ != nullptr) {
+    response_histogram_->observe(total_s);
+  }
+  if (!c.suppress_record) {
+    record_phases(c.clock, c.trace_id, c.method, c.path, c.status,
+                  c.conn_faulted);
+  }
+  if (ok || !c.count_handled_on_success) ++handled_;
+  if (c.inflight_marked) {
+    if (inflight_gauge_ != nullptr) inflight_gauge_->add(-1);
+    c.inflight_marked = false;
+  }
+  if (!ok || !c.keep_alive) {
+    if (ok) c.stream.shutdown_write();
+    destroy_conn(c.id);
+    return false;
+  }
+  reset_for_next_request(c);
+  return drive_read(c);
+}
+
+void NodeServer::reset_for_next_request(Conn& c) {
+  c.served += 1;
+  c.parser = std::make_unique<http::RequestParser>();
+  c.clock = obs::PhaseClock{};
+  c.got_bytes = false;
+  c.keep_alive = false;
+  c.trace_id = 0;
+  c.state = Conn::State::kReading;
+  c.wait_phase = obs::Phase::kHeaderRead;
+  c.idle_wait = true;
+  c.head.clear();
+  c.body.reset();
+  c.written = 0;
+  c.status = 0;
+  c.method.clear();
+  c.path.clear();
+  c.read_gate_passed = false;
+  c.throttled_min_read = false;
+  c.response_started = false;
+  c.has_write_deadline = false;
+  c.inflight_marked = false;
+  c.queue_wait_s = 0.0;
+  c.read_deadline = deadline_after(read_budget());
+  c.phase_mark = std::chrono::steady_clock::now();
+  c.t_parse_start = tracing() ? config_.tracer->now_seconds() : 0.0;
 }
 
 int NodeServer::choose_node(int owner, std::string_view path) const {
@@ -369,253 +975,15 @@ int NodeServer::choose_node(int owner, std::string_view path) const {
   return best;
 }
 
-void NodeServer::handle_connection(TcpStream stream,
-                                   const std::stop_token& token,
-                                   double queue_wait_s) {
-  // HTTP/1.0 keep-alive: serve requests on this connection until the
-  // client omits "Connection: Keep-Alive", an error occurs, the
-  // per-connection cap is reached, or the server is stopping.
-  std::string leftover;
-  const bool conn_faulted = stream.faulted();
-  for (int served = 0; served < config_.max_requests_per_connection &&
-                       !token.stop_requested();
-       ++served) {
-    const bool tracing_on = tracing();
-    const double t_parse_start =
-        tracing_on ? config_.tracer->now_seconds() : 0.0;
-
-    // The request's phase scratchpad. queue_wait belongs to the first
-    // request only — later requests on the connection never re-queued.
-    obs::PhaseClock clock;
-    if (served == 0) clock.add(obs::Phase::kQueueWait, queue_wait_s);
-    auto request_start = std::chrono::steady_clock::now();
-    // Lap timer: each call attributes the time since the previous mark to
-    // one phase, so the read/feed alternation below splits cleanly into
-    // header_read (socket waits + reads) and parse (RequestParser::feed).
-    auto phase_mark = request_start;
-    const auto lap = [&](obs::Phase phase) {
-      const auto now = std::chrono::steady_clock::now();
-      clock.add(phase,
-                std::chrono::duration<double>(now - phase_mark).count());
-      phase_mark = now;
-    };
-
-    // --- Preprocess: read and parse one request -------------------------
-    // One overall deadline for the whole request head+body, however many
-    // reads it takes — a client trickling bytes cannot hold the worker
-    // past the budget (the slowloris defense). header_timeout, when set,
-    // tightens this below the general io_timeout.
-    const auto read_budget =
-        config_.header_timeout > 0ms ? config_.header_timeout
-                                     : config_.io_timeout;
-    const Deadline read_deadline = deadline_after(read_budget);
-    http::RequestParser parser;
-    http::ParseResult state = http::ParseResult::kNeedMore;
-    bool got_bytes = false;  // any bytes of THIS request seen yet?
-    if (!leftover.empty()) {
-      std::size_t consumed = 0;
-      state = parser.feed(leftover, consumed);
-      leftover.erase(0, consumed);
-      got_bytes = true;
-      lap(obs::Phase::kParse);
-    }
-    while (state == http::ParseResult::kNeedMore) {
-      // Wait in short slices so a stop request interrupts an idle
-      // keep-alive connection promptly (graceful drain).
-      bool readable = false;
-      while (!token.stop_requested()) {
-        const auto remaining = time_remaining(read_deadline);
-        if (remaining <= 0ms) break;
-        if (stream.wait_readable(std::min(remaining, 100ms))) {
-          readable = true;
-          break;
-        }
-      }
-      if (!readable) {
-        // Graceful drain stays silent, as does a keep-alive connection
-        // that simply went idle between requests. A connection that ran
-        // out its budget mid-request (or never sent its first one) is a
-        // slow client: tell it so and take the worker back.
-        if (token.stop_requested()) return;
-        if (served > 0 && !got_bytes) return;
-        lap(obs::Phase::kHeaderRead);
-        err408_.fetch_add(1, std::memory_order_relaxed);
-        if (err408_counter_ != nullptr) err408_counter_->inc();
-        if (errors_counter_ != nullptr) errors_counter_->inc();
-        http::Response timeout = http::make_error(
-            http::Status::kRequestTimeout,
-            "request not received within " +
-                std::to_string(read_budget.count()) + " ms");
-        timeout.headers.add("Server", config_.server_name);
-        timeout.headers.set("Connection", "close");
-        (void)stream.write_all(timeout.serialize(), config_.io_timeout);
-        lap(obs::Phase::kWrite);
-        stream.shutdown_write();
-        ++handled_;
-        clock.add(obs::Phase::kTotal,
-                  (served == 0 ? queue_wait_s : 0.0) +
-                      std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - request_start)
-                          .count());
-        record_phases(clock,
-                      config_.slow_log != nullptr ? next_request_id() : 0,
-                      std::string(), std::string(), 408, conn_faulted);
-        return;
-      }
-      if (served > 0 && !got_bytes) {
-        // Keep-alive idle: the wait before request N's first byte is
-        // client think time, not service — restart the clocks at the
-        // moment work actually arrives.
-        request_start = std::chrono::steady_clock::now();
-        phase_mark = request_start;
-      }
-      const auto chunk = stream.read_some(16 * 1024, 0ms);
-      if (!chunk.ok) return;  // error: drop the connection
-      if (chunk.eof) return;  // client went away between/within requests
-      got_bytes = true;
-      lap(obs::Phase::kHeaderRead);
-      std::size_t consumed = 0;
-      state = parser.feed(chunk.data, consumed);
-      lap(obs::Phase::kParse);
-      if (state == http::ParseResult::kComplete) {
-        leftover.assign(chunk.data, consumed,
-                        chunk.data.size() - consumed);
-      }
-    }
-    // Resolve the request id only once the request is parsed: a redirected
-    // request carries the id its origin node assigned (header or query
-    // param), and reusing it is what stitches the two nodes' spans — and
-    // the audit's decision/outcome — and the slow log's forensics — into
-    // one logical request.
-    std::uint64_t trace_id = 0;
-    if (tracing_on || config_.audit != nullptr ||
-        config_.slow_log != nullptr) {
-      if (state == http::ParseResult::kComplete) {
-        const auto incoming = incoming_request_id(parser.message());
-        trace_id = incoming ? *incoming : next_request_id();
-      } else {
-        trace_id = next_request_id();
-      }
-    }
-    if (tracing_on) {
-      trace_span("preprocess", trace_id, t_parse_start,
-                 config_.tracer->now_seconds() - t_parse_start);
-    }
-    if (requests_counter_ != nullptr) requests_counter_->inc();
-    if (inflight_gauge_ != nullptr) inflight_gauge_->add(1);
-    struct InflightGuard {
-      obs::Gauge* gauge;
-      ~InflightGuard() {
-        if (gauge != nullptr) gauge->add(-1);
-      }
-    } inflight_guard{inflight_gauge_};
-
-    if (state == http::ParseResult::kError) {
-      err400_.fetch_add(1, std::memory_order_relaxed);
-      if (err400_counter_ != nullptr) err400_counter_->inc();
-      http::Response bad =
-          http::make_error(http::Status::kBadRequest, parser.error());
-      bad.headers.add("Server", config_.server_name);
-      bad.headers.add("Connection", "close");
-      phase_mark = std::chrono::steady_clock::now();
-      (void)stream.write_all(bad.serialize(), config_.io_timeout);
-      lap(obs::Phase::kWrite);
-      stream.shutdown_write();
-      ++handled_;
-      if (errors_counter_ != nullptr) errors_counter_->inc();
-      clock.add(obs::Phase::kTotal,
-                (served == 0 ? queue_wait_s : 0.0) +
-                    std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - request_start)
-                        .count());
-      record_phases(clock, trace_id, std::string(), std::string(), 400,
-                    conn_faulted);
-      return;
-    }
-
-    const http::Request& request = parser.message();
-    // HTTP/1.0: keep-alive only on explicit request (and not for the
-    // headerless 0.9 simple requests).
-    const auto connection_header = request.headers.get("Connection");
-    const bool client_keep_alive =
-        request.version_major >= 1 && connection_header.has_value() &&
-        util::iequals(*connection_header, "keep-alive");
-    const bool keep_alive =
-        client_keep_alive &&
-        served + 1 < config_.max_requests_per_connection;
-
-    const double attributed_before = clock.measured_sum();
-    const auto process_start = std::chrono::steady_clock::now();
-    ServeAction action = process_request(request, trace_id, clock);
-    // Tile the decomposition: whatever process_request spent outside its
-    // timed windows (target analysis, hop detection, completion
-    // bookkeeping, error paths) lands in broker_decide — the paper's
-    // "SWEB analysis" bucket — so the phase vector sums to the total.
-    const double process_wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      process_start)
-            .count();
-    const double attributed = clock.measured_sum() - attributed_before;
-    if (process_wall > attributed) {
-      clock.add(obs::Phase::kBrokerDecide, process_wall - attributed);
-    }
-    http::Response& response = action.response;
-    response.headers.set("Connection", keep_alive ? "Keep-Alive" : "close");
-
-    const double t_send_start =
-        tracing_on ? config_.tracer->now_seconds() : 0.0;
-    phase_mark = std::chrono::steady_clock::now();
-    // Zero-copy hot path: a cache-resident body is gather-written straight
-    // from the DocStore's shared buffer (header block + body, one writev
-    // loop) — it is never copied into the response. Everything else ships
-    // as the single serialized string it always was.
-    const std::string wire = action.body != nullptr
-                                 ? response.serialize_head()
-                                 : response.serialize();
-    const bool wrote =
-        action.body != nullptr
-            ? stream.write_all_v({wire, *action.body}, config_.io_timeout)
-            : stream.write_all(wire, config_.io_timeout);
-    lap(obs::Phase::kWrite);
-    if (tracing_on) {
-      trace_span("send", trace_id, t_send_start,
-                 config_.tracer->now_seconds() - t_send_start);
-    }
-    const double total_s =
-        (served == 0 ? queue_wait_s : 0.0) +
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      request_start)
-            .count();
-    clock.add(obs::Phase::kTotal, total_s);
-    if (response_histogram_ != nullptr) {
-      response_histogram_->observe(total_s);
-    }
-    // Introspection polls (/sweb/status, /sweb/metrics) are excluded so a
-    // dashboard scraping every 250 ms cannot pollute the latency story.
-    if (request.target.rfind("/sweb/", 0) != 0) {
-      record_phases(clock, trace_id,
-                    std::string(http::to_string(request.method)),
-                    request.target, static_cast<int>(response.status),
-                    conn_faulted);
-    }
-    if (!wrote) return;
-    ++handled_;
-    if (!keep_alive) {
-      stream.shutdown_write();
-      return;
-    }
-  }
-}
-
-NodeServer::ServeAction NodeServer::process_request(
+NodeServer::ProcessOutcome NodeServer::process_request(
     const http::Request& request, std::uint64_t trace_id,
     obs::PhaseClock& clock) {
   const int self = config_.node_id;
-  ServeAction action;
+  ProcessOutcome out;
   const auto finish = [&](http::Response response) {
     response.headers.add("Server", config_.server_name);
-    action.response = std::move(response);
-    return std::move(action);
+    out.action.response = std::move(response);
+    return std::move(out);
   };
 
   const bool is_post = request.method == http::Method::kPost;
@@ -680,7 +1048,10 @@ NodeServer::ServeAction NodeServer::process_request(
     LoadBoard& board;
     int node;
     std::uint64_t bytes;
-    ~ConnectionGuard() { board.connection_closed(node, bytes); }
+    bool armed = true;
+    ~ConnectionGuard() {
+      if (armed) board.connection_closed(node, bytes);
+    }
   } guard{board_, self, expected};
 
   if (!already_redirected) {
@@ -738,12 +1109,26 @@ NodeServer::ServeAction NodeServer::process_request(
   // Shared-clock service start: joined with the origin node's decision
   // timestamp, this is the observed t_redirection.
   const double service_start = board_.now_seconds();
+  if (cgi != nullptr) {
+    // Dynamic content is the CPU-bound stage: hand what the reactor needs
+    // to run the handler on the CGI pool and finish on handback. The board
+    // charge stays open across the asynchronous execution — ownership
+    // moves to the connection (closed at finish_cgi, or when a dying
+    // connection is destroyed).
+    out.cgi_pending = true;
+    out.cgi = cgi;
+    out.query = canonical->query;
+    out.is_head = is_head;
+    out.board_charge = expected;
+    out.service_start_s = service_start;
+    out.t_data_trace_s = t_data;
+    guard.armed = false;
+    return std::move(out);
+  }
   const auto fulfill_start = std::chrono::steady_clock::now();
-  // Fulfill splits by kind: a dynamic request's handler time is cgi_exec
-  // (the paper's t_cpu), a static request's content assembly is doc_read
-  // (t_data) — each request touches exactly one of the two.
+  // A static request's content assembly is doc_read (the paper's t_data).
   const auto lap_fulfill = [&] {
-    clock.add(cgi != nullptr ? obs::Phase::kCgiExec : obs::Phase::kDocRead,
+    clock.add(obs::Phase::kDocRead,
               std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - fulfill_start)
                   .count());
@@ -753,9 +1138,9 @@ NodeServer::ServeAction NodeServer::process_request(
     obs::Observation observation;
     observation.service_start_ts_s = service_start;
     observation.completion_ts_s = board_.now_seconds();
-    // Join the measured phases: doc_read is the observed t_data, cgi_exec
-    // the observed t_cpu. A phase the request never entered reports 0 (the
-    // cost genuinely not paid), matching the predictor's cost terms.
+    // Join the measured phases: doc_read is the observed t_data. A phase
+    // the request never entered reports 0 (the cost genuinely not paid),
+    // matching the predictor's cost terms.
     observation.t_data =
         clock.touched(obs::Phase::kDocRead)
             ? clock.seconds(obs::Phase::kDocRead)
@@ -767,56 +1152,44 @@ NodeServer::ServeAction NodeServer::process_request(
     config_.audit->record_outcome(trace_id, observation);
   };
   http::Response ok;
-  if (cgi != nullptr) {
-    // Dynamic content: execute the registered handler with the query (GET)
-    // or body (POST) as its input.
-    ok = (*cgi)(request, canonical->query);
-    if (is_head) {
-      // HEAD gets the headers the GET would have had, body stripped —
-      // same contract as the static-document path below.
-      ok.headers.set("Content-Length", std::to_string(ok.body.size()));
-      ok.body.clear();
-    }
-  } else {
-    // Conditional GET: an If-Modified-Since at or after the document's
-    // mtime earns a body-less 304 (NCSA httpd supported this in 1994).
-    if (not_modified) {
-      http::Response fresh;
-      fresh.status = http::Status::kNotModified;
-      fresh.headers.add("Last-Modified",
-                        http::format_http_date(doc->last_modified));
-      fresh.headers.add("X-Sweb-Node", std::to_string(self));
-      board_.note_served(self);
-      lap_fulfill();
-      record_outcome();
-      return finish(std::move(fresh));
-    }
-    const std::string mime(http::mime_type_for_path(canonical->path));
-    NodeCache* cache =
-        config_.caches != nullptr && config_.caches->enabled()
-            ? &config_.caches->node(self)
-            : nullptr;
-    if (is_head) {
-      ok = http::make_ok(std::string(), mime);
-      ok.headers.set("Content-Length", std::to_string(doc->size()));
-    } else if (cache != nullptr && cache->lookup(canonical->path)) {
-      // Hot path: the document is resident, so the response carries no
-      // body of its own — the caller gather-writes the preserialized
-      // header block and the DocStore's shared buffer (zero copies).
-      ok.status = http::Status::kOk;
-      ok.headers.add("Content-Type", mime);
-      ok.headers.add("Content-Length", std::to_string(doc->size()));
-      action.body = doc->content;
-    } else {
-      // Cold/evicted: the per-request copy stands in for the disk read
-      // (this is the doc_read cost a cache hit skips), then the document
-      // is admitted so the next request hits.
-      ok = http::make_ok(std::string(*doc->content), mime);
-      if (cache != nullptr) cache->insert(canonical->path, doc->size());
-    }
-    ok.headers.add("Last-Modified",
-                   http::format_http_date(doc->last_modified));
+  // Conditional GET: an If-Modified-Since at or after the document's
+  // mtime earns a body-less 304 (NCSA httpd supported this in 1994).
+  if (not_modified) {
+    http::Response fresh;
+    fresh.status = http::Status::kNotModified;
+    fresh.headers.add("Last-Modified",
+                      http::format_http_date(doc->last_modified));
+    fresh.headers.add("X-Sweb-Node", std::to_string(self));
+    board_.note_served(self);
+    lap_fulfill();
+    record_outcome();
+    return finish(std::move(fresh));
   }
+  const std::string mime(http::mime_type_for_path(canonical->path));
+  NodeCache* cache =
+      config_.caches != nullptr && config_.caches->enabled()
+          ? &config_.caches->node(self)
+          : nullptr;
+  if (is_head) {
+    ok = http::make_ok(std::string(), mime);
+    ok.headers.set("Content-Length", std::to_string(doc->size()));
+  } else if (cache != nullptr && cache->lookup(canonical->path)) {
+    // Hot path: the document is resident, so the response carries no
+    // body of its own — the writer gather-writes the preserialized
+    // header block and the DocStore's shared buffer (zero copies).
+    ok.status = http::Status::kOk;
+    ok.headers.add("Content-Type", mime);
+    ok.headers.add("Content-Length", std::to_string(doc->size()));
+    out.action.body = doc->content;
+  } else {
+    // Cold/evicted: the per-request copy stands in for the disk read
+    // (this is the doc_read cost a cache hit skips), then the document
+    // is admitted so the next request hits.
+    ok = http::make_ok(std::string(*doc->content), mime);
+    if (cache != nullptr) cache->insert(canonical->path, doc->size());
+  }
+  ok.headers.add("Last-Modified",
+                 http::format_http_date(doc->last_modified));
   lap_fulfill();
   if (tracing_on) {
     trace_span("data", trace_id, t_data,
@@ -960,6 +1333,13 @@ http::Response NodeServer::status_response() const {
   w.key("queue_depth").value(static_cast<std::int64_t>(queue_depth()));
   w.key("max_pending").value(
       static_cast<std::int64_t>(std::max(1, config_.max_pending)));
+  // The reactor's real admission story: connections held right now, and
+  // the cap past which arrivals are shed. workers_busy/queue_depth above
+  // are views derived from the same count (pool-era dashboard shape).
+  w.key("connections")
+      .value(static_cast<std::int64_t>(active_connections()));
+  w.key("max_connections")
+      .value(static_cast<std::int64_t>(connection_cap()));
   w.key("shed").value(shed_count());
   // Which kind of degradation this node is suffering, not just how much:
   // 400 = malformed input, 404 = misses, 408 = slow clients timed out,

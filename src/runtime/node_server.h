@@ -6,13 +6,19 @@
 // marks a request that already bounced once, enforcing the at-most-once
 // rule across real connections.
 //
-// Concurrency: a dedicated accept thread dispatches connections to a
-// bounded pool of worker threads (Config::max_workers), so one slow or
-// keep-alive client cannot head-of-line-block the node. When every worker
-// is busy and Config::max_pending connections are already queued, further
-// connections are shed with 503 Service Unavailable — the runtime analogue
-// of the simulator's per-node connection limit + listen backlog, which is
-// what makes the broker's effective_connections() signal meaningful.
+// Concurrency: a single reactor thread runs an edge-triggered epoll event
+// loop over nonblocking sockets. Every connection is a small state machine
+// (header read -> parse -> serve -> write) that resumes partial reads and
+// writes on readiness, so an idle keep-alive connection costs a few hundred
+// bytes of state instead of a parked thread — concurrency is bounded by
+// Config::max_connections (default max_workers + max_pending, the old
+// pool+backlog cap), not by a thread count. Connections past the cap are
+// shed with 503 Service Unavailable, which is what makes the broker's
+// effective_connections() signal meaningful. Deadlines (the slowloris 408
+// header budget, silent idle keep-alive close, write stalls) live in a
+// min-heap timer wheel with lazy invalidation. CGI handlers — the only
+// CPU-bound stage — run on a small worker pool (Config::max_workers) and
+// hand their responses back to the loop through an eventfd wakeup.
 //
 // Observability: every node serves GET /sweb/status — a JSON snapshot of
 // its loadd view (each peer's last update and age, Δ-inflation), its own
@@ -24,20 +30,22 @@
 // target nodes' spans stitch into one logical trace.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "http/message.h"
+#include "http/parser.h"
 #include "obs/audit.h"
 #include "obs/phase.h"
 #include "obs/registry.h"
@@ -47,6 +55,7 @@
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
 #include "runtime/node_cache.h"
+#include "runtime/reactor.h"
 #include "runtime/socket.h"
 
 namespace sweb::runtime {
@@ -92,23 +101,27 @@ class NodeServer {
     /// HTTP/1.0 keep-alive: requests served on one connection before the
     /// server closes it anyway (a fairness/robustness cap).
     int max_requests_per_connection = 32;
-    /// Worker pool: accepted connections are served by up to this many
-    /// concurrent threads per node (clamped to >= 1) — the runtime
-    /// analogue of the simulator's per-node connection limit. One slow or
-    /// keep-alive client occupies one worker, not the whole node.
+    /// CGI execution pool: the reactor offloads CGI handlers (the only
+    /// CPU-bound stage) to up to this many threads (clamped to >= 1).
+    /// Together with max_pending this also derives the default connection
+    /// cap, preserving the old worker-pool admission arithmetic.
     int max_workers = 16;
-    /// Accepted connections held (clamped to >= 1) while every worker is
-    /// busy — the runtime's listen-backlog analogue. A connection arriving
-    /// with the queue full is shed with 503 Service Unavailable.
+    /// Legacy backlog knob (clamped to >= 1): its only remaining role is
+    /// deriving the default connection cap (max_workers + max_pending) and
+    /// the queue_depth gauge's ceiling.
     int max_pending = 32;
+    /// Hard cap on concurrently admitted connections; arrivals past it are
+    /// shed with 503. 0 (the default) derives max_workers + max_pending —
+    /// the exact admission bound of the old bounded-pool server.
+    int max_connections = 0;
     /// Liveness lease period: how often this node stamps its own LoadBoard
     /// entry (the paper's 2-3 s loadd tick; sub-second in tests). Each
     /// stamp also runs the board's failure detector, so peers whose stamps
     /// aged past the board's staleness timeout get marked unavailable.
     std::chrono::milliseconds heartbeat_period{2000};
     /// Slowloris defense: one overall deadline for receiving a complete
-    /// request (header + body) before the worker answers 408 Request
-    /// Timeout and frees itself. Zero falls back to io_timeout.
+    /// request (header + body) before the node answers 408 Request
+    /// Timeout and reclaims the connection. Zero falls back to io_timeout.
     std::chrono::milliseconds header_timeout{0};
     /// The Retry-After hint attached to shed 503s (rounded up to whole
     /// seconds on the wire; retry-capable clients honor it).
@@ -161,7 +174,7 @@ class NodeServer {
 
   // --- Fault injection (tests, benches, chaos drills) --------------------
   /// Abrupt node death: closes the listener (connects are refused), kills
-  /// the accept/worker/heartbeat threads — WITHOUT touching the board's
+  /// the reactor/CGI/heartbeat threads — WITHOUT touching the board's
   /// availability. Peers must discover the death via the failure detector
   /// (missed heartbeats), exactly as they would a real crash.
   void crash();
@@ -187,13 +200,20 @@ class NodeServer {
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
     return handled_.load();
   }
-  /// Workers currently serving a connection (0..max_workers).
-  [[nodiscard]] int workers_busy() const noexcept {
-    return busy_workers_.load();
+  /// Admitted connections currently held by the reactor.
+  [[nodiscard]] int active_connections() const noexcept {
+    return active_conns_.load(std::memory_order_relaxed);
   }
-  /// Accepted connections waiting for a free worker.
-  [[nodiscard]] std::size_t queue_depth() const;
-  /// Connections answered 503 because workers + queue were full.
+  /// The admission cap: connections at/past it are shed with 503.
+  [[nodiscard]] int connection_cap() const noexcept;
+  /// Connections occupying "worker" capacity (0..max_workers) — the old
+  /// pool gauge, now derived: min(active connections, max_workers). Kept
+  /// so dashboards and the shed tests keep their shape.
+  [[nodiscard]] int workers_busy() const noexcept;
+  /// Connections beyond worker capacity but under the cap — the old
+  /// pending-queue gauge, now derived from the same connection count.
+  [[nodiscard]] std::size_t queue_depth() const noexcept;
+  /// Connections answered 503 because the admission cap was reached.
   [[nodiscard]] std::uint64_t shed_count() const noexcept {
     return shed_.load();
   }
@@ -210,42 +230,150 @@ class NodeServer {
   }
 
  private:
-  void serve_loop(const std::stop_token& token);
-  void worker_loop(const std::stop_token& token, int index);
+  /// Per-connection state machine. Owned by the reactor loop; every field
+  /// is touched from the loop thread only.
+  struct Conn {
+    enum class State {
+      kReading,        // pumping header/body bytes into the parser
+      kDeferredRead,   // chaos defer or throttle pacing before the next read
+      kCgiWait,        // handler running on the CGI pool; awaiting handback
+      kWriting,        // pumping the response out
+      kDeferredWrite,  // chaos defer or throttle pacing before the next send
+    };
+
+    TcpStream stream;
+    std::uint64_t id = 0;
+    State state = State::kReading;
+    bool can_read = false;   // edge-triggered readiness cache
+    bool can_write = true;   // a fresh socket is writable
+    bool conn_faulted = false;
+
+    // Request framing.
+    std::unique_ptr<http::RequestParser> parser;
+    std::string leftover;  // bytes past the parsed request (pipelining)
+    int served = 0;        // requests completed on this connection
+    bool got_bytes = false;
+    bool keep_alive = false;
+
+    // Deadlines (enforced through the timer heap).
+    Deadline read_deadline{};
+    Deadline write_deadline{};
+    bool has_write_deadline = false;
+    std::chrono::steady_clock::time_point defer_until{};
+    std::uint64_t timer_gen = 0;  // lazy invalidation of heap entries
+    bool timer_armed = false;
+    std::chrono::steady_clock::time_point timer_when{};
+
+    // Chaos gates ({read,write}_defer charged once per I/O op).
+    bool read_gate_passed = false;
+    bool write_gate_passed = false;
+    bool throttled_min_read = false;
+    bool throttled_min_write = false;
+    bool response_started = false;  // first send of this response done
+
+    // Phase attribution: every gap between attentions is charged to
+    // wait_phase; synchronous work laps directly.
+    obs::PhaseClock clock;
+    std::chrono::steady_clock::time_point accepted_at{};
+    std::chrono::steady_clock::time_point request_start{};
+    std::chrono::steady_clock::time_point phase_mark{};
+    obs::Phase wait_phase = obs::Phase::kQueueWait;
+    bool first_attention = true;
+    bool idle_wait = false;  // keep-alive think time: gap not charged
+    double queue_wait_s = 0.0;
+    double t_parse_start = 0.0;  // tracer timestamps
+    double t_send_start = 0.0;
+    double t_data_trace_s = 0.0;
+    std::uint64_t trace_id = 0;
+    bool inflight_marked = false;
+
+    // Response write state.
+    std::string head;  // serialized head (zero-copy) or whole response
+    std::shared_ptr<const std::string> body;  // zero-copy shared body
+    std::size_t written = 0;
+    int status = 0;
+    std::string method;
+    std::string path;
+    bool suppress_record = false;        // /sweb/* scrape exclusion
+    bool count_handled_on_success = false;
+    bool observe_response_hist = false;
+
+    // CGI handback state.
+    bool is_head_cgi = false;
+    std::uint64_t board_charge = 0;
+    bool charge_open = false;  // board connection_opened awaiting close
+    double service_start_s = 0.0;
+  };
+
+  /// What process_request decided: an inline outcome carries the finished
+  /// response (and possibly a zero-copy body); a CGI outcome carries what
+  /// the loop needs to offload the handler and finish on handback.
+  struct ServeAction {
+    http::Response response;
+    /// When set, the writer gather-writes response.serialize_head() +
+    /// *body (the response's own body is empty) — the zero-copy hot path.
+    std::shared_ptr<const std::string> body;
+  };
+  struct ProcessOutcome {
+    ServeAction action;
+    bool cgi_pending = false;
+    const CgiHandler* cgi = nullptr;
+    std::string query;
+    bool is_head = false;
+    std::uint64_t board_charge = 0;  // open connection_opened to close later
+    double service_start_s = 0.0;    // board clock at fulfill start
+    double t_data_trace_s = 0.0;     // tracer timestamp for the data span
+  };
+
+  // --- Reactor loop -------------------------------------------------------
+  void reactor_loop(const std::stop_token& token);
+  void accept_ready();
+  void admit(TcpStream stream);
+  void shed(TcpStream stream);
+  void destroy_conn(std::uint64_t id);
+  void clear_conns();
+  /// Charges the gap since the last attention to the connection's wait
+  /// phase (or starts the request clocks on first/idle attention).
+  void attend(Conn& conn);
+  void lap(Conn& conn, obs::Phase phase);
+  /// Restarts the request clocks when the first byte of a keep-alive
+  /// request arrives (think time excluded).
+  void begin_request_clock(Conn& conn);
+  /// Pumps reads/parse until EAGAIN, a defer, or a complete request.
+  /// All drive_*/finish_* helpers return false when the connection was
+  /// destroyed.
+  [[nodiscard]] bool drive_read(Conn& conn);
+  [[nodiscard]] bool finish_parse(Conn& conn, http::ParseResult state);
+  [[nodiscard]] bool start_write(Conn& conn, http::Response response,
+                                 std::shared_ptr<const std::string> body);
+  [[nodiscard]] bool drive_write(Conn& conn);
+  [[nodiscard]] bool write_complete(Conn& conn, bool ok);
+  void reset_for_next_request(Conn& conn);
+  [[nodiscard]] bool on_timer(Conn& conn);
+  [[nodiscard]] bool read_timed_out(Conn& conn);
+  void start_defer(Conn& conn, Conn::State state,
+                   std::chrono::milliseconds delay, obs::Phase wait_phase);
+  void arm_conn_timer(Conn& conn);
+  void finish_cgi(CgiPool::Result result);
+  void update_pool_gauges();
+  [[nodiscard]] std::chrono::milliseconds read_budget() const noexcept;
+
   /// Stamps this node's liveness lease every heartbeat_period and runs the
   /// board's failure detector over the peers.
   void heartbeat_loop(const std::stop_token& token);
-  void launch_workers();
   /// Stamps the first heartbeat synchronously (so the node is joined the
   /// moment start()/recover() returns) and launches the heartbeat thread.
   void start_heartbeat();
   void stop_heartbeat();
-  void stop_serving();  // accept thread, workers, pending queue
-  /// Queues the accepted stream for a worker, or sheds it with a 503 when
-  /// the pending queue is at max_pending (all workers busy).
-  void dispatch(TcpStream stream);
-  void shed(TcpStream stream);
-  /// `queue_wait_s`: how long the connection sat in pending_ before a
-  /// worker picked it up — the first request's queue_wait phase.
-  void handle_connection(TcpStream stream, const std::stop_token& token,
-                         double queue_wait_s);
-
-  /// What process_request hands back: the response, plus the zero-copy
-  /// body when the document was cache-resident.
-  struct ServeAction {
-    http::Response response;
-    /// When set, the caller gather-writes response.serialize_head() +
-    /// *body (the response's own body is empty) — the zero-copy hot path.
-    std::shared_ptr<const std::string> body;
-  };
+  void stop_serving();  // reactor thread, CGI pool, admitted connections
 
   /// Parses/serves one request; Connection header is set by the caller.
   /// `trace_id` labels this request's spans (0 when tracing is off).
-  /// Phase durations (broker_decide, doc_read/cgi_exec) accumulate into
-  /// `clock`.
-  [[nodiscard]] ServeAction process_request(const http::Request& request,
-                                            std::uint64_t trace_id,
-                                            obs::PhaseClock& clock);
+  /// Phase durations (broker_decide, doc_read) accumulate into `clock`.
+  /// A CGI request comes back cgi_pending with the handler un-run.
+  [[nodiscard]] ProcessOutcome process_request(const http::Request& request,
+                                               std::uint64_t trace_id,
+                                               obs::PhaseClock& clock);
   /// Flushes a finished request's phase vector into the per-phase
   /// histograms and, when it blew the slow budget or rode a chaos-faulted
   /// connection, into the slow log.
@@ -289,20 +417,16 @@ class NodeServer {
   ChaosDirector chaos_;
   TcpListener listener_;
   std::vector<std::uint16_t> peer_ports_;
-  std::jthread thread_;
-  // Worker pool: the accept loop feeds pending_, workers drain it. The
-  // condition variable is _any so it can wait on the workers' stop token.
-  // Each pending connection keeps its enqueue instant so the worker that
-  // picks it up can attribute the wait to the queue_wait phase.
-  struct PendingConn {
-    TcpStream stream;
-    std::chrono::steady_clock::time_point enqueued_at;
-  };
-  std::vector<std::jthread> workers_;
-  mutable std::mutex queue_mutex_;
-  std::condition_variable_any queue_cv_;
-  std::deque<PendingConn> pending_;
-  std::atomic<int> busy_workers_{0};
+  std::jthread thread_;  // the reactor loop
+  // Reactor state: owned and touched by the loop thread only (stop_serving
+  // clears conns_ strictly after joining the thread).
+  WakeFd wake_;
+  std::unique_ptr<CgiPool> pool_;
+  std::unique_ptr<Epoller> epoller_;
+  TimerHeap timers_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0/1 tag the listener and the wakeup
+  std::atomic<int> active_conns_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> err400_{0};
   std::atomic<std::uint64_t> err404_{0};

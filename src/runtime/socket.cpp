@@ -13,6 +13,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 namespace sweb::runtime {
 
@@ -37,7 +38,7 @@ namespace {
   return wait_ready_until(fd, events, deadline_after(timeout));
 }
 
-void set_nonblocking(int fd, bool enable) {
+void set_fd_nonblocking(int fd, bool enable) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return;
   ::fcntl(fd, F_SETFL, enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
@@ -111,12 +112,16 @@ std::optional<TcpStream> TcpStream::connect(const SocketAddress& addr,
                                             std::chrono::milliseconds timeout) {
   FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return std::nullopt;
-  set_nonblocking(fd.get(), true);
+  set_fd_nonblocking(fd.get(), true);
   const sockaddr_in sa = addr.to_sockaddr();
   const int rc =
       ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
   if (rc != 0) {
-    if (errno != EINPROGRESS) return std::nullopt;
+    // EINTR on a nonblocking connect is NOT a failure: POSIX says the
+    // attempt proceeds asynchronously, exactly like EINPROGRESS, so a
+    // signal landing here must fall through to the POLLOUT wait rather
+    // than spuriously failing the fetch.
+    if (errno != EINPROGRESS && errno != EINTR) return std::nullopt;
     if (!wait_ready(fd.get(), POLLOUT, timeout)) return std::nullopt;
     int err = 0;
     socklen_t len = sizeof err;
@@ -125,7 +130,7 @@ std::optional<TcpStream> TcpStream::connect(const SocketAddress& addr,
       return std::nullopt;
     }
   }
-  set_nonblocking(fd.get(), false);
+  set_fd_nonblocking(fd.get(), false);
   return TcpStream(std::move(fd));
 }
 
@@ -135,26 +140,108 @@ TcpStream::ReadResult TcpStream::read_some(std::size_t max,
   if (!fd_.valid()) return result;
   // Chaos: injected latency/stall sleeps here, on purpose outside the
   // caller's timeout — the degraded link does not honor anyone's budget.
-  if (faults_ != nullptr) max = faults_->before_read(max);
-  if (!wait_ready(fd_.get(), POLLIN, timeout)) return result;
+  if (faults_ != nullptr) {
+    max = faults_->before_read(max);
+    if (max == 0) {
+      // Throttle rates under one byte per slice clamp to zero: pace one
+      // slice and let the minimum one byte through — recv(fd, buf, 0)
+      // returning 0 would be misread as EOF and kill the connection.
+      std::this_thread::sleep_for(faults_->throttle_slice());
+      max = 1;
+    }
+  }
+  const Deadline deadline = deadline_after(timeout);
   result.data.resize(max);
-  const ssize_t n = ::recv(fd_.get(), result.data.data(), max, 0);
-  if (n < 0) {
+  for (;;) {
+    if (!wait_ready_until(fd_.get(), POLLIN, deadline)) {
+      result.data.clear();
+      return result;
+    }
+    const ssize_t n = ::recv(fd_.get(), result.data.data(), max, 0);
+    if (n >= 0) {
+      result.data.resize(static_cast<std::size_t>(n));
+      result.ok = true;
+      result.eof = (n == 0);
+      if (faults_ != nullptr && n > 0) {
+        faults_->after_read(static_cast<std::size_t>(n));
+      }
+      return result;
+    }
+    // A signal (EINTR) or a readiness race (poll reported readable but the
+    // kernel had nothing by the time we called recv — EAGAIN) is not a
+    // dead connection: retry within the remaining deadline.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     result.data.clear();
     return result;
   }
-  result.data.resize(static_cast<std::size_t>(n));
-  result.ok = true;
-  result.eof = (n == 0);
-  if (faults_ != nullptr && n > 0) {
-    faults_->after_read(static_cast<std::size_t>(n));
-  }
-  return result;
 }
 
 bool TcpStream::wait_readable(std::chrono::milliseconds timeout) const {
   if (!fd_.valid()) return false;
   return wait_ready(fd_.get(), POLLIN, timeout);
+}
+
+void TcpStream::set_nonblocking(bool enable) noexcept {
+  if (fd_.valid()) set_fd_nonblocking(fd_.get(), enable);
+}
+
+TcpStream::NbRead TcpStream::read_nb(std::size_t max) {
+  NbRead result;
+  if (!fd_.valid() || max == 0) return result;
+  result.data.resize(max);
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), result.data.data(), max, MSG_DONTWAIT);
+    if (n >= 0) {
+      result.data.resize(static_cast<std::size_t>(n));
+      result.ok = true;
+      result.eof = (n == 0);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    result.data.clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.ok = true;
+      result.would_block = true;
+    }
+    return result;
+  }
+}
+
+TcpStream::NbWrite TcpStream::write_some_v_nb(const std::string_view* segments,
+                                              std::size_t count) {
+  NbWrite result;
+  if (!fd_.valid()) return result;
+  std::array<iovec, 8> iov{};
+  std::size_t iov_count = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (segments[i].empty()) continue;
+    if (iov_count == iov.size()) return result;  // caller exceeded the fan-in
+    iov[iov_count].iov_base =
+        const_cast<char*>(segments[i].data());  // sendmsg never writes it
+    iov[iov_count].iov_len = segments[i].size();
+    ++iov_count;
+  }
+  if (iov_count == 0) {
+    result.ok = true;
+    return result;
+  }
+  msghdr msg{};
+  msg.msg_iov = iov.data();
+  msg.msg_iovlen = iov_count;
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      result.written = static_cast<std::size_t>(n);
+      result.ok = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.ok = true;
+      result.would_block = true;
+    }
+    return result;
+  }
 }
 
 bool TcpStream::write_all(std::string_view data,
@@ -191,6 +278,15 @@ bool TcpStream::write_all_v(std::initializer_list<std::string_view> segments,
       if (reset_now) {
         hard_reset();
         return false;
+      }
+      if (want == 0) {
+        // The throttle clamped this send to nothing (rates under one byte
+        // per slice): an empty iovec would make sendmsg return 0 and the
+        // connection would be dropped as dead. Pace one throttle slice,
+        // then let the minimum one byte through. Like every chaos sleep,
+        // the pause deliberately ignores the caller's deadline.
+        std::this_thread::sleep_for(faults_->throttle_slice());
+        want = 1;
       }
     }
     // Trim the gather list to the clamped byte budget.
@@ -274,6 +370,24 @@ std::optional<TcpStream> TcpListener::accept(
   // Chaos seam: a degraded node degrades every connection it accepts.
   if (chaos_ != nullptr) stream.set_faults(chaos_->admit());
   return stream;
+}
+
+void TcpListener::set_nonblocking(bool enable) noexcept {
+  if (fd_.valid()) set_fd_nonblocking(fd_.get(), enable);
+}
+
+std::optional<TcpStream> TcpListener::accept_nb() {
+  if (!fd_.valid()) return std::nullopt;
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) {
+      TcpStream stream{FileDescriptor(client)};
+      if (chaos_ != nullptr) stream.set_faults(chaos_->admit());
+      return stream;
+    }
+    if (errno == EINTR) continue;
+    return std::nullopt;  // EAGAIN (backlog drained) or a transient error
+  }
 }
 
 }  // namespace sweb::runtime

@@ -82,6 +82,15 @@ class TcpStream {
 
   [[nodiscard]] bool valid() const noexcept { return fd_.valid(); }
 
+  /// Raw fd for event-loop registration (epoll); -1 when invalid. The
+  /// stream keeps ownership.
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+  /// Switches the socket between blocking and O_NONBLOCK mode. The
+  /// blocking helpers below work either way (they poll first and send with
+  /// MSG_DONTWAIT); the reactor flips accepted connections nonblocking.
+  void set_nonblocking(bool enable) noexcept;
+
   /// Reads up to `max` bytes; "" + ok=false on error, "" + ok=true on EOF is
   /// distinguished via the eof flag.
   struct ReadResult {
@@ -113,6 +122,39 @@ class TcpStream {
   [[nodiscard]] bool write_all_v(
       std::initializer_list<std::string_view> segments,
       std::chrono::milliseconds timeout);
+
+  // --- Non-blocking primitives (reactor event loop) -----------------------
+  // These never sleep, never poll, and never consult the chaos seam: the
+  // reactor schedules chaos defers itself through faults_state() and calls
+  // these only when epoll reported readiness. EINTR is retried inline (a
+  // signal is not a state change); EAGAIN surfaces as would_block=true so
+  // the state machine can park until the next readiness event.
+
+  /// One nonblocking recv of up to `max` bytes.
+  struct NbRead {
+    std::string data;
+    bool ok = false;          // false: hard error (connection is dead)
+    bool eof = false;         // ok && the peer half-closed
+    bool would_block = false; // ok && no bytes available right now
+  };
+  [[nodiscard]] NbRead read_nb(std::size_t max);
+
+  /// One nonblocking gather send (a single sendmsg of up to 8 segments).
+  /// `written` may cover any prefix of the total; the caller resumes the
+  /// remainder on the next writability event.
+  struct NbWrite {
+    std::size_t written = 0;
+    bool ok = false;
+    bool would_block = false;
+  };
+  [[nodiscard]] NbWrite write_some_v_nb(const std::string_view* segments,
+                                        std::size_t count);
+
+  /// The attached per-connection fault state (nullptr when clean) — the
+  /// reactor consults it directly for defers/clamps.
+  [[nodiscard]] ConnectionFaults* faults_state() const noexcept {
+    return faults_.get();
+  }
 
   /// Half-closes the write side (signals EOF to the peer — HTTP/1.0 framing).
   void shutdown_write() noexcept;
@@ -149,6 +191,17 @@ class TcpListener {
   /// Waits up to `timeout` for a connection; std::nullopt on timeout.
   [[nodiscard]] std::optional<TcpStream> accept(
       std::chrono::milliseconds timeout);
+
+  /// Raw fd for event-loop registration; -1 after close().
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+  /// Switches the listening socket between blocking and O_NONBLOCK mode.
+  void set_nonblocking(bool enable) noexcept;
+
+  /// Nonblocking accept: one pending connection or std::nullopt when the
+  /// backlog is empty (or on a transient accept error). Applies the chaos
+  /// seam exactly like accept(). The listener must be in nonblocking mode.
+  [[nodiscard]] std::optional<TcpStream> accept_nb();
 
   /// Closes the listening socket (further connects are refused) but keeps
   /// port() — fault injection for a crashed node. Join any thread blocked

@@ -1,0 +1,213 @@
+// Socket-layer hardening: interrupted syscalls and degenerate chaos clamps.
+//
+// Two regressions guarded here. (1) A signal landing mid-I/O (EINTR from
+// recv/connect/sendmsg, with no SA_RESTART) is not a state change: every
+// blocking socket call must retry within its remaining deadline instead of
+// reporting a hard error. (2) A chaos throttle below one byte per pacing
+// slice clamps the per-send budget to zero; that must pace the transfer —
+// never produce an empty iovec whose sendmsg()==0 reads as a dead
+// connection, and never spin.
+#include <gtest/gtest.h>
+
+#include <sys/time.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+
+#include "runtime/chaos.h"
+#include "runtime/socket.h"
+
+namespace sweb::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::atomic<int> g_signals{0};
+void on_alarm(int) { g_signals.fetch_add(1, std::memory_order_relaxed); }
+
+/// RAII interval timer: SIGALRM every 2 ms, handler installed WITHOUT
+/// SA_RESTART so every slow syscall on the storm'd thread keeps getting
+/// interrupted — the classic profiler/alarm signal storm.
+class SignalStorm {
+ public:
+  SignalStorm() {
+    struct sigaction sa = {};
+    sa.sa_handler = on_alarm;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: syscalls must surface EINTR
+    sigaction(SIGALRM, &sa, &old_action_);
+    itimerval timer = {};
+    timer.it_interval.tv_usec = 2000;
+    timer.it_value.tv_usec = 2000;
+    setitimer(ITIMER_REAL, &timer, &old_timer_);
+  }
+  ~SignalStorm() {
+    setitimer(ITIMER_REAL, &old_timer_, nullptr);
+    sigaction(SIGALRM, &old_action_, nullptr);
+  }
+
+ private:
+  struct sigaction old_action_ = {};
+  itimerval old_timer_ = {};
+};
+
+/// Helper threads block SIGALRM so the storm always lands on the main
+/// thread — the one whose socket calls are under test.
+void block_sigalrm_here() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGALRM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+TEST(SignalStorm, ConnectSurvivesInterruptedSyscalls) {
+  TcpListener listener(0);
+  SignalStorm storm;
+  // Keep connecting across many timer ticks so some connect()/poll() calls
+  // take a SIGALRM mid-flight; EINTR from the initial nonblocking connect
+  // must fall through to the POLLOUT wait, not report failure.
+  const int before = g_signals.load();
+  const auto until = std::chrono::steady_clock::now() + 150ms;
+  int attempts = 0;
+  while (std::chrono::steady_clock::now() < until || attempts < 25) {
+    auto client = TcpStream::connect(
+        SocketAddress::loopback(listener.port()), 2000ms);
+    ASSERT_TRUE(client.has_value()) << "connect attempt " << attempts;
+    auto server = listener.accept(2000ms);
+    ASSERT_TRUE(server.has_value());
+    ++attempts;
+  }
+  EXPECT_GT(g_signals.load(), before)
+      << "storm never fired; test proved nothing";
+}
+
+TEST(SignalStorm, ReadSomeRetriesInterruptedRecvWithinDeadline) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  SignalStorm storm;
+  std::thread writer([&server] {
+    block_sigalrm_here();
+    // Land the bytes well after the client entered its poll/recv loop so
+    // the wait itself eats several SIGALRMs first.
+    std::this_thread::sleep_for(150ms);
+    ASSERT_TRUE(server->write_all("hello", 2000ms));
+  });
+  const auto chunk = client->read_some(1024, 2000ms);
+  writer.join();
+  ASSERT_TRUE(chunk.ok) << "EINTR surfaced as a hard read error";
+  EXPECT_FALSE(chunk.eof);
+  EXPECT_EQ(chunk.data, "hello");
+  EXPECT_GT(g_signals.load(), 0);
+}
+
+TEST(SignalStorm, GatherWriteDeliversEveryByteIntact) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  const std::string head(512, 'H');
+  const std::string body(4 * 1024 * 1024, 'b');  // forces many partial sends
+  SignalStorm storm;
+  std::size_t received = 0;
+  bool tail_ok = true;
+  std::thread reader([&] {
+    block_sigalrm_here();
+    for (;;) {
+      const auto chunk = server->read_some(64 * 1024, 5000ms);
+      if (!chunk.ok || chunk.eof) break;
+      for (const char c : chunk.data) {
+        const char want = received < head.size() ? 'H' : 'b';
+        if (c != want) tail_ok = false;
+        ++received;
+      }
+    }
+  });
+  EXPECT_TRUE(client->write_all_v({head, body}, 10000ms));
+  client->shutdown_write();
+  reader.join();
+  EXPECT_EQ(received, head.size() + body.size());
+  EXPECT_TRUE(tail_ok) << "segment bytes arrived out of order or corrupted";
+  EXPECT_GT(g_signals.load(), 0);
+}
+
+TEST(ThrottleToZero, ClampReportsZeroAndSliceUnderOneBytePerSlice) {
+  FaultPlan plan;
+  plan.throttle_bytes_per_sec = 4;  // under one byte per 125 ms slice
+  ConnectionFaults faults(plan, /*seed=*/1, /*doomed=*/false, nullptr);
+  EXPECT_EQ(faults.clamp_read(16 * 1024), 0u);
+  EXPECT_GT(faults.throttle_slice(), 0ms);
+  // Completed bytes become pacing debt the next defer surfaces.
+  faults.note_read_nb(1);
+  EXPECT_GE(faults.read_defer(), 200ms);  // 1 byte at 4 B/s = 250 ms
+}
+
+TEST(ThrottleToZero, GatherWriteSurvivesZeroClampAndPacesBytes) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  FaultPlan plan;
+  plan.throttle_bytes_per_sec = 4;  // every clamp_write comes back 0
+  client->set_faults(std::make_shared<ConnectionFaults>(
+      plan, /*seed=*/1, /*doomed=*/false, nullptr));
+
+  std::string received;
+  std::thread reader([&] {
+    for (;;) {
+      const auto chunk = server->read_some(64, 5000ms);
+      if (!chunk.ok || chunk.eof) break;
+      received += chunk.data;
+    }
+  });
+  // Before the fix the zero clamp built an empty iovec, sendmsg returned
+  // 0, and write_all_v treated the connection as dead — dropping the
+  // response. It must instead pace ~one byte per slice and finish.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client->write_all_v({"GET ", "/a\r\n"}, 2000ms));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  client->shutdown_write();
+  reader.join();
+  EXPECT_EQ(received, "GET /a\r\n");
+  // Eight bytes through a sub-slice throttle cannot land instantly: the
+  // pacing defense really slept, it didn't just lift the clamp.
+  EXPECT_GE(elapsed, 500ms);
+}
+
+TEST(ThrottleToZero, ReadSomeSurvivesZeroClamp) {
+  TcpListener listener(0);
+  auto client = TcpStream::connect(SocketAddress::loopback(listener.port()),
+                                   2000ms);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener.accept(2000ms);
+  ASSERT_TRUE(server.has_value());
+
+  FaultPlan plan;
+  plan.throttle_bytes_per_sec = 4;
+  client->set_faults(std::make_shared<ConnectionFaults>(
+      plan, /*seed=*/1, /*doomed=*/false, nullptr));
+  ASSERT_TRUE(server->write_all("ok", 2000ms));
+  // A zero read clamp must never recv(fd, buf, 0) — that return of 0 would
+  // be indistinguishable from EOF. The defense paces one slice and reads
+  // at least one byte.
+  const auto first = client->read_some(1024, 2000ms);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.eof);
+  EXPECT_FALSE(first.data.empty());
+}
+
+}  // namespace
+}  // namespace sweb::runtime
