@@ -12,6 +12,7 @@
 //   live_server --metrics-out run.jsonl  append registry snapshots (JSONL)
 //   live_server --trace-out run.json     Chrome trace_event of every request
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -24,6 +25,26 @@
 #include "util/rng.h"
 
 using namespace sweb;
+
+namespace {
+
+// SIGTERM/SIGINT ask for a graceful drain: the handler only flips a flag
+// (the only thing async-signal-safe to do); the linger loop sees it and
+// falls through to the normal shutdown path, where cluster.stop() drains
+// the reactors instead of the process dying mid-connection.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void request_shutdown(int /*signum*/) { g_shutdown_requested = 1; }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = request_shutdown;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli;
@@ -53,6 +74,21 @@ int main(int argc, char** argv) {
               "connection units subtracted from a node's apparent load "
               "when it holds the requested document resident (cache-aware "
               "redirects; 0 keeps placement purely load-based)")
+      // Overload control (see DESIGN "Overload control"): off unless
+      // --overload is set, preserving the static-cap behavior.
+      .option("overload-brownout-ms", "50",
+              "queue-delay estimate (ms) at which brownout begins: CGI and "
+              "non-resident documents get 503 while cache hits still serve")
+      .option("overload-shed-ms", "250",
+              "queue-delay estimate (ms) at which shedding begins: new "
+              "connections are refused at accept with an adaptive "
+              "Retry-After from the estimated drain time")
+      .option("overload-util", "0.9",
+              "connections/cap utilization that also triggers brownout "
+              "(degrade before the hard cap sheds)")
+      .option("overload-dwell-ms", "1000",
+              "minimum ms in a state before the controller may step back "
+              "down (the anti-flap hysteresis dwell)")
       .option("metrics-out", "",
               "append registry snapshots to this JSONL file (1 Hz)")
       .option("trace-out", "",
@@ -81,6 +117,9 @@ int main(int argc, char** argv) {
               "bytes written before a doomed connection's RST fires")
       .option("chaos-seed", "0",
               "chaos RNG seed (0: the built-in default, reproducible)")
+      .flag("overload",
+            "enable adaptive overload control (brownout degradation + "
+            "shedding at accept) with the --overload-* thresholds")
       .flag("serve", "keep serving after the demo session")
       .flag("status", "fetch and print GET /sweb/status, then linger");
   try {
@@ -110,6 +149,20 @@ int main(int argc, char** argv) {
   options.cache_bytes_per_node =
       static_cast<std::uint64_t>(cli.get_int("cache-bytes"));
   options.broker.cache_hit_discount = cli.get_double("cache-discount");
+  if (cli.get_flag("overload")) {
+    options.overload.enabled = true;
+    options.overload.brownout_enter_s =
+        static_cast<double>(cli.get_int("overload-brownout-ms")) / 1000.0;
+    // Exit thresholds sit at 40% of their enter thresholds (the defaults'
+    // 20/50 and 100/250 ratio) — the hysteresis band scales with the knob.
+    options.overload.brownout_exit_s = 0.4 * options.overload.brownout_enter_s;
+    options.overload.shed_enter_s =
+        static_cast<double>(cli.get_int("overload-shed-ms")) / 1000.0;
+    options.overload.shed_exit_s = 0.4 * options.overload.shed_enter_s;
+    options.overload.brownout_utilization = cli.get_double("overload-util");
+    options.overload.min_dwell_s =
+        static_cast<double>(cli.get_int("overload-dwell-ms")) / 1000.0;
+  }
   options.chaos_node = static_cast<int>(cli.get_int("chaos-node"));
   options.chaos.read_delay =
       std::chrono::milliseconds(cli.get_int("chaos-read-delay"));
@@ -138,7 +191,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(options.chaos_seed));
   }
   if (!cli.get("trace-out").empty()) cluster.tracer().set_enabled(true);
+  install_signal_handlers();
   cluster.start();
+  if (cli.get_flag("overload")) {
+    std::printf("overload control: on (brownout at %s ms queue delay, "
+                "shedding at %s ms)\n",
+                cli.get("overload-brownout-ms").c_str(),
+                cli.get("overload-shed-ms").c_str());
+  }
 
   // Live metrics tail: one registry snapshot per second, JSON lines.
   std::unique_ptr<obs::SnapshotWriter> snapshots;
@@ -199,11 +259,22 @@ int main(int argc, char** argv) {
 
   if (linger) {
     const int seconds = static_cast<int>(cli.get_int("serve-seconds"));
-    std::printf("\nserving for %d s — try:\n"
+    std::printf("\nserving for %d s (SIGTERM/SIGINT drain early) — try:\n"
                 "  curl -i http://127.0.0.1:%u/adl/meta0.html\n"
                 "  curl -s http://127.0.0.1:%u/sweb/status\n",
                 seconds, cluster.port(0), cluster.port(0));
-    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    // Sliced sleep so a SIGTERM/SIGINT ends the linger within ~100 ms and
+    // falls through to the graceful cluster.stop() below, instead of the
+    // default handler killing the process mid-connection.
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+    while (g_shutdown_requested == 0 &&
+           std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_shutdown_requested != 0) {
+      std::printf("\nshutdown requested; draining...\n");
+    }
   }
 
   if (const std::string path = cli.get("slow-log"); !path.empty()) {

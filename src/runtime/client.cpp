@@ -110,6 +110,16 @@ std::chrono::milliseconds FetchSession::next_backoff() {
   return std::chrono::milliseconds(prev_backoff_ms_);
 }
 
+std::chrono::milliseconds FetchSession::jittered_floor(
+    std::chrono::milliseconds floor) {
+  const std::int64_t extra_max = static_cast<std::int64_t>(
+      static_cast<double>(floor.count()) *
+      std::max(0.0, options_.retry.retry_after_spread));
+  if (extra_max <= 0) return floor;
+  std::uniform_int_distribution<std::int64_t> dist(0, extra_max);
+  return floor + std::chrono::milliseconds(dist(rng_));
+}
+
 std::optional<http::Response> FetchSession::exchange(const http::Url& url,
                                                      ExchangeError& error) {
   error = ExchangeError::kNone;
@@ -237,7 +247,12 @@ std::optional<FetchResult> FetchSession::fetch(const std::string& url) {
     // (live) node, so there is no one to back off from. Everything else
     // sleeps the jittered backoff, within the total deadline.
     if (attempt.status != Attempt::Status::kDeadHop) {
-      const auto sleep = std::max(floor, next_backoff());
+      // A server-imposed Retry-After floor gets the comeback jitter: the
+      // whole herd holds the same hint, so sleeping it exactly would
+      // synchronize the retry wave the moment it expires.
+      const auto sleep =
+          floor > 0ms ? std::max(jittered_floor(floor), next_backoff())
+                      : next_backoff();
       if (sleep >= time_remaining(budget)) break;  // budget exhausted
       std::this_thread::sleep_for(sleep);
     } else if (time_remaining(budget) <= 0ms) {

@@ -39,6 +39,14 @@ struct RetryPolicy {
   /// Sleep at least a 503's Retry-After (delta-seconds, fractions allowed)
   /// before re-asking the server that shed us.
   bool honor_retry_after = true;
+  /// Jitter on top of an honored Retry-After: the actual sleep is
+  /// uniform over [hint, hint * (1 + retry_after_spread)]. Every client a
+  /// shedding server turned away got the *same* hint, so sleeping exactly
+  /// the hint would march the whole herd back in one synchronized wave
+  /// the second it expires — the spread de-correlates the comeback. 0
+  /// restores exact-hint sleeps. The total_deadline still wins: a sleep
+  /// that would overrun the budget is abandoned, never taken.
+  double retry_after_spread = 0.5;
   /// Seed for the jitter RNG — reproducible backoff sequences in tests.
   std::uint64_t seed = 0x5eb7e7c4ULL;
 };
@@ -126,6 +134,10 @@ class FetchSession {
                                                        ExchangeError& error);
   /// Next decorrelated-jitter backoff (advances prev_backoff_).
   [[nodiscard]] std::chrono::milliseconds next_backoff();
+  /// A server-imposed Retry-After floor with the policy's comeback
+  /// jitter applied: uniform over [floor, floor * (1 + spread)].
+  [[nodiscard]] std::chrono::milliseconds jittered_floor(
+      std::chrono::milliseconds floor);
   void count(const char* name);
 
   FetchOptions options_;

@@ -151,6 +151,13 @@ void LoadBoard::set_available(int node, bool available) {
   publish();
 }
 
+void LoadBoard::set_overloaded(int node, bool overloaded) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  loads_[static_cast<std::size_t>(node)].overloaded = overloaded;
+  touch(node);
+  publish();
+}
+
 void LoadBoard::heartbeat(int node) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const double now = now_seconds();

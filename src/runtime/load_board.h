@@ -55,6 +55,10 @@ struct NodeLoad {
   /// connections — each counts as one phantom connection for scheduling
   /// (the runtime's Δ-inflation) until consumed or expired.
   int redirect_inflation = 0;
+  /// True while the node's overload controller is in brownout or shedding:
+  /// the node is still *available* (it serves cache hits, answers
+  /// heartbeats) but the broker must not aim new 302 re-assignments at it.
+  bool overloaded = false;
   /// Seconds (board clock) of the last update to this entry; < 0 = never.
   double last_update_s = -1.0;
   /// Seconds (board clock) of the last heartbeat() stamp; < 0 = never.
@@ -94,6 +98,10 @@ class LoadBoard {
   /// Graceful leave/join (start()/stop()); does NOT count as a liveness
   /// rejoin — only heartbeats resuming after a sweep do.
   void set_available(int node, bool available);
+  /// Published by the node's overload controller on state transitions:
+  /// true in brownout/shedding, false when healthy (and cleared by a
+  /// graceful stop). The broker skips overloaded peers when re-assigning.
+  void set_overloaded(int node, bool overloaded);
 
   /// Stamps `node`'s liveness lease, marking it available (join/rejoin).
   void heartbeat(int node);

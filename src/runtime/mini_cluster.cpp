@@ -39,6 +39,7 @@ MiniCluster::MiniCluster(int num_nodes, const fs::Docbase& docbase,
     cfg.heartbeat_period = options.heartbeat_period;
     cfg.header_timeout = options.header_timeout;
     cfg.retry_after_hint = options.retry_after_hint;
+    cfg.overload = options.overload;
     if (n == options.chaos_node) {
       cfg.chaos = options.chaos;
       cfg.chaos_seed = options.chaos_seed;

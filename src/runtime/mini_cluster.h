@@ -48,8 +48,13 @@ struct MiniClusterOptions {
   /// Slowloris defense per node: complete-request deadline before a 408
   /// (NodeServer::Config::header_timeout). Zero falls back to io_timeout.
   std::chrono::milliseconds header_timeout{0};
-  /// Retry-After hint attached to shed 503s.
+  /// Retry-After hint attached to shed 503s (the fallback when the
+  /// overload controller is disabled or has no drain signal yet).
   std::chrono::milliseconds retry_after_hint{1000};
+  /// Overload control per node (NodeServer::Config::overload): off by
+  /// default; set overload.enabled = true for adaptive admission
+  /// (brownout class sheds, shedding at accept, broker route-around).
+  OverloadParams overload{};
   /// Degraded-link fault plan for ONE node (`chaos_node`), the "node behind
   /// a lossy/slow link" drill. Inactive by default. Use
   /// MiniCluster::set_chaos for per-node or mid-run changes.

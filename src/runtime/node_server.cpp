@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <limits>
 #include <optional>
 
@@ -71,7 +72,11 @@ constexpr std::chrono::milliseconds kLoopTick{100};
 }  // namespace
 
 NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
-    : config_(std::move(config)), docs_(docs), board_(board), listener_(0) {
+    : config_(std::move(config)),
+      docs_(docs),
+      board_(board),
+      overload_(config_.overload),
+      listener_(0) {
   if (config_.registry != nullptr) {
     const std::string prefix = "node." + std::to_string(config_.node_id);
     requests_counter_ = &config_.registry->counter(prefix + ".requests");
@@ -83,6 +88,14 @@ NodeServer::NodeServer(Config config, const DocStore& docs, LoadBoard& board)
     err408_counter_ = &config_.registry->counter(prefix + ".err.408");
     err503_counter_ = &config_.registry->counter(prefix + ".err.503");
     inflight_gauge_ = &config_.registry->gauge(prefix + ".inflight");
+    // 0 = healthy, 1 = brownout, 2 = shedding (OverloadState's values).
+    overload_gauge_ = &config_.registry->gauge(prefix + ".overload_state");
+    shed_cgi_counter_ =
+        &config_.registry->counter(prefix + ".overload.shed_cgi");
+    shed_uncached_counter_ =
+        &config_.registry->counter(prefix + ".overload.shed_uncached");
+    shed_accept_counter_ =
+        &config_.registry->counter(prefix + ".overload.shed_accept");
     workers_busy_gauge_ =
         &config_.registry->gauge(prefix + ".workers_busy");
     queue_depth_gauge_ = &config_.registry->gauge(prefix + ".queue_depth");
@@ -157,8 +170,12 @@ void NodeServer::stop() {
   stop_serving();
   // Graceful leave: the node announces its departure instead of letting
   // the failure detector discover it (and unlike a sweep, this does not
-  // count toward liveness.marked_down).
-  if (was_active) board_.set_available(config_.node_id, false);
+  // count toward liveness.marked_down). The overload flag is cleared too —
+  // a stopped node must not come back still branded browned-out.
+  if (was_active) {
+    board_.set_available(config_.node_id, false);
+    board_.set_overloaded(config_.node_id, false);
+  }
   crashed_ = false;
   hung_ = false;
 }
@@ -310,15 +327,28 @@ void NodeServer::reactor_loop(const std::stop_token& token) {
       }
       if (on_timer(*it->second)) arm_conn_timer(*it->second);
     }
+    // Once per wake (at worst every kLoopTick, even idle): re-evaluate the
+    // overload state machine and publish transitions to the board/gauge.
+    evaluate_overload();
   }
   epoller_.reset();
   util::set_thread_log_context({});
 }
 
 void NodeServer::accept_ready() {
+  // In shedding, arrivals are refused at the door regardless of the cap:
+  // the node is behind on work it already holds, and the adaptive
+  // Retry-After (estimated drain time) tells the herd when to come back.
+  const bool shedding = overload_.state() == OverloadState::kShedding;
   for (;;) {
     auto stream = listener_.accept_nb();
     if (!stream) return;
+    if (shedding) {
+      shed_accept_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_accept_counter_ != nullptr) shed_accept_counter_->inc();
+      shed(std::move(*stream));
+      continue;
+    }
     if (static_cast<int>(conns_.size()) >= connection_cap()) {
       shed(std::move(*stream));
       continue;
@@ -350,6 +380,22 @@ void NodeServer::admit(TcpStream stream) {
   arm_conn_timer(c);
 }
 
+int NodeServer::retry_after_now() const {
+  const double hint_s =
+      std::chrono::duration<double>(config_.retry_after_hint).count();
+  if (overload_.enabled()) {
+    // Adaptive: the controller's estimated drain time (in-flight work over
+    // the recent completion rate), so a deep backlog asks the herd to stay
+    // away longer than a graze past the cap does.
+    return overload_.retry_after_seconds(hint_s);
+  }
+  // Whole seconds on the wire (HTTP/1.0 delta-seconds), rounded up so a
+  // sub-second hint never collapses to "retry immediately", and clamped so
+  // a wild hint cannot park clients for minutes.
+  const double whole = std::ceil(std::max(hint_s, 0.0));
+  return static_cast<int>(std::clamp(whole, 1.0, 120.0));
+}
+
 void NodeServer::shed(TcpStream stream) {
   shed_.fetch_add(1, std::memory_order_relaxed);
   if (shed_counter_ != nullptr) shed_counter_->inc();
@@ -361,17 +407,38 @@ void NodeServer::shed(TcpStream stream) {
                                          "connection limit reached");
   busy.headers.add("Server", config_.server_name);
   busy.headers.set("Connection", "close");
-  // Whole seconds on the wire (HTTP/1.0 delta-seconds), rounded up so a
-  // sub-second hint never collapses to "retry immediately".
-  busy.headers.set(
-      "Retry-After",
-      std::to_string(std::chrono::ceil<std::chrono::seconds>(
-                         std::max(config_.retry_after_hint, 1ms))
-                         .count()));
+  busy.headers.set("Retry-After", std::to_string(retry_after_now()));
   // Written synchronously from the loop: a fresh connection's send buffer
   // is empty, so this cannot block for long.
   (void)stream.write_all(busy.serialize(), config_.io_timeout);
   stream.shutdown_write();
+}
+
+void NodeServer::evaluate_overload() {
+  const OverloadState state =
+      overload_.evaluate(board_.now_seconds(),
+                         static_cast<int>(conns_.size()), connection_cap());
+  if (state == published_overload_) return;
+  published_overload_ = state;
+  board_.set_overloaded(config_.node_id, state != OverloadState::kHealthy);
+  if (overload_gauge_ != nullptr) {
+    overload_gauge_->set(static_cast<int>(state));
+  }
+}
+
+void NodeServer::force_overload(OverloadState state) {
+  overload_.force_state(state, board_.now_seconds());
+  board_.set_overloaded(config_.node_id, state != OverloadState::kHealthy);
+  if (overload_gauge_ != nullptr) {
+    overload_gauge_->set(static_cast<int>(state));
+  }
+}
+
+http::Response NodeServer::brownout_response(const char* what) const {
+  http::Response busy =
+      http::make_error(http::Status::kServiceUnavailable, what);
+  busy.headers.set("Retry-After", std::to_string(retry_after_now()));
+  return busy;
 }
 
 void NodeServer::destroy_conn(std::uint64_t id) {
@@ -425,6 +492,9 @@ void NodeServer::attend(Conn& c) {
     c.queue_wait_s =
         std::chrono::duration<double>(now - c.accepted_at).count();
     c.clock.add(obs::Phase::kQueueWait, c.queue_wait_s);
+    // The same measurement feeds the overload controller: queue_wait
+    // growing is the earliest sign the loop is falling behind arrivals.
+    overload_.record_queue_delay(board_.now_seconds(), c.queue_wait_s);
     c.request_start = now;
     c.phase_mark = now;
     c.wait_phase = obs::Phase::kHeaderRead;
@@ -716,13 +786,31 @@ bool NodeServer::finish_parse(Conn& c, http::ParseResult state) {
     c.charge_open = true;
     c.service_start_s = out.service_start_s;
     c.t_data_trace_s = out.t_data_trace_s;
+    const auto submitted = std::chrono::steady_clock::now();
     pool_->submit(CgiPool::Job{
-        c.id, [cgi = out.cgi, req = request, query = std::move(out.query)] {
+        c.id, [this, submitted, cgi = out.cgi, req = request,
+               query = std::move(out.query)] {
+          // Time on the pool's queue is queue delay every bit as much as
+          // time between accept and the loop's first attention — and it is
+          // the signal that keeps the controller engaged while a CGI
+          // backlog drains, when the reactor-side symptoms (connection
+          // pileup, accept latency) have already been relieved by the
+          // brownout itself.
+          overload_.record_queue_delay(
+              board_.now_seconds(),
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            submitted)
+                  .count());
           return (*cgi)(req, query);
         }});
     return true;
   }
 
+  // A brownout 503 is response-scoped, not connection-scoped: a pipelined
+  // keep-alive client with cheap cache-resident requests queued behind the
+  // rejected one must get them served — that is the whole brownout
+  // bargain. The slot itself is reclaimed by the accept-path shed once the
+  // node escalates to kShedding.
   out.action.response.headers.set("Connection",
                                   c.keep_alive ? "Keep-Alive" : "close");
   c.status = static_cast<int>(out.action.response.status);
@@ -887,6 +975,8 @@ bool NodeServer::write_complete(Conn& c, bool ok) {
                   c.conn_faulted);
   }
   if (ok || !c.count_handled_on_success) ++handled_;
+  // Work leaving the system: the completion rate prices drain estimates.
+  overload_.record_completion(board_.now_seconds());
   if (c.inflight_marked) {
     if (inflight_gauge_ != nullptr) inflight_gauge_->add(-1);
     c.inflight_marked = false;
@@ -954,19 +1044,27 @@ int NodeServer::choose_node(int owner, std::string_view path) const {
     return load;
   };
   // File locality first: the owner serves from its "local disk" unless it
-  // is clearly busier than we are.
+  // is clearly busier than we are — or browned out: a peer that is
+  // shedding by class must not be handed fresh work, even its own files.
   if (owner != self && owner >= 0 &&
       owner < static_cast<int>(loads.size()) &&
       loads[static_cast<std::size_t>(owner)].available &&
+      !loads[static_cast<std::size_t>(owner)].overloaded &&
       load_of(owner) <=
           load_of(self) + config_.broker.locality_pull_threshold) {
     return owner;
   }
-  // Otherwise balance on connection-equivalent load.
+  // Otherwise balance on connection-equivalent load. Overloaded peers are
+  // skipped outright (their own admission gate would just 503 the hop);
+  // self stays eligible — serving locally, even degraded, beats bouncing
+  // the client into a wall.
   int best = self;
   double best_load = load_of(self);
   for (int n = 0; n < static_cast<int>(loads.size()); ++n) {
-    if (n == self || !loads[static_cast<std::size_t>(n)].available) continue;
+    if (n == self || !loads[static_cast<std::size_t>(n)].available ||
+        loads[static_cast<std::size_t>(n)].overloaded) {
+      continue;
+    }
     if (load_of(n) + config_.broker.min_connection_advantage <= best_load) {
       best = n;
       best_load = load_of(n);
@@ -1035,6 +1133,37 @@ NodeServer::ProcessOutcome NodeServer::process_request(
       not_modified = since.has_value() && doc->last_modified <= *since;
     }
   }
+  // --- Brownout admission gate -------------------------------------------
+  // Past healthy, the node keeps doing only cheap work: HEAD and 304
+  // answers move headers, cache-resident documents go out zero-copy from
+  // RAM. CGI — the CPU-bound class — and documents that would need the
+  // copy path are rejected with 503 + Retry-After; the LoadBoard overload
+  // flag published alongside the state makes every peer's broker route
+  // new 302 assignments around this node while it degrades.
+  if (overload_.state() != OverloadState::kHealthy && !is_head &&
+      !not_modified) {
+    const char* reject = nullptr;
+    if (cgi != nullptr) {
+      shed_cgi_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_cgi_counter_ != nullptr) shed_cgi_counter_->inc();
+      reject = "brownout: dynamic content shed";
+    } else if (config_.caches != nullptr && config_.caches->enabled() &&
+               !config_.caches->resident(self, canonical->path)) {
+      shed_uncached_.fetch_add(1, std::memory_order_relaxed);
+      if (shed_uncached_counter_ != nullptr) shed_uncached_counter_->inc();
+      reject = "brownout: non-resident document shed";
+    }
+    if (reject != nullptr) {
+      if (err503_counter_ != nullptr) err503_counter_->inc();
+      if (errors_counter_ != nullptr) errors_counter_->inc();
+      // This request never reaches connection_opened, so any Δ-inflation
+      // a redirect placed here is consumed now, same as an accept-path
+      // shed — a browned-out node must not stay phantom-inflated.
+      board_.note_shed(self);
+      return finish(brownout_response(reject));
+    }
+  }
+
   // Charge the board the body bytes this node will actually write: HEAD
   // and 304 answers move headers only, and a CGI entry's static size is
   // zero (its body is the handler's business). Charging doc->size()
@@ -1123,7 +1252,7 @@ NodeServer::ProcessOutcome NodeServer::process_request(
     out.service_start_s = service_start;
     out.t_data_trace_s = t_data;
     guard.armed = false;
-    return std::move(out);
+    return out;
   }
   const auto fulfill_start = std::chrono::steady_clock::now();
   // A static request's content assembly is doc_read (the paper's t_data).
@@ -1343,12 +1472,30 @@ http::Response NodeServer::status_response() const {
   w.key("shed").value(shed_count());
   // Which kind of degradation this node is suffering, not just how much:
   // 400 = malformed input, 404 = misses, 408 = slow clients timed out,
-  // 503 = load shed. sweb-top sums these into its ERR column.
+  // 503 = load shed (cap/accept refusals plus brownout class rejections).
+  // sweb-top sums these into its ERR column.
   w.key("errors_by_reason").begin_object();
   w.key("400").value(err400_.load());
   w.key("404").value(err404_.load());
   w.key("408").value(err408_.load());
-  w.key("503").value(shed_count());
+  w.key("503").value(shed_count() + shed_cgi_.load() + shed_uncached_.load());
+  w.end_object();
+  // Overload control: the admission governor's state and the signals it
+  // runs on. States: "healthy" | "brownout" | "shedding"; sheds by class
+  // show *why* a degraded node is refusing work (sweb-top's OVLD column
+  // reads "state"; "enabled" false means the PR-9 static-cap behavior).
+  w.key("overload").begin_object();
+  w.key("enabled").value(overload_.enabled());
+  w.key("state").value(std::string(overload_state_name(overload_.state())));
+  w.key("queue_delay_estimate_s").value(overload_.queue_delay_estimate_s());
+  w.key("completion_rate_rps").value(overload_.completion_rate_rps());
+  w.key("estimated_drain_s").value(overload_.estimated_drain_s());
+  w.key("retry_after_s")
+      .value(static_cast<std::int64_t>(retry_after_now()));
+  w.key("transitions").value(overload_.transitions());
+  w.key("shed_cgi").value(shed_cgi_.load());
+  w.key("shed_uncached").value(shed_uncached_.load());
+  w.key("shed_accept").value(shed_accept_.load());
   w.end_object();
   // Chaos: whether this node's link is artificially degraded, and the
   // damage done so far (only present knobs; an inert node reports false/0).
@@ -1429,6 +1576,7 @@ http::Response NodeServer::status_response() const {
     w.key("served").value(l.served);
     w.key("redirected").value(l.redirected);
     w.key("available").value(l.available);
+    w.key("overloaded").value(l.overloaded);
     w.key("redirect_inflation").value(l.redirect_inflation);
     // Age of the last board update for this peer — the runtime analogue of
     // "how stale is this loadd broadcast".

@@ -55,6 +55,7 @@
 #include "runtime/doc_store.h"
 #include "runtime/load_board.h"
 #include "runtime/node_cache.h"
+#include "runtime/overload.h"
 #include "runtime/reactor.h"
 #include "runtime/socket.h"
 
@@ -124,8 +125,15 @@ class NodeServer {
     /// Timeout and reclaims the connection. Zero falls back to io_timeout.
     std::chrono::milliseconds header_timeout{0};
     /// The Retry-After hint attached to shed 503s (rounded up to whole
-    /// seconds on the wire; retry-capable clients honor it).
+    /// seconds on the wire, clamped to [1, 120]; retry-capable clients
+    /// honor it). With the overload controller enabled this is only the
+    /// fallback — the hint becomes the controller's estimated drain time.
     std::chrono::milliseconds retry_after_hint{1000};
+    /// Overload control (off by default): the reactor samples queue delay
+    /// and in-flight work into an OverloadController; brownout sheds CGI
+    /// and non-resident documents, shedding refuses at accept with an
+    /// adaptive Retry-After, and the broker routes 302s around the node.
+    OverloadParams overload{};
     /// Degraded-link fault injection applied to every connection this node
     /// accepts (chaos drills); an inactive plan (the default) is free.
     FaultPlan chaos{};
@@ -227,6 +235,30 @@ class NodeServer {
   }
   [[nodiscard]] std::uint64_t not_found() const noexcept {
     return err404_.load();
+  }
+
+  // --- Overload control ---------------------------------------------------
+  /// The admission governor (tests read estimates and transition counts).
+  [[nodiscard]] const OverloadController& overload() const noexcept {
+    return overload_;
+  }
+  [[nodiscard]] OverloadState overload_state() const {
+    return overload_.state();
+  }
+  /// Test/drill hook: pin the controller's state and publish it (board
+  /// flag + gauge) immediately, without waiting for the reactor's next
+  /// evaluation. Pair with a large min_dwell_s (or a disabled controller)
+  /// when the pin must hold against evaluate().
+  void force_overload(OverloadState state);
+  /// Brownout rejections by class, plus accepts refused while shedding.
+  [[nodiscard]] std::uint64_t overload_shed_cgi() const noexcept {
+    return shed_cgi_.load();
+  }
+  [[nodiscard]] std::uint64_t overload_shed_uncached() const noexcept {
+    return shed_uncached_.load();
+  }
+  [[nodiscard]] std::uint64_t overload_shed_accept() const noexcept {
+    return shed_accept_.load();
   }
 
  private:
@@ -356,6 +388,15 @@ class NodeServer {
   void arm_conn_timer(Conn& conn);
   void finish_cgi(CgiPool::Result result);
   void update_pool_gauges();
+  /// Re-evaluates the overload state machine (once per loop wake) and, on
+  /// a transition, publishes it: LoadBoard overload flag + state gauge.
+  void evaluate_overload();
+  /// The Retry-After seconds a shed 503 carries right now: the
+  /// controller's drain estimate when enabled, the configured hint
+  /// otherwise — either way rounded up and clamped to [1, 120].
+  [[nodiscard]] int retry_after_now() const;
+  /// The brownout 503 for a request rejected by adaptive admission.
+  [[nodiscard]] http::Response brownout_response(const char* what) const;
   [[nodiscard]] std::chrono::milliseconds read_budget() const noexcept;
 
   /// Stamps this node's liveness lease every heartbeat_period and runs the
@@ -414,6 +455,10 @@ class NodeServer {
   Config config_;
   const DocStore& docs_;
   LoadBoard& board_;
+  OverloadController overload_;
+  /// Last state pushed to the board/gauge; reactor-thread-only (forced
+  /// publishes from test threads write the board directly and converge).
+  OverloadState published_overload_ = OverloadState::kHealthy;
   ChaosDirector chaos_;
   TcpListener listener_;
   std::vector<std::uint16_t> peer_ports_;
@@ -432,6 +477,11 @@ class NodeServer {
   std::atomic<std::uint64_t> err404_{0};
   std::atomic<std::uint64_t> err408_{0};
   std::atomic<std::uint64_t> handled_{0};
+  // Overload sheds by class: brownout rejections (CGI, non-resident
+  // documents) and accepts refused while shedding.
+  std::atomic<std::uint64_t> shed_cgi_{0};
+  std::atomic<std::uint64_t> shed_uncached_{0};
+  std::atomic<std::uint64_t> shed_accept_{0};
   std::atomic<std::uint64_t> local_ids_{1};  // fallback id source, no tracer
   std::chrono::steady_clock::time_point started_at_{};
   // Liveness: the heartbeat thread sleeps on hb_cv_ so a stop request
@@ -454,6 +504,10 @@ class NodeServer {
   obs::Counter* err408_counter_ = nullptr;
   obs::Counter* err503_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* overload_gauge_ = nullptr;
+  obs::Counter* shed_cgi_counter_ = nullptr;
+  obs::Counter* shed_uncached_counter_ = nullptr;
+  obs::Counter* shed_accept_counter_ = nullptr;
   obs::Gauge* workers_busy_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Histogram* response_histogram_ = nullptr;

@@ -1,0 +1,147 @@
+#include "runtime/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sweb::runtime {
+
+const char* overload_state_name(OverloadState state) noexcept {
+  switch (state) {
+    case OverloadState::kHealthy:
+      return "healthy";
+    case OverloadState::kBrownout:
+      return "brownout";
+    case OverloadState::kShedding:
+      return "shedding";
+  }
+  return "unknown";
+}
+
+void OverloadController::trim(double now_s) {
+  const double floor = now_s - params_.sample_horizon_s;
+  while (!delays_.empty() &&
+         (delays_.front().first < floor || delays_.size() > params_.max_samples)) {
+    delay_sum_s_ -= delays_.front().second;
+    delays_.pop_front();
+  }
+  if (delays_.empty()) delay_sum_s_ = 0.0;  // kill accumulated rounding drift
+  while (!completions_.empty() &&
+         (completions_.front() < floor ||
+          completions_.size() > params_.max_samples)) {
+    completions_.pop_front();
+  }
+}
+
+void OverloadController::record_queue_delay(double now_s, double delay_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  delays_.emplace_back(now_s, delay_s);
+  delay_sum_s_ += delay_s;
+  trim(now_s);
+}
+
+void OverloadController::record_completion(double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completions_.push_back(now_s);
+  trim(now_s);
+}
+
+OverloadState OverloadController::evaluate(double now_s, int inflight,
+                                           int capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  trim(now_s);
+  estimate_s_ =
+      delays_.empty() ? 0.0 : delay_sum_s_ / static_cast<double>(delays_.size());
+  rate_rps_ = static_cast<double>(completions_.size()) /
+              std::max(params_.sample_horizon_s, 1e-9);
+  last_inflight_ = std::max(inflight, 0);
+  if (!params_.enabled) return state_;
+
+  const double util =
+      capacity > 0 ? static_cast<double>(inflight) / capacity : 0.0;
+
+  // Upgrades fire immediately: once the queue-delay estimate crosses an
+  // enter threshold the node is already behind, and every additional
+  // admission makes the drain longer.
+  OverloadState target = OverloadState::kHealthy;
+  if (estimate_s_ >= params_.shed_enter_s) {
+    target = OverloadState::kShedding;
+  } else if (estimate_s_ >= params_.brownout_enter_s ||
+             util >= params_.brownout_utilization) {
+    target = OverloadState::kBrownout;
+  }
+  if (target > state_) {
+    state_ = target;
+    entered_at_s_ = now_s;
+    ++transitions_;
+    return state_;
+  }
+
+  // Downgrades are deliberate: one state at a time, only after dwelling,
+  // and only once the estimate has dropped below the *exit* threshold.
+  // The enter/exit gap plus the dwell is what keeps a load level hovering
+  // at a boundary from flapping the state machine.
+  if (target < state_ && now_s - entered_at_s_ >= params_.min_dwell_s) {
+    if (state_ == OverloadState::kShedding &&
+        estimate_s_ < params_.shed_exit_s) {
+      state_ = OverloadState::kBrownout;
+      entered_at_s_ = now_s;
+      ++transitions_;
+    } else if (state_ == OverloadState::kBrownout &&
+               estimate_s_ < params_.brownout_exit_s &&
+               util < params_.brownout_utilization) {
+      state_ = OverloadState::kHealthy;
+      entered_at_s_ = now_s;
+      ++transitions_;
+    }
+  }
+  return state_;
+}
+
+OverloadState OverloadController::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+double OverloadController::queue_delay_estimate_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return estimate_s_;
+}
+
+double OverloadController::completion_rate_rps() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rate_rps_;
+}
+
+double OverloadController::estimated_drain_s() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double rate = std::max(rate_rps_, params_.drain_floor_rps);
+  return static_cast<double>(last_inflight_) / rate;
+}
+
+int OverloadController::retry_after_seconds(double fallback_hint_s) const {
+  double estimate;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const double rate = std::max(rate_rps_, params_.drain_floor_rps);
+    estimate = static_cast<double>(last_inflight_) / rate;
+  }
+  if (estimate <= 0.0) estimate = fallback_hint_s;
+  // Round *up*: a hint of 0.2 s must not truncate to "Retry-After: 0",
+  // which clients read as "immediately" — the herd we are shedding.
+  const double whole = std::ceil(std::max(estimate, 0.0));
+  return static_cast<int>(std::clamp(whole, 1.0, 120.0));
+}
+
+std::uint64_t OverloadController::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+void OverloadController::force_state(OverloadState state, double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != state) ++transitions_;
+  state_ = state;
+  entered_at_s_ = now_s;
+}
+
+}  // namespace sweb::runtime

@@ -1,0 +1,144 @@
+// Overload control for the reactor runtime: a three-state admission
+// governor sampled by the event loop.
+//
+// The paper's §3.3 analytic model predicts a hard max-rps bound per
+// configuration; past that knee a server that keeps accepting work queues
+// unboundedly and collapses its tail latency for everyone. The controller
+// here watches two signals the reactor already produces — the `queue_wait`
+// phase (time between accept and first attention, PR 6) and the number of
+// connections in flight against the admission cap — and drives a state
+// machine:
+//
+//   kHealthy  --est >= brownout_enter or util >= brownout_utilization-->
+//   kBrownout --est >= shed_enter-->  kShedding
+//
+// with hysteresis on the way back down: downgrades step one state at a
+// time, only after `min_dwell_s` in the current state AND the estimate has
+// fallen below the *exit* threshold (strictly lower than the matching
+// enter threshold), so a load level that hovers near a boundary cannot
+// flap the state machine.
+//
+// What each state means to the server is NodeServer's business (brownout:
+// shed CGI and non-resident documents, keep serving cache hits; shedding:
+// refuse at accept with an adaptive Retry-After); the controller only
+// decides *when*. It also estimates drain time — in-flight work divided by
+// the recent completion rate — which prices the Retry-After hint a shed
+// client receives.
+//
+// Thread-safety: the reactor loop is the only writer in production, but
+// tests and the /sweb/status scraper read from other threads, so every
+// method takes the mutex. All clocks are seconds on the caller's monotonic
+// clock (NodeServer feeds the LoadBoard epoch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace sweb::runtime {
+
+enum class OverloadState : int {
+  kHealthy = 0,
+  kBrownout = 1,
+  kShedding = 2,
+};
+
+/// Human-readable state for status JSON and sweb-top ("healthy",
+/// "brownout", "shedding").
+[[nodiscard]] const char* overload_state_name(OverloadState state) noexcept;
+
+struct OverloadParams {
+  /// Off by default: existing drills and tests see the PR-9 behavior
+  /// (static cap, constant Retry-After) unless they opt in.
+  bool enabled = false;
+
+  /// Queue-delay estimate (seconds) at which brownout begins / ends.
+  /// Exit must be below enter — the gap is the hysteresis band.
+  double brownout_enter_s = 0.050;
+  double brownout_exit_s = 0.020;
+  /// Queue-delay estimate at which shedding begins / falls back to
+  /// brownout.
+  double shed_enter_s = 0.250;
+  double shed_exit_s = 0.100;
+  /// Connections in flight / admission cap at which brownout begins even
+  /// with a healthy queue-delay estimate (the cap is about to shed
+  /// anyway; degrade before the cliff).
+  double brownout_utilization = 0.90;
+  /// Minimum seconds in a state before a *downgrade* is allowed.
+  /// Upgrades are immediate: under a flash crowd, waiting is collapse.
+  double min_dwell_s = 1.0;
+  /// Sliding-window horizon for queue-delay samples and completion
+  /// timestamps.
+  double sample_horizon_s = 2.0;
+  /// Hard bound on retained samples (memory guard under huge rates).
+  std::size_t max_samples = 512;
+  /// Floor on the completion rate used for drain estimates, so a node
+  /// that momentarily completed nothing does not advertise an infinite
+  /// Retry-After.
+  double drain_floor_rps = 1.0;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadParams params = {}) : params_(params) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return params_.enabled; }
+  [[nodiscard]] const OverloadParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Feed one queue_wait measurement: `delay_s` seconds between accept and
+  /// the connection's first attention, observed at `now_s`.
+  void record_queue_delay(double now_s, double delay_s);
+
+  /// Feed one request completion (a response fully written) at `now_s`;
+  /// the completion rate prices the drain-time estimate.
+  void record_completion(double now_s);
+
+  /// Re-evaluate the state machine; the reactor calls this once per loop
+  /// wake. `inflight` is current connections, `capacity` the admission
+  /// cap. Returns the (possibly new) state.
+  OverloadState evaluate(double now_s, int inflight, int capacity);
+
+  [[nodiscard]] OverloadState state() const;
+  /// Windowed mean queue delay as of the last evaluate(), seconds.
+  [[nodiscard]] double queue_delay_estimate_s() const;
+  /// Completions per second over the sample horizon, last evaluate().
+  [[nodiscard]] double completion_rate_rps() const;
+  /// Seconds to drain the in-flight work seen at the last evaluate(),
+  /// assuming the recent completion rate (floored at drain_floor_rps).
+  [[nodiscard]] double estimated_drain_s() const;
+  /// Adaptive Retry-After: the drain estimate (or `fallback_hint_s` when
+  /// the controller has no signal), rounded *up* to whole seconds and
+  /// clamped to [1, 120]. Safe to call with the controller disabled.
+  [[nodiscard]] int retry_after_seconds(double fallback_hint_s) const;
+  /// Total state changes (including forced ones) — flap detector for
+  /// tests and the pressure harness.
+  [[nodiscard]] std::uint64_t transitions() const;
+
+  /// Test/drill hook: pin the state as of `now_s` (dwell restarts).
+  /// evaluate() keeps running afterwards, so pair with a large
+  /// min_dwell_s when the pin must hold.
+  void force_state(OverloadState state, double now_s);
+
+ private:
+  void trim(double now_s);  // caller holds mutex_
+
+  OverloadParams params_;
+  mutable std::mutex mutex_;
+  OverloadState state_ = OverloadState::kHealthy;
+  double entered_at_s_ = 0.0;
+  std::uint64_t transitions_ = 0;
+  /// (observation time, queue delay) pairs, clock-ordered.
+  std::deque<std::pair<double, double>> delays_;
+  double delay_sum_s_ = 0.0;
+  /// Completion timestamps, clock-ordered.
+  std::deque<double> completions_;
+  // Published by evaluate() for cross-thread readers.
+  double estimate_s_ = 0.0;
+  double rate_rps_ = 0.0;
+  int last_inflight_ = 0;
+};
+
+}  // namespace sweb::runtime

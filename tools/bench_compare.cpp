@@ -39,6 +39,9 @@ struct Report {
   double p99_s = -1.0;
   double detect_s = -1.0;
   double cache_hit_rate = -1.0;  // best point of the cache_sweep scenario
+  double knee_rps = -1.0;        // pressure_sweep calibrated knee
+  double overload_p99_s = -1.0;  // control-on admitted p99 at the hottest
+                                 // pressure_sweep point (brownout tail)
   std::uint64_t requests_failed = 0;
   std::uint64_t slow_records = 0;
 };
@@ -154,6 +157,28 @@ std::optional<Report> load_report(const std::string& path) {
       }
     }
   }
+  // Optional since PR10: the overload-control pressure sweep. Reported as
+  // the calibrated knee plus the controlled tail at the sweep's hottest
+  // offered rate — the two numbers that say where this build saturates and
+  // what admission costs once it does.
+  if (const obs::JsonValue* pressure = scenarios->find("pressure_sweep");
+      pressure != nullptr && pressure->is_object()) {
+    report.knee_rps = pressure->number_or("knee_rps", -1.0);
+    if (const obs::JsonValue* points = pressure->find("points");
+        points != nullptr && points->is_array()) {
+      double hottest = -1.0;
+      for (const obs::JsonValue& point : points->array) {
+        const double factor = point.number_or("factor", -1.0);
+        if (factor <= hottest) continue;
+        const obs::JsonValue* on = point.find("control_on");
+        if (on == nullptr || !on->is_object()) continue;
+        const obs::JsonValue* latency = on->find("latency");
+        if (latency == nullptr || !latency->is_object()) continue;
+        hottest = factor;
+        report.overload_p99_s = latency->number_or("p99_s", -1.0);
+      }
+    }
+  }
   return report;
 }
 
@@ -199,16 +224,19 @@ int main(int argc, char** argv) {
   }
   if (malformed) return 2;
 
-  std::printf("%-18s %4s %7s %10s %10s %10s %8s %6s %6s\n", "REPORT", "PR",
-              "SCHEMA", "RPS", "P50", "P99", "DETECT", "SLOW", "CACHE");
+  std::printf("%-18s %4s %7s %10s %10s %10s %8s %6s %6s %8s %9s\n",
+              "REPORT", "PR", "SCHEMA", "RPS", "P50", "P99", "DETECT",
+              "SLOW", "CACHE", "KNEE", "OVLD P99");
   for (const Report& r : reports) {
-    std::printf("%-18s %4d %7s %10s %10s %10s %8s %6llu %6s\n",
+    std::printf("%-18s %4d %7s %10s %10s %10s %8s %6llu %6s %8s %9s\n",
                 r.path.c_str(), r.pr, r.standardized ? "v1" : "legacy",
                 cell(r.rps, "").c_str(), cell(r.p50_s * 1e3, "ms").c_str(),
                 cell(r.p99_s * 1e3, "ms").c_str(),
                 cell(r.detect_s * 1e3, "ms").c_str(),
                 static_cast<unsigned long long>(r.slow_records),
-                cell(r.cache_hit_rate * 1e2, "%").c_str());
+                cell(r.cache_hit_rate * 1e2, "%").c_str(),
+                cell(r.knee_rps, "").c_str(),
+                cell(r.overload_p99_s * 1e3, "ms").c_str());
   }
 
   // PR-over-PR regression scan: standardized reports only (legacy shapes

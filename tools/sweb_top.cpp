@@ -73,6 +73,10 @@ struct NodeSample {
   };
   std::array<PhaseStat, obs::kPhaseCount> phases{};
   std::uint64_t slow_records = 0;  // slow-log forensics records taken
+  /// The overload controller's state from the status "overload" object:
+  /// "off" (controller disabled), "ok" (healthy), "brownout", "shed";
+  /// "-" for nodes predating the overload status object.
+  std::string overload = "-";
 };
 
 [[nodiscard]] std::optional<obs::RegistrySnapshot::HistogramValue>
@@ -167,6 +171,27 @@ parse_histogram(const obs::JsonValue& metrics, const char* name) {
     sample.slow_records =
         static_cast<std::uint64_t>(slow->number_or("records", 0.0));
   }
+  if (const obs::JsonValue* overload = doc->find("overload");
+      overload != nullptr && overload->is_object()) {
+    const obs::JsonValue* enabled = overload->find("enabled");
+    const bool is_on = enabled != nullptr &&
+                       enabled->type == obs::JsonValue::Type::kBool &&
+                       enabled->boolean;
+    const obs::JsonValue* state = overload->find("state");
+    const std::string name =
+        state != nullptr && state->type == obs::JsonValue::Type::kString
+            ? state->string
+            : "";
+    // Forced states render even with the controller disabled; otherwise a
+    // disabled controller shows "off" so a healthy cell is trustworthy.
+    if (name == "brownout") {
+      sample.overload = "brownout";
+    } else if (name == "shedding") {
+      sample.overload = "shed";
+    } else {
+      sample.overload = is_on ? "ok" : "off";
+    }
+  }
   // The node's own runtime page cache (per-node residency + hit history,
   // the CACHE column's source of truth since the zero-copy serve path).
   bool have_node_cache = false;
@@ -250,11 +275,11 @@ void render(const std::vector<NodeSample>& samples,
   std::printf("\nswebtop — %zu node(s), poll %d/%d\n", samples.size(), poll,
               total_polls);
   std::printf(
-      "%-5s %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s %5s %10s "
-      "%10s\n",
-      "NODE", "AVAIL", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED", "ERR",
-      "SERVED", "REDIR%", "CACHE%", "LAT-P50", "LAT-P95", "LAT-P99", "SLOW",
-      "PERR-P50", "PERR-P95");
+      "%-5s %5s %8s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s %5s "
+      "%10s %10s\n",
+      "NODE", "AVAIL", "OVLD", "RPS", "INFLIGHT", "WORKERS", "QUEUE", "SHED",
+      "ERR", "SERVED", "REDIR%", "CACHE%", "LAT-P50", "LAT-P95", "LAT-P99",
+      "SLOW", "PERR-P50", "PERR-P95");
   double total_rps = 0.0;
   std::int64_t total_inflight = 0;
   std::int64_t total_busy = 0, total_queue = 0;
@@ -269,10 +294,10 @@ void render(const std::vector<NodeSample>& samples,
     if (s.ok && s.available) ++total_up;
     if (!s.ok) {
       std::printf(
-          "%-5zu %5s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s %5s "
-          "%10s %10s   (unreachable: %s)\n",
+          "%-5zu %5s %8s %8s %9s %7s %6s %5s %5s %8s %7s %7s %9s %9s %9s "
+          "%5s %10s %10s   (unreachable: %s)\n",
           i, avail_cell(samples, i), "-", "-", "-", "-", "-", "-", "-", "-",
-          "-", "-", "-", "-", "-", "-", "-", s.url.c_str());
+          "-", "-", "-", "-", "-", "-", "-", "-", s.url.c_str());
       continue;
     }
     const double rps =
@@ -293,9 +318,9 @@ void render(const std::vector<NodeSample>& samples,
     const NodeSample::PhaseStat& lat =
         s.phases[static_cast<std::size_t>(obs::Phase::kTotal)];
     std::printf(
-        "%-5d %5s %8.1f %9lld %7s %6lld %5llu %5llu %8llu %7s %7s %9s %9s "
-        "%9s %5llu %10s %10s\n",
-        s.node, avail_cell(samples, i), rps,
+        "%-5d %5s %8s %8.1f %9lld %7s %6lld %5llu %5llu %8llu %7s %7s %9s "
+        "%9s %9s %5llu %10s %10s\n",
+        s.node, avail_cell(samples, i), s.overload.c_str(), rps,
         static_cast<long long>(s.inflight), workers_cell,
         static_cast<long long>(s.queue_depth),
                 static_cast<unsigned long long>(s.shed),
@@ -328,12 +353,28 @@ void render(const std::vector<NodeSample>& samples,
       total_seen > 0 ? static_cast<double>(total_redirected) /
                            static_cast<double>(total_seen)
                      : 0.0;
+  // The cluster OVLD cell is the worst state any node reports: one node
+  // shedding is a cluster-level event even when the others are fine.
+  const char* total_overload = "-";
+  for (const NodeSample& s : samples) {
+    const auto rank = [](const std::string& cell) {
+      if (cell == "shed") return 4;
+      if (cell == "brownout") return 3;
+      if (cell == "ok") return 2;
+      if (cell == "off") return 1;
+      return 0;
+    };
+    if (rank(s.overload) > rank(total_overload)) {
+      total_overload = s.overload.c_str();
+    }
+  }
   char up_cell[32];
   std::snprintf(up_cell, sizeof up_cell, "%zu/%zu", total_up, samples.size());
   std::printf(
-      "%-5s %5s %8.1f %9lld %7lld %6lld %5llu %5llu %8llu %7s %7s %9s %9s "
-      "%9s %5llu %10s %10s\n",
-      "TOTAL", up_cell, total_rps, static_cast<long long>(total_inflight),
+      "%-5s %5s %8s %8.1f %9lld %7lld %6lld %5llu %5llu %8llu %7s %7s %9s "
+      "%9s %9s %5llu %10s %10s\n",
+      "TOTAL", up_cell, total_overload, total_rps,
+      static_cast<long long>(total_inflight),
       static_cast<long long>(total_busy),
       static_cast<long long>(total_queue),
       static_cast<unsigned long long>(total_shed),
